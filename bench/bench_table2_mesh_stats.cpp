@@ -1,0 +1,18 @@
+// Regenerates Table 2: structural statistics of the large mesh graphs
+// (klein-bottle, mobius-strip, torch-hex, torch-tet, toroid-hex,
+// toroid-wedge, twist-hex) across their ordinates.
+
+#include <vector>
+
+#include "bench_support/workloads.hpp"
+#include "mesh/suite.hpp"
+#include "stats_common.hpp"
+
+int main() {
+  using namespace ecl::bench;
+  std::vector<unsigned> ordinates;
+  for (const auto& group : ecl::mesh::large_mesh_suite())
+    ordinates.push_back(effective_ordinates(group));
+  print_mesh_stats_table("Table 2: large mesh graphs", large_mesh_workloads(), ordinates);
+  return 0;
+}

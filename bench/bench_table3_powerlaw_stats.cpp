@@ -1,0 +1,13 @@
+// Regenerates Table 3: structural statistics of the ten power-law graphs
+// (synthetic SuiteSparse stand-ins; see DESIGN.md for the substitution).
+// Each row reports vertex/edge counts, degree extremes, SCC counts,
+// size-1/size-2 counts, largest SCC, and DAG depth.
+
+#include "bench_support/workloads.hpp"
+#include "stats_common.hpp"
+
+int main() {
+  using namespace ecl::bench;
+  print_graph_stats_table("Table 3: power-law graphs", power_law_workloads());
+  return 0;
+}

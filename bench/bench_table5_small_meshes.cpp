@@ -1,0 +1,26 @@
+// Regenerates Table 5 and Figures 5, 6, and 7: SCC-detection runtime and
+// throughput on the small mesh graphs for ECL-SCC and GPU-SCC (FB-Trim) on
+// both simulated GPUs and iSpan with both CPU configurations.
+//
+// Paper expectations (shape, §5.1.1): ECL-SCC beats GPU-SCC on every group
+// except beam-hex (~parity), with geomean factors of 6.2x (Titan V) and
+// 6.5x (A100); ECL-SCC outruns iSpan by more than three orders of
+// magnitude on these meshes.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ecl::bench;
+  const auto columns = paper_columns();
+  for (const auto& workload : small_mesh_workloads())
+    register_workload_benchmarks("Table5", workload, columns);
+
+  return run_and_report(
+      argc, argv, "Table 5: small mesh graphs", "Figures 5/6/7: small mesh graphs",
+      {
+          {"Fig 5: ECL-SCC vs GPU-SCC (Titan V)", "ECL-SCC Titan V", "GPU-SCC Titan V", 6.2},
+          {"Fig 6: ECL-SCC vs GPU-SCC (A100)", "ECL-SCC A100", "GPU-SCC A100", 6.5},
+          {"Fig 7: ECL-SCC A100 vs iSpan Ryzen", "ECL-SCC A100", "iSpan Ryzen", 4400.0},
+          {"Fig 7: ECL-SCC A100 vs iSpan Xeon", "ECL-SCC A100", "iSpan Xeon", 4400.0},
+      });
+}

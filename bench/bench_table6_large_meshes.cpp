@@ -1,0 +1,26 @@
+// Regenerates Table 6 and Figures 8, 9, and 10: SCC-detection runtime and
+// throughput on the large mesh graphs.
+//
+// Paper expectations (shape, §5.1.2): ECL-SCC beats GPU-SCC on every group
+// except twist-hex on the Titan V (~parity there), with geomean factors of
+// 6.0x (Titan V) and 8.4x (A100); against iSpan the geomean gap is three
+// orders of magnitude (1264x Ryzen / 596x Xeon on Titan V, 2422x / 1142x
+// on A100), with klein-bottle and twist-hex the CPU-friendly outliers.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ecl::bench;
+  const auto columns = paper_columns();
+  for (const auto& workload : large_mesh_workloads())
+    register_workload_benchmarks("Table6", workload, columns);
+
+  return run_and_report(
+      argc, argv, "Table 6: large mesh graphs", "Figures 8/9/10: large mesh graphs",
+      {
+          {"Fig 8: ECL-SCC vs GPU-SCC (Titan V)", "ECL-SCC Titan V", "GPU-SCC Titan V", 6.0},
+          {"Fig 9: ECL-SCC vs GPU-SCC (A100)", "ECL-SCC A100", "GPU-SCC A100", 8.4},
+          {"Fig 10: ECL-SCC A100 vs iSpan Ryzen", "ECL-SCC A100", "iSpan Ryzen", 2422.0},
+          {"Fig 10: ECL-SCC A100 vs iSpan Xeon", "ECL-SCC A100", "iSpan Xeon", 1142.0},
+      });
+}

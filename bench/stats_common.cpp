@@ -1,0 +1,62 @@
+#include "stats_common.hpp"
+
+#include <cstdio>
+
+#include "core/tarjan.hpp"
+#include "graph/scc_stats.hpp"
+#include "support/env.hpp"
+#include "support/format.hpp"
+
+namespace ecl::bench {
+namespace {
+
+std::vector<graph::SccStats> stats_of(const Workload& wl) {
+  std::vector<graph::SccStats> all;
+  all.reserve(wl.graphs.size());
+  for (const auto& g : wl.graphs) {
+    all.push_back(graph::compute_scc_stats(g, scc::tarjan(g).labels));
+  }
+  return all;
+}
+
+}  // namespace
+
+void print_mesh_stats_table(const std::string& title, const std::vector<Workload>& workloads,
+                            const std::vector<unsigned>& ordinate_counts) {
+  TextTable table({"Graph", "N_om", "Vertices", "Edges", "Avg deg", "Max din", "Max dout",
+                   "Min SCCs", "Max SCCs", "Min s1", "Max s1", "Min s2", "Max s2",
+                   "Min lrg", "Max lrg", "Min dep", "Max dep"});
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const auto stats = stats_of(workloads[i]);
+    const auto r = graph::aggregate_stats(stats);
+    table.add_row({workloads[i].name, std::to_string(ordinate_counts[i]),
+                   with_commas(r.num_vertices), with_commas(r.num_edges), fixed(r.avg_degree, 2),
+                   std::to_string(r.max_in_degree), std::to_string(r.max_out_degree),
+                   with_commas(r.min_sccs), with_commas(r.max_sccs), with_commas(r.min_size1),
+                   with_commas(r.max_size1), with_commas(r.min_size2), with_commas(r.max_size2),
+                   with_commas(r.min_largest), with_commas(r.max_largest),
+                   with_commas(r.min_depth), with_commas(r.max_depth)});
+  }
+  std::printf("\n== %s ==\n%s", title.c_str(), table.render().c_str());
+  std::printf("(scaled to ECL_SCALE=%.4g of the paper's element counts; N_om capped by "
+              "ECL_MAX_ORDINATES)\n",
+              scale_factor());
+}
+
+void print_graph_stats_table(const std::string& title, const std::vector<Workload>& workloads) {
+  TextTable table({"Graph", "Vertices", "Edges", "Avg deg", "Max din", "Max dout", "No. SCCs",
+                   "Size-1", "Size-2", "Largest", "DAG depth"});
+  for (const auto& wl : workloads) {
+    const auto stats = stats_of(wl);
+    const auto& s = stats.front();
+    table.add_row({wl.name, with_commas(s.num_vertices), with_commas(s.num_edges),
+                   fixed(s.avg_degree, 2), std::to_string(s.max_in_degree),
+                   std::to_string(s.max_out_degree), with_commas(s.num_sccs),
+                   with_commas(s.size1_sccs), with_commas(s.size2_sccs),
+                   with_commas(s.largest_scc), with_commas(s.dag_depth)});
+  }
+  std::printf("\n== %s ==\n%s", title.c_str(), table.render().c_str());
+  std::printf("(scaled to ECL_SCALE=%.4g of the paper's vertex counts)\n", scale_factor());
+}
+
+}  // namespace ecl::bench

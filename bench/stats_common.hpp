@@ -1,0 +1,24 @@
+#ifndef ECL_BENCH_STATS_COMMON_HPP
+#define ECL_BENCH_STATS_COMMON_HPP
+
+// Shared renderer for the structural tables (Tables 1-3): computes SCC
+// statistics of every graph in a workload with Tarjan and prints the
+// paper's min/max columns.
+
+#include <string>
+#include <vector>
+
+#include "bench_support/harness.hpp"
+
+namespace ecl::bench {
+
+/// Prints a Table 1/2-shaped row set (min/max over each workload's graphs).
+void print_mesh_stats_table(const std::string& title, const std::vector<Workload>& workloads,
+                            const std::vector<unsigned>& ordinate_counts);
+
+/// Prints a Table 3-shaped row set (one graph per workload).
+void print_graph_stats_table(const std::string& title, const std::vector<Workload>& workloads);
+
+}  // namespace ecl::bench
+
+#endif  // ECL_BENCH_STATS_COMMON_HPP

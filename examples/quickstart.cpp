@@ -1,0 +1,74 @@
+// Quickstart: build a small directed graph, detect its strongly connected
+// components with ECL-SCC, and inspect the result.
+//
+//   $ ./quickstart
+//
+// The graph is the running example of the paper's Fig. 3: 12 vertices in
+// two mutually unreachable clusters, each a chain of small SCCs.
+
+#include <cstdio>
+
+#include "core/ecl_scc.hpp"
+#include "core/tarjan.hpp"
+#include "core/verify.hpp"
+#include "graph/digraph.hpp"
+
+int main() {
+  using namespace ecl;
+
+  // 1. Build a directed graph from an edge list.
+  graph::EdgeList edges;
+  // cluster 1: {0} -> {2,7} -> {5} -> {1,4,9}
+  edges.add(2, 7);
+  edges.add(7, 2);
+  edges.add(0, 2);
+  edges.add(7, 5);
+  edges.add(2, 5);
+  edges.add(5, 9);
+  edges.add(9, 4);
+  edges.add(4, 1);
+  edges.add(1, 9);
+  // cluster 2: {3,6} -> {10} -> {8,11}
+  edges.add(3, 6);
+  edges.add(6, 3);
+  edges.add(3, 10);
+  edges.add(10, 11);
+  edges.add(11, 8);
+  edges.add(8, 11);
+  const graph::Digraph g(12, edges);
+
+  // 2. Run ECL-SCC (on the process-wide simulated A100 device).
+  const scc::SccResult result = scc::ecl_scc(g);
+
+  // 3. Each vertex's label is the maximum vertex ID in its component.
+  std::printf("graph: %u vertices, %llu edges\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  std::printf("components found: %u\n", result.num_components);
+  for (graph::vid v = 0; v < g.num_vertices(); ++v) {
+    std::printf("  vertex %2u -> component %2u\n", v, result.labels[v]);
+  }
+
+  // 4. Algorithm metrics: the quantities the paper's Fig. 14 studies.
+  std::printf("outer iterations:   %llu\n",
+              static_cast<unsigned long long>(result.metrics.outer_iterations));
+  std::printf("propagation rounds: %llu\n",
+              static_cast<unsigned long long>(result.metrics.propagation_rounds));
+  std::printf("kernel launches:    %llu\n",
+              static_cast<unsigned long long>(result.metrics.kernel_launches));
+  std::printf("edges removed:      %llu\n",
+              static_cast<unsigned long long>(result.metrics.edges_removed));
+  const double total_phase = result.metrics.phase1_seconds + result.metrics.phase2_seconds +
+                             result.metrics.phase3_seconds;
+  if (total_phase > 0.0) {
+    std::printf("phase split:        init %.0f%% / propagate %.0f%% / detect+remove %.0f%%\n",
+                100.0 * result.metrics.phase1_seconds / total_phase,
+                100.0 * result.metrics.phase2_seconds / total_phase,
+                100.0 * result.metrics.phase3_seconds / total_phase);
+  }
+
+  // 5. Verify against Tarjan's algorithm, as the paper's methodology does.
+  const auto oracle = scc::tarjan(g);
+  const bool ok = scc::same_partition(result.labels, oracle.labels);
+  std::printf("verification vs Tarjan: %s\n", ok ? "OK" : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+// Radiative-transfer sweep: the end-to-end workflow that motivates the
+// paper (§1, §4.1).
+//
+//   $ ./radiative_sweep [mesh-family] [elements] [ordinates]
+//   $ ./radiative_sweep toroid-hex 20000 8
+//
+// For each discrete ordinate this example (1) builds the directed sweep
+// graph induced by the mesh's face normals, (2) detects its SCCs with
+// ECL-SCC — the cycles that would livelock a naive sweep, and (3) runs the
+// transport sweep over the condensation DAG, iterating inside each cycle.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/ecl_scc.hpp"
+#include "graph/scc_stats.hpp"
+#include "mesh/generators.hpp"
+#include "mesh/ordinates.hpp"
+#include "mesh/suite.hpp"
+#include "mesh/sweep_graph.hpp"
+#include "support/timer.hpp"
+#include "sweep/sweep_solver.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ecl;
+
+  const std::string family = argc > 1 ? argv[1] : "toroid-hex";
+  const std::size_t elements = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20'000;
+  const unsigned num_ordinates = argc > 3 ? unsigned(std::atoi(argv[3])) : 8;
+
+  const auto small = mesh::small_mesh_suite();
+  const auto large = mesh::large_mesh_suite();
+  const mesh::MeshGroup* group = mesh::find_group(small, family);
+  if (group == nullptr) group = mesh::find_group(large, family);
+  if (group == nullptr) {
+    std::fprintf(stderr, "unknown mesh family '%s'; options:", family.c_str());
+    for (const auto& g : small) std::fprintf(stderr, " %s", g.name.c_str());
+    std::fprintf(stderr, " klein-bottle mobius-strip twist-hex\n");
+    return 1;
+  }
+
+  std::printf("generating %s mesh with ~%zu elements...\n", family.c_str(), elements);
+  const mesh::Mesh m = group->generate(elements);
+  std::printf("  %u elements, %zu interior faces (%s, order %d)\n", m.num_elements,
+              m.faces.size(), mesh::to_string(m.element_type), m.order);
+
+  const auto ordinates = mesh::fibonacci_ordinates(num_ordinates);
+  const std::vector<double> source(m.num_elements, 1.0);
+
+  double total_scc_seconds = 0.0;
+  double total_sweep_seconds = 0.0;
+  std::uint64_t total_cycles = 0;
+
+  std::printf("\n%-4s %9s %9s %10s %8s %10s %11s\n", "ord", "edges", "SCCs", "largest",
+              "cycles", "SCC time", "sweep time");
+  for (unsigned d = 0; d < ordinates.size(); ++d) {
+    const auto g = mesh::build_sweep_graph(m, ordinates[d]);
+
+    Timer scc_timer;
+    const auto scc_result = scc::ecl_scc(g);
+    const double scc_seconds = scc_timer.seconds();
+    total_scc_seconds += scc_seconds;
+
+    const auto stats = graph::compute_scc_stats(g, scc_result.labels);
+    const bool cyclic = sweep::would_livelock(g, scc_result.labels);
+
+    Timer sweep_timer;
+    const auto sweep_result = sweep::sweep(g, scc_result.labels, source);
+    const double sweep_seconds = sweep_timer.seconds();
+    total_sweep_seconds += sweep_seconds;
+    total_cycles += sweep_result.nontrivial_sccs;
+
+    if (!sweep_result.converged) {
+      std::fprintf(stderr, "ordinate %u: sweep failed to converge\n", d);
+      return 1;
+    }
+    std::printf("%-4u %9llu %9u %10u %8llu %8.2f ms %9.2f ms%s\n", d,
+                static_cast<unsigned long long>(g.num_edges()), stats.num_sccs,
+                stats.largest_scc,
+                static_cast<unsigned long long>(sweep_result.nontrivial_sccs),
+                scc_seconds * 1e3, sweep_seconds * 1e3,
+                cyclic ? "  (livelock without SCC detection)" : "");
+  }
+
+  std::printf("\nall %u ordinates swept: SCC detection %.1f ms, sweeps %.1f ms, "
+              "%llu cycles broken\n",
+              num_ordinates, total_scc_seconds * 1e3, total_sweep_seconds * 1e3,
+              static_cast<unsigned long long>(total_cycles));
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "bench_support/workloads.hpp"
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "mesh/ordinates.hpp"
+#include "mesh/sweep_graph.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+
+namespace ecl::bench {
+
+unsigned effective_ordinates(const mesh::MeshGroup& group) {
+  const auto cap = static_cast<unsigned>(env_int("ECL_MAX_ORDINATES", 6));
+  return std::min(group.num_ordinates, std::max(1u, cap));
+}
+
+Workload mesh_workload(const mesh::MeshGroup& group) {
+  Workload wl;
+  wl.name = group.name;
+  const mesh::Mesh m = group.generate_scaled();
+  const auto ordinates = mesh::fibonacci_ordinates(effective_ordinates(group));
+  wl.graphs = mesh::build_sweep_graphs(m, ordinates);
+  return wl;
+}
+
+std::vector<Workload> small_mesh_workloads() {
+  std::vector<Workload> workloads;
+  for (const auto& group : mesh::small_mesh_suite()) workloads.push_back(mesh_workload(group));
+  return workloads;
+}
+
+std::vector<Workload> large_mesh_workloads() {
+  std::vector<Workload> workloads;
+  for (const auto& group : mesh::large_mesh_suite()) workloads.push_back(mesh_workload(group));
+  return workloads;
+}
+
+std::vector<PowerLawSpec> power_law_specs() {
+  // Fractions derived from Table 3 (giant = largest SCC / |V|, size-2 and
+  // mid-size counts / |V|); DAG depths as listed.
+  return {
+      {"cage14", 1'505'785, 18.02, 1.00, 0.0, 0.0, 1},
+      {"circuit5M", 5'558'326, 10.71, 0.9995, 8.2e-5, 3e-5, 1},
+      {"com-Youtube", 1'134'890, 2.63, 0.0, 0.0, 0.0, 704},
+      {"flickr", 820'878, 11.98, 0.643, 5.3e-3, 3.7e-3, 5},
+      {"Freescale1", 3'428'755, 5.52, 0.994, 0.0, 3.1e-4, 1},
+      {"Freescale2", 2'999'349, 7.68, 0.963, 1.8e-2, 2.2e-4, 1},
+      {"soc-LiveJournal1", 4'847'571, 14.23, 0.790, 3.5e-3, 1.4e-3, 24},
+      {"web-Google", 916'428, 5.57, 0.474, 4.5e-3, 9.5e-3, 34},
+      {"wiki-Talk", 2'394'385, 2.10, 0.047, 2.2e-4, 1.6e-5, 8},
+      {"wikipedia", 3'148'440, 12.51, 0.668, 6.4e-4, 2.1e-4, 85},
+  };
+}
+
+graph::Digraph power_law_graph(const PowerLawSpec& spec) {
+  const auto n = static_cast<graph::vid>(scaled(spec.paper_vertices, 512));
+  graph::SccProfile profile;
+  profile.num_vertices = n;
+  profile.avg_degree = spec.avg_degree;
+  profile.giant_fraction = spec.giant_fraction;
+  profile.size2_sccs = static_cast<graph::vid>(spec.size2_fraction * n);
+  profile.mid_sccs = static_cast<graph::vid>(spec.mid_fraction * n);
+  // DAG depths are structural, not size-proportional; cap at n/4 so heavily
+  // downscaled runs stay realizable.
+  profile.dag_depth =
+      static_cast<graph::vid>(std::min<std::size_t>(spec.dag_depth, n / 4 + 1));
+  profile.power_law = true;
+
+  // Deterministic per-name seed so every binary sees the same graphs.
+  std::uint64_t seed = 0x7ab1e3;
+  for (char c : spec.name) seed = seed * 131 + static_cast<unsigned char>(c);
+  Rng rng(seed);
+  return graph::scc_profile_graph(profile, rng);
+}
+
+std::vector<Workload> power_law_workloads() {
+  std::vector<Workload> workloads;
+  for (const auto& spec : power_law_specs()) {
+    Workload wl;
+    wl.name = spec.name;
+    wl.graphs.push_back(power_law_graph(spec));
+    workloads.push_back(std::move(wl));
+  }
+  return workloads;
+}
+
+}  // namespace ecl::bench

@@ -1,0 +1,54 @@
+#ifndef ECL_BENCH_SUPPORT_WORKLOADS_HPP
+#define ECL_BENCH_SUPPORT_WORKLOADS_HPP
+
+// Workload factories for the benchmark binaries: the mesh suites of
+// Tables 1-2 (sweep graphs across ordinates) and synthetic stand-ins for
+// the ten SuiteSparse power-law graphs of Table 3 (see DESIGN.md for the
+// substitution rationale). All sizes scale with ECL_SCALE; the ordinate
+// count per mesh group is capped by ECL_MAX_ORDINATES (default 6) to keep
+// single-core runs tractable.
+
+#include <vector>
+
+#include "bench_support/harness.hpp"
+#include "graph/scc_stats.hpp"
+#include "mesh/suite.hpp"
+
+namespace ecl::bench {
+
+/// Number of ordinates actually used for a group (min of the paper's
+/// N_Omega and ECL_MAX_ORDINATES).
+unsigned effective_ordinates(const mesh::MeshGroup& group);
+
+/// Sweep-graph workload of one mesh group at ECL_SCALE.
+Workload mesh_workload(const mesh::MeshGroup& group);
+
+/// All of Table 1 (small meshes).
+std::vector<Workload> small_mesh_workloads();
+
+/// All of Table 2 (large meshes).
+std::vector<Workload> large_mesh_workloads();
+
+/// Descriptor of one Table 3 stand-in.
+struct PowerLawSpec {
+  std::string name;            ///< SuiteSparse name it imitates
+  std::size_t paper_vertices;  ///< Table 3 vertex count
+  double avg_degree;
+  double giant_fraction;       ///< largest SCC / vertices in Table 3
+  double size2_fraction;       ///< size-2 SCCs / vertices
+  double mid_fraction;         ///< mid-size SCCs / vertices
+  std::size_t dag_depth;       ///< Table 3 DAG depth
+};
+
+/// The ten Table 3 rows.
+std::vector<PowerLawSpec> power_law_specs();
+
+/// Generates the stand-in graph at ECL_SCALE (deterministic per name).
+graph::Digraph power_law_graph(const PowerLawSpec& spec);
+
+/// One workload per Table 3 row.
+std::vector<Workload> power_law_workloads();
+
+}  // namespace ecl::bench
+
+#endif  // ECL_BENCH_SUPPORT_WORKLOADS_HPP

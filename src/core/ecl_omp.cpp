@@ -1,0 +1,116 @@
+#include "core/ecl_omp.hpp"
+
+#include <omp.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "graph/condensation.hpp"
+
+namespace ecl::scc {
+namespace {
+
+/// Relaxed monotonic store on a plain uint32 slot (the paper's atomic-free
+/// max write, expressed with atomic_ref to stay defined behavior).
+bool store_max(std::uint32_t& slot, std::uint32_t value) noexcept {
+  std::atomic_ref<std::uint32_t> ref(slot);
+  if (value > ref.load(std::memory_order_relaxed)) {
+    ref.store(value, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+std::uint32_t load_relaxed(const std::uint32_t& slot) noexcept {
+  return std::atomic_ref<const std::uint32_t>(slot).load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+SccResult ecl_omp(const Digraph& g, const EclOmpOptions& opts) {
+  const vid n = g.num_vertices();
+  SccResult result;
+  if (n == 0) return result;
+
+  const int saved_threads = omp_get_max_threads();
+  if (opts.num_threads > 0) omp_set_num_threads(static_cast<int>(opts.num_threads));
+
+  std::vector<graph::Edge> edges;
+  edges.reserve(g.num_edges());
+  for (vid u = 0; u < n; ++u) {
+    for (vid v : g.out_neighbors(u)) edges.push_back({u, v});
+  }
+  std::vector<graph::Edge> next_edges(edges.size());
+
+  std::vector<std::uint32_t> in(n);
+  std::vector<std::uint32_t> out(n);
+  std::vector<vid> labels(n, graph::kInvalidVid);
+  std::uint64_t labeled = 0;
+  const std::uint64_t guard = static_cast<std::uint64_t>(n) + 2;
+
+  while (labeled < n) {
+    if (++result.metrics.outer_iterations > guard)
+      throw std::logic_error("ecl_omp: outer loop exceeded iteration guard (internal bug)");
+
+    // Phase 1: initialize signatures of unlabeled vertices.
+#pragma omp parallel for schedule(static)
+    for (vid v = 0; v < n; ++v) {
+      if (labels[v] == graph::kInvalidVid) in[v] = out[v] = v;
+    }
+
+    // Phase 2: propagate maxima to a fixed point.
+    bool updated = true;
+    while (updated) {
+      updated = false;
+      ++result.metrics.propagation_rounds;
+      result.metrics.edges_processed += edges.size();
+#pragma omp parallel for schedule(static) reduction(|| : updated)
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        const auto [u, v] = edges[i];
+        std::uint32_t ov = load_relaxed(out[v]);
+        if (opts.path_compression) ov = load_relaxed(out[ov]);
+        if (ov > load_relaxed(out[u])) updated = store_max(out[u], ov) || updated;
+        std::uint32_t iu = load_relaxed(in[u]);
+        if (opts.path_compression) iu = load_relaxed(in[iu]);
+        if (iu > load_relaxed(in[v])) updated = store_max(in[v], iu) || updated;
+      }
+    }
+
+    // Detect: vin == vout identifies the component (§3.2.1).
+    std::uint64_t found = 0;
+#pragma omp parallel for schedule(static) reduction(+ : found)
+    for (vid v = 0; v < n; ++v) {
+      if (labels[v] == graph::kInvalidVid && in[v] == out[v]) {
+        labels[v] = in[v];
+        ++found;
+      }
+    }
+    labeled += found;
+    if (found == 0)
+      throw std::logic_error("ecl_omp: iteration made no progress (internal bug)");
+
+    // Phase 3: compact the surviving edges into the spare worklist.
+    std::atomic<std::size_t> next_size{0};
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const auto [u, v] = edges[i];
+      if (in[u] != in[v] || out[u] != out[v]) continue;
+      if (opts.remove_scc_edges && labels[u] != graph::kInvalidVid) continue;
+      next_edges[next_size.fetch_add(1, std::memory_order_relaxed)] = edges[i];
+    }
+    const std::size_t new_size = next_size.load(std::memory_order_relaxed);
+    result.metrics.edges_removed += edges.size() - new_size;
+    edges.swap(next_edges);
+    edges.resize(new_size);
+    next_edges.resize(std::max(next_edges.size(), new_size));
+  }
+
+  if (opts.num_threads > 0) omp_set_num_threads(saved_threads);
+
+  result.labels = std::move(labels);
+  std::vector<vid> dense(result.labels.begin(), result.labels.end());
+  result.num_components = graph::normalize_labels(dense);
+  return result;
+}
+
+}  // namespace ecl::scc

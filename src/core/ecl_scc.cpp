@@ -1,0 +1,309 @@
+#include "core/ecl_scc.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "device/atomics.hpp"
+#include "device/worklist.hpp"
+#include "graph/condensation.hpp"
+#include "support/timer.hpp"
+
+namespace ecl::scc {
+namespace {
+
+using device::AtomicU32;
+using device::BlockContext;
+using device::EdgeWorklist;
+
+/// Per-run state shared by the kernels.
+struct EclState {
+  EclState(const Digraph& g, bool with_min)
+      : n(g.num_vertices()),
+        vin(std::make_unique<AtomicU32[]>(n)),
+        vout(std::make_unique<AtomicU32[]>(n)),
+        min_in(with_min ? std::make_unique<AtomicU32[]>(n) : nullptr),
+        min_out(with_min ? std::make_unique<AtomicU32[]>(n) : nullptr),
+        labels(n, graph::kInvalidVid),
+        worklist(g) {}
+
+  vid n;
+  std::unique_ptr<AtomicU32[]> vin;
+  std::unique_ptr<AtomicU32[]> vout;
+  std::unique_ptr<AtomicU32[]> min_in;   ///< 4-signature variant only
+  std::unique_ptr<AtomicU32[]> min_out;  ///< 4-signature variant only
+  std::vector<vid> labels;
+  EdgeWorklist worklist;
+
+  std::atomic<std::uint32_t> changed{0};
+  std::atomic<std::uint64_t> labeled{0};
+  std::atomic<std::uint64_t> edges_processed{0};
+  std::atomic<std::uint64_t> block_iterations{0};
+};
+
+/// Signature store dispatch: the paper's atomic-free monotonic store or a
+/// CAS atomic max (§3.4).
+bool store_max(AtomicU32& slot, std::uint32_t value, bool use_atomic_max) noexcept {
+  return use_atomic_max ? device::atomic_fetch_max(slot, value)
+                        : device::racy_store_max(slot, value);
+}
+
+bool store_min(AtomicU32& slot, std::uint32_t value, bool use_atomic_max) noexcept {
+  return use_atomic_max ? device::atomic_fetch_min(slot, value)
+                        : device::racy_store_min(slot, value);
+}
+
+/// Minimum-ID propagation for one edge (the 4-signature variant): the
+/// exact mirror of the maximum propagation, including path compression
+/// (min_in[min_in[u]] <= min_in[u] stays an ancestor-or-self of v).
+bool propagate_edge_min(EclState& st, graph::Edge e, const EclOptions& opts) noexcept {
+  const vid u = e.src;
+  const vid v = e.dst;
+  bool any = false;
+
+  std::uint32_t ov = st.min_out[v].load(std::memory_order_relaxed);
+  if (opts.path_compression) ov = st.min_out[ov].load(std::memory_order_relaxed);
+  const std::uint32_t ou = st.min_out[u].load(std::memory_order_relaxed);
+  if (ov < ou) {
+    if (opts.path_compression && ou != u) {
+      const std::uint32_t iu = st.min_in[u].load(std::memory_order_relaxed);
+      any |= store_min(st.min_in[ou], iu, opts.use_atomic_max);
+    }
+    any |= store_min(st.min_out[u], ov, opts.use_atomic_max);
+  }
+
+  std::uint32_t iu = st.min_in[u].load(std::memory_order_relaxed);
+  if (opts.path_compression) iu = st.min_in[iu].load(std::memory_order_relaxed);
+  const std::uint32_t iv = st.min_in[v].load(std::memory_order_relaxed);
+  if (iu < iv) {
+    if (opts.path_compression && iv != v) {
+      const std::uint32_t ovv = st.min_out[v].load(std::memory_order_relaxed);
+      any |= store_min(st.min_out[iv], ovv, opts.use_atomic_max);
+    }
+    any |= store_min(st.min_in[v], iu, opts.use_atomic_max);
+  }
+  return any;
+}
+
+/// Phase-2 body for one edge (u -> v). Returns true if any signature moved.
+bool propagate_edge(EclState& st, graph::Edge e, const EclOptions& opts) noexcept {
+  const vid u = e.src;
+  const vid v = e.dst;
+  bool any = false;
+
+  // out[u] <- max(out[u], out[v])   (compressed: out[out[v]], §3.3)
+  std::uint32_t ov = st.vout[v].load(std::memory_order_relaxed);
+  if (opts.path_compression) ov = st.vout[ov].load(std::memory_order_relaxed);
+  const std::uint32_t ou = st.vout[u].load(std::memory_order_relaxed);
+  if (ov > ou) {
+    if (opts.path_compression && ou != u) {
+      // Lift: ou is a descendant of u, so u's ancestors are ou's ancestors.
+      const std::uint32_t iu = st.vin[u].load(std::memory_order_relaxed);
+      any |= store_max(st.vin[ou], iu, opts.use_atomic_max);
+    }
+    any |= store_max(st.vout[u], ov, opts.use_atomic_max);
+  }
+
+  // in[v] <- max(in[v], in[u])   (compressed: in[in[u]])
+  std::uint32_t iu = st.vin[u].load(std::memory_order_relaxed);
+  if (opts.path_compression) iu = st.vin[iu].load(std::memory_order_relaxed);
+  const std::uint32_t iv = st.vin[v].load(std::memory_order_relaxed);
+  if (iu > iv) {
+    if (opts.path_compression && iv != v) {
+      // Lift: iv is an ancestor of v, so v's descendants are iv's descendants.
+      const std::uint32_t ovv = st.vout[v].load(std::memory_order_relaxed);
+      any |= store_max(st.vout[iv], ovv, opts.use_atomic_max);
+    }
+    any |= store_max(st.vin[v], iu, opts.use_atomic_max);
+  }
+  return any;
+}
+
+/// Grid size for an edge/vertex kernel under the selected threading mode.
+unsigned grid_size(device::Device& dev, std::uint64_t items, bool persistent) {
+  if (persistent) return std::min<std::uint64_t>(dev.profile().resident_blocks(),
+                                                 std::max<std::uint64_t>(1, dev.blocks_for(items)));
+  return dev.blocks_for(items);
+}
+
+void phase1_init(EclState& st, device::Device& dev, const EclOptions& opts) {
+  const std::uint64_t n = st.n;
+  dev.launch(grid_size(dev, n, opts.persistent_threads), [&](const BlockContext& ctx) {
+    ctx.for_each_chunk(n, [&](std::uint64_t lo, std::uint64_t hi) {
+      for (std::uint64_t v = lo; v < hi; ++v) {
+        if (st.labels[v] == graph::kInvalidVid) {
+          st.vin[v].store(static_cast<std::uint32_t>(v), std::memory_order_relaxed);
+          st.vout[v].store(static_cast<std::uint32_t>(v), std::memory_order_relaxed);
+          if (opts.min_max_signatures) {
+            st.min_in[v].store(static_cast<std::uint32_t>(v), std::memory_order_relaxed);
+            st.min_out[v].store(static_cast<std::uint32_t>(v), std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  });
+}
+
+void phase2_propagate(EclState& st, device::Device& dev, const EclOptions& opts,
+                      SccMetrics& metrics) {
+  const auto edges = st.worklist.edges();
+  const std::uint64_t m = edges.size();
+  if (m == 0) return;
+  const unsigned blocks = grid_size(dev, m, opts.persistent_threads);
+
+  for (;;) {
+    st.changed.store(0, std::memory_order_relaxed);
+    ++metrics.propagation_rounds;
+
+    dev.launch(blocks, [&](const BlockContext& ctx) {
+      std::uint64_t local_processed = 0;
+      bool local_changed;
+      std::uint64_t local_iters = 0;
+      do {
+        local_changed = false;
+        ++local_iters;
+        ctx.for_each_chunk(m, [&](std::uint64_t lo, std::uint64_t hi) {
+          for (std::uint64_t i = lo; i < hi; ++i) {
+            local_changed |= propagate_edge(st, edges[i], opts);
+            if (opts.min_max_signatures)
+              local_changed |= propagate_edge_min(st, edges[i], opts);
+          }
+          local_processed += hi - lo;
+        });
+        // async_phase2: the block re-iterates its edges to a local fixed
+        // point inside one launch (§3.3); sync mode does a single sweep.
+      } while (opts.async_phase2 && local_changed);
+      if (local_changed || (opts.async_phase2 && local_iters > 1))
+        st.changed.store(1, std::memory_order_relaxed);
+      st.block_iterations.fetch_add(local_iters, std::memory_order_relaxed);
+      st.edges_processed.fetch_add(local_processed, std::memory_order_relaxed);
+    });
+
+    if (st.changed.load(std::memory_order_relaxed) == 0) break;
+  }
+}
+
+void detect_components(EclState& st, device::Device& dev, const EclOptions& opts) {
+  const std::uint64_t n = st.n;
+  dev.launch(grid_size(dev, n, opts.persistent_threads), [&](const BlockContext& ctx) {
+    std::uint64_t local = 0;
+    ctx.for_each_chunk(n, [&](std::uint64_t lo, std::uint64_t hi) {
+      for (std::uint64_t v = lo; v < hi; ++v) {
+        if (st.labels[v] != graph::kInvalidVid) continue;
+        const std::uint32_t i = st.vin[v].load(std::memory_order_relaxed);
+        const std::uint32_t o = st.vout[v].load(std::memory_order_relaxed);
+        if (i == o) {
+          st.labels[v] = i;
+          ++local;
+          continue;
+        }
+        if (opts.min_max_signatures) {
+          // A vertex whose min signatures agree is in the MIN SCC of its
+          // cluster; label it by that (minimum) member.
+          const std::uint32_t mi = st.min_in[v].load(std::memory_order_relaxed);
+          const std::uint32_t mo = st.min_out[v].load(std::memory_order_relaxed);
+          if (mi == mo) {
+            st.labels[v] = mi;
+            ++local;
+          }
+        }
+      }
+    });
+    st.labeled.fetch_add(local, std::memory_order_relaxed);
+  });
+}
+
+void phase3_remove_edges(EclState& st, device::Device& dev, const EclOptions& opts,
+                         SccMetrics& metrics) {
+  const auto edges = st.worklist.edges();
+  const std::uint64_t m = edges.size();
+  if (m == 0) return;
+  dev.launch(grid_size(dev, m, opts.persistent_threads), [&](const BlockContext& ctx) {
+    ctx.for_each_chunk(m, [&](std::uint64_t lo, std::uint64_t hi) {
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        const graph::Edge e = edges[i];
+        const std::uint32_t iu = st.vin[e.src].load(std::memory_order_relaxed);
+        const std::uint32_t iv = st.vin[e.dst].load(std::memory_order_relaxed);
+        const std::uint32_t ou = st.vout[e.src].load(std::memory_order_relaxed);
+        const std::uint32_t ov = st.vout[e.dst].load(std::memory_order_relaxed);
+        if (iu != iv || ou != ov) continue;  // spans SCCs: drop
+        if (opts.min_max_signatures) {
+          const std::uint32_t miu = st.min_in[e.src].load(std::memory_order_relaxed);
+          const std::uint32_t miv = st.min_in[e.dst].load(std::memory_order_relaxed);
+          const std::uint32_t mou = st.min_out[e.src].load(std::memory_order_relaxed);
+          const std::uint32_t mov = st.min_out[e.dst].load(std::memory_order_relaxed);
+          if (miu != miv || mou != mov) continue;  // min signatures disagree
+        }
+        if (opts.remove_scc_edges && st.labels[e.src] != graph::kInvalidVid)
+          continue;  // inside a completed SCC: no longer needed (§3.3)
+        st.worklist.push_next(e);
+      }
+    });
+  });
+  const std::size_t before = st.worklist.size();
+  st.worklist.swap_buffers();
+  metrics.edges_removed += before - st.worklist.size();
+}
+
+}  // namespace
+
+EclOptions ecl_all_optimizations_off() {
+  EclOptions opts;
+  opts.async_phase2 = false;
+  opts.remove_scc_edges = false;
+  opts.path_compression = false;
+  opts.persistent_threads = false;
+  return opts;
+}
+
+SccResult ecl_scc(const Digraph& g, device::Device& dev, const EclOptions& opts) {
+  const vid n = g.num_vertices();
+  SccResult result;
+  if (n == 0) return result;
+
+  EclState st(g, opts.min_max_signatures);
+  const std::uint64_t launches_before = dev.stats().kernel_launches;
+
+  const std::uint64_t guard =
+      opts.max_outer_iterations ? opts.max_outer_iterations : static_cast<std::uint64_t>(n) + 2;
+
+  while (st.labeled.load(std::memory_order_relaxed) < n) {
+    if (++result.metrics.outer_iterations > guard)
+      throw std::logic_error("ecl_scc: outer loop exceeded iteration guard (internal bug)");
+    const std::uint64_t labeled_before = st.labeled.load(std::memory_order_relaxed);
+
+    Timer phase_timer;
+    phase1_init(st, dev, opts);
+    result.metrics.phase1_seconds += phase_timer.seconds();
+    phase_timer.reset();
+    phase2_propagate(st, dev, opts, result.metrics);
+    result.metrics.phase2_seconds += phase_timer.seconds();
+    phase_timer.reset();
+    detect_components(st, dev, opts);
+    phase3_remove_edges(st, dev, opts, result.metrics);
+    result.metrics.phase3_seconds += phase_timer.seconds();
+
+    if (st.labeled.load(std::memory_order_relaxed) == labeled_before)
+      throw std::logic_error("ecl_scc: iteration made no progress (internal bug)");
+  }
+
+  result.metrics.edges_processed = st.edges_processed.load(std::memory_order_relaxed);
+  result.metrics.kernel_launches = dev.stats().kernel_launches - launches_before;
+  result.metrics.block_iterations = st.block_iterations.load(std::memory_order_relaxed);
+  dev.stats().block_iterations += result.metrics.block_iterations;
+
+  result.labels = std::move(st.labels);
+  std::vector<vid> dense(result.labels.begin(), result.labels.end());
+  result.num_components = graph::normalize_labels(dense);
+  return result;
+}
+
+device::Device& shared_device() {
+  static device::Device dev(device::a100_profile());
+  return dev;
+}
+
+SccResult ecl_scc(const Digraph& g, const EclOptions& opts) {
+  return ecl_scc(g, shared_device(), opts);
+}
+
+}  // namespace ecl::scc

@@ -1,0 +1,67 @@
+#ifndef ECL_CORE_ECL_SCC_HPP
+#define ECL_CORE_ECL_SCC_HPP
+
+// ECL-SCC: the paper's primary contribution (§3).
+//
+// Max-ID propagation with edge removal, implemented in GPU-kernel style on
+// the virtual device substrate. All four code optimizations studied in
+// Fig. 14 are independent toggles so the ablation benchmark can disable
+// them one at a time:
+//
+//  * async_phase2      — thread blocks iterate internally to a local fixed
+//                        point, slashing kernel-launch count (§3.3);
+//  * remove_scc_edges  — drop edges inside already-detected SCCs from the
+//                        worklist, not only the cross-SCC edges (§3.3);
+//  * path_compression  — propagate in[in[u]] / out[out[v]] and lift the
+//                        signature of the overwritten value's vertex (§3.3);
+//  * persistent_threads— resident grid with multiple edges per thread
+//                        instead of one thread per edge (§3.4).
+//
+// Note on the second-level path compression: the paper states that before a
+// signature value s of vertex v is overwritten by a larger value t, vertex
+// s's signature is also conditionally updated. Updating s with t itself is
+// not sound in general (t need not be reachable from / to s); this
+// implementation uses the provably sound cross-signature form implied by
+// the paper's own justification ("ancestors of v share v's descendants"):
+// when in[v] is raised, the old value s is an ancestor of v, so out[s] is
+// lifted with out[v]; symmetrically for out[u]. The fixed point then equals
+// Algorithm 1's exactly (see DESIGN.md).
+
+#include "core/result.hpp"
+#include "device/device.hpp"
+
+namespace ecl::scc {
+
+struct EclOptions {
+  bool async_phase2 = true;
+  bool remove_scc_edges = true;
+  bool path_compression = true;
+  bool persistent_threads = true;
+  /// Use CAS atomic-max instead of the paper's atomic-free monotonic store.
+  bool use_atomic_max = false;
+  /// The 4-signature min/max variant the paper describes but rejects
+  /// (§3.3): also propagate minimum IDs, detecting at least TWO SCCs per
+  /// cluster per outer iteration at the cost of doubled signature memory.
+  /// Off by default, like the paper's shipped configuration.
+  bool min_max_signatures = false;
+  /// Safety guard on outer iterations; 0 means |V| + 2 (the theoretical
+  /// bound is the number of SCCs).
+  std::uint64_t max_outer_iterations = 0;
+};
+
+/// All-off configuration (the "disable all 4" bar of Fig. 14).
+EclOptions ecl_all_optimizations_off();
+
+/// Runs ECL-SCC on the given virtual device. Labels are the maximum vertex
+/// ID of each component (§3.2.1).
+SccResult ecl_scc(const Digraph& g, device::Device& dev, const EclOptions& opts = {});
+
+/// Convenience overload using a process-wide shared device (A100 profile).
+SccResult ecl_scc(const Digraph& g, const EclOptions& opts = {});
+
+/// The process-wide device used by the convenience overload.
+device::Device& shared_device();
+
+}  // namespace ecl::scc
+
+#endif  // ECL_CORE_ECL_SCC_HPP

@@ -1,0 +1,70 @@
+#include "core/ecl_serial.hpp"
+
+#include <algorithm>
+
+#include "graph/condensation.hpp"
+
+namespace ecl::scc {
+
+SccResult ecl_serial(const Digraph& g) {
+  const vid n = g.num_vertices();
+
+  // The edge set shrinks across outer iterations (Phase 3); keep it as a
+  // compacted vector of (src, dst) pairs.
+  std::vector<graph::Edge> edges;
+  edges.reserve(g.num_edges());
+  for (vid u = 0; u < n; ++u)
+    for (vid v : g.out_neighbors(u)) edges.push_back({u, v});
+
+  std::vector<vid> in(n);
+  std::vector<vid> out(n);
+  SccResult result;
+
+  bool converged = (n == 0);
+  while (!converged) {
+    ++result.metrics.outer_iterations;
+
+    // Phase 1: initialize vertex signatures.
+    for (vid v = 0; v < n; ++v) in[v] = out[v] = v;
+
+    // Phase 2: propagate max values until a fixed point.
+    bool updated = true;
+    while (updated) {
+      updated = false;
+      ++result.metrics.propagation_rounds;
+      result.metrics.edges_processed += edges.size();
+      for (const auto& [u, v] : edges) {
+        if (out[v] > out[u]) {
+          out[u] = out[v];
+          updated = true;
+        }
+        if (in[u] > in[v]) {
+          in[v] = in[u];
+          updated = true;
+        }
+      }
+    }
+
+    // Phase 3: remove edges that span SCCs (signature mismatch).
+    const std::size_t before = edges.size();
+    std::erase_if(edges, [&](const graph::Edge& e) {
+      return in[e.src] != in[e.dst] || out[e.src] != out[e.dst];
+    });
+    result.metrics.edges_removed += before - edges.size();
+
+    converged = true;
+    for (vid v = 0; v < n; ++v) {
+      if (in[v] != out[v]) {
+        converged = false;
+        break;
+      }
+    }
+  }
+
+  result.labels = std::move(in);  // v_in == v_out identifies the SCC
+  std::vector<vid> dense(result.labels.begin(), result.labels.end());
+  result.num_components = graph::normalize_labels(dense);
+  return result;
+}
+
+}  // namespace ecl::scc

@@ -1,0 +1,21 @@
+#ifndef ECL_CORE_ECL_SERIAL_HPP
+#define ECL_CORE_ECL_SERIAL_HPP
+
+// Literal, sequential transcription of the paper's Algorithm 1 (ECL-SCC
+// base algorithm). It exists as the semantics anchor: the optimized
+// parallel implementation (ecl_scc.hpp) must always agree with it, and the
+// test suite checks both against Tarjan.
+
+#include "core/result.hpp"
+
+namespace ecl::scc {
+
+/// Runs Algorithm 1: iterate { init signatures; propagate max along edges
+/// to a fixed point; remove signature-mismatched edges } until every vertex
+/// has v_in == v_out. Labels are the final signatures, i.e. the maximum
+/// vertex ID in each component.
+SccResult ecl_serial(const Digraph& g);
+
+}  // namespace ecl::scc
+
+#endif  // ECL_CORE_ECL_SERIAL_HPP

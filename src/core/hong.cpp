@@ -1,0 +1,209 @@
+#include "core/hong.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <atomic>
+
+#include "core/trim.hpp"
+
+#include "graph/condensation.hpp"
+#include "graph/reach.hpp"
+#include "graph/subgraph.hpp"
+#include "graph/wcc.hpp"
+
+namespace ecl::scc {
+namespace {
+
+/// Sequential recursive Forward-Backward on one residual WCC (runs as an
+/// OpenMP task, Hong's Phase 2). Operates on the induced subgraph so its
+/// memory footprint is proportional to the piece, not to the whole graph;
+/// an explicit work stack avoids recursion-depth limits on path-like
+/// residues. Writes parent-graph labels.
+void fb_recurse(const graph::Subgraph& sub, std::span<vid> labels,
+                std::atomic<std::uint64_t>& fb_steps) {
+  const Digraph& g = sub.graph;
+  const Digraph rev = g.reverse();
+  const vid n = g.num_vertices();
+
+  // Work stack of local-ID subsets; piece membership via round tags.
+  std::vector<std::vector<vid>> work;
+  work.emplace_back(n);
+  for (vid v = 0; v < n; ++v) work.back()[v] = v;
+
+  std::vector<vid> tag(n, graph::kInvalidVid);
+  std::vector<std::uint8_t> in_fwd(n, 0);
+  std::vector<std::uint8_t> in_bwd(n, 0);
+  vid next_tag = 0;
+  std::vector<vid> queue;
+
+  while (!work.empty()) {
+    std::vector<vid> piece = std::move(work.back());
+    work.pop_back();
+    if (piece.empty()) continue;
+    if (piece.size() == 1) {
+      labels[sub.to_parent[piece[0]]] = sub.to_parent[piece[0]];
+      continue;
+    }
+    fb_steps.fetch_add(1, std::memory_order_relaxed);
+
+    // Pivot: the max parent ID, matching the library's label convention.
+    const vid piece_tag = next_tag++;
+    vid pivot = piece[0];
+    for (vid v : piece) {
+      tag[v] = piece_tag;
+      if (sub.to_parent[v] > sub.to_parent[pivot]) pivot = v;
+    }
+
+    auto bfs = [&](const Digraph& dir, std::span<std::uint8_t> visited) {
+      queue.clear();
+      queue.push_back(pivot);
+      visited[pivot] = 1;
+      for (std::size_t i = 0; i < queue.size(); ++i) {
+        for (vid w : dir.out_neighbors(queue[i])) {
+          if (tag[w] == piece_tag && !visited[w]) {
+            visited[w] = 1;
+            queue.push_back(w);
+          }
+        }
+      }
+    };
+    bfs(g, in_fwd);
+    bfs(rev, in_bwd);
+
+    std::vector<vid> fwd_only;
+    std::vector<vid> bwd_only;
+    std::vector<vid> rest;
+    for (vid v : piece) {
+      const bool f = in_fwd[v];
+      const bool b = in_bwd[v];
+      if (f && b) {
+        labels[sub.to_parent[v]] = sub.to_parent[pivot];  // the pivot SCC
+      } else if (f) {
+        fwd_only.push_back(v);
+      } else if (b) {
+        bwd_only.push_back(v);
+      } else {
+        rest.push_back(v);
+      }
+      in_fwd[v] = in_bwd[v] = 0;  // reset scratch for reuse
+    }
+    work.push_back(std::move(fwd_only));
+    work.push_back(std::move(bwd_only));
+    work.push_back(std::move(rest));
+  }
+}
+
+}  // namespace
+
+SccResult hong(const Digraph& g, const HongOptions& opts) {
+  const vid n = g.num_vertices();
+  SccResult result;
+  result.labels.assign(n, graph::kInvalidVid);
+  if (n == 0) return result;
+
+  const int saved_threads = omp_get_max_threads();
+  if (opts.num_threads > 0) omp_set_num_threads(static_cast<int>(opts.num_threads));
+
+  const Digraph rev = g.reverse();
+  std::vector<std::uint8_t> active(n, 1);
+  const std::vector<eid> in_deg = g.in_degrees();
+
+  // ---- Phase 1: Trim-1 plus one FB step for the giant SCC. ---------------
+  vid remaining = n;
+  {
+    TrimView view{g, rev, {}, active, result.labels};
+    remaining -= trim1(view, &result.metrics);
+  }
+  if (remaining > 0) {
+    ++result.metrics.outer_iterations;
+    vid pivot = graph::kInvalidVid;
+    std::uint64_t best = 0;
+    for (vid v = 0; v < n; ++v) {
+      if (!active[v]) continue;
+      const std::uint64_t score =
+          (static_cast<std::uint64_t>(g.out_degree(v)) + 1) * (in_deg[v] + 1);
+      if (pivot == graph::kInvalidVid || score > best) {
+        best = score;
+        pivot = v;
+      }
+    }
+
+    // Forward/backward reachability over active vertices (level-parallel).
+    auto reach = [&](const Digraph& dir) {
+      std::vector<std::uint8_t> visited(n, 0);
+      std::vector<vid> frontier{pivot};
+      visited[pivot] = 1;
+      std::vector<vid> next;
+      while (!frontier.empty()) {
+        ++result.metrics.propagation_rounds;
+        next.clear();
+#pragma omp parallel
+        {
+          std::vector<vid> local;
+#pragma omp for nowait
+          for (std::size_t i = 0; i < frontier.size(); ++i) {
+            for (vid w : dir.out_neighbors(frontier[i])) {
+              if (!active[w]) continue;
+              std::atomic_ref<std::uint8_t> flag(visited[w]);
+              if (flag.exchange(1, std::memory_order_relaxed) == 0) local.push_back(w);
+            }
+          }
+#pragma omp critical
+          next.insert(next.end(), local.begin(), local.end());
+        }
+        frontier.swap(next);
+      }
+      return visited;
+    };
+    const auto fwd = reach(g);
+    const auto bwd = reach(rev);
+    for (vid v = 0; v < n; ++v) {
+      if (active[v] && fwd[v] && bwd[v]) {
+        result.labels[v] = pivot;
+        active[v] = 0;
+        --remaining;
+      }
+    }
+  }
+
+  // ---- Phase 2: trims, WCC split, per-component FB tasks. -----------------
+  if (remaining > 0) {
+    TrimView view{g, rev, {}, active, result.labels};
+    vid trimmed = trim1(view, &result.metrics);
+    if (opts.trim2) {
+      trimmed += trim2_pass(view);
+      trimmed += trim1(view, &result.metrics);
+    }
+    remaining -= trimmed;
+  }
+  if (remaining > 0) {
+    const auto wcc = graph::weakly_connected_components(g, rev, active);
+    std::vector<std::vector<vid>> pieces(wcc.num_components);
+    for (vid v = 0; v < n; ++v) {
+      if (active[v]) pieces[wcc.labels[v]].push_back(v);
+    }
+    std::atomic<std::uint64_t> fb_steps{0};
+    std::span<vid> labels(result.labels);
+#pragma omp parallel
+#pragma omp single
+    {
+      for (auto& piece : pieces) {
+#pragma omp task firstprivate(piece) shared(fb_steps, labels, g)
+        {
+          const auto sub = graph::induced_subgraph(g, piece);
+          fb_recurse(sub, labels, fb_steps);
+        }
+      }
+    }
+    result.metrics.outer_iterations += fb_steps.load(std::memory_order_relaxed);
+  }
+
+  if (opts.num_threads > 0) omp_set_num_threads(saved_threads);
+
+  std::vector<vid> dense(result.labels.begin(), result.labels.end());
+  result.num_components = graph::normalize_labels(dense);
+  return result;
+}
+
+}  // namespace ecl::scc

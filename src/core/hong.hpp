@@ -1,0 +1,27 @@
+#ifndef ECL_CORE_HONG_HPP
+#define ECL_CORE_HONG_HPP
+
+// Hong, Rodia, and Olukotun's Method (SC '13, [11]): the first parallel
+// CPU algorithm that handled real-world power-law graphs well, and the
+// template iSpan and GPU-SCC both build on (§2).
+//
+// Phase 1 (data parallel): Trim-1, then one Forward-Backward step from a
+// high-product-degree pivot detects the giant SCC. Phase 2 (task
+// parallel): Trim-1/Trim-2 on the residual, then a weakly-connected-
+// component decomposition splits it into independent pieces, each
+// processed by recursive Forward-Backward as an OpenMP task.
+
+#include "core/result.hpp"
+
+namespace ecl::scc {
+
+struct HongOptions {
+  unsigned num_threads = 0;  ///< OpenMP threads; 0 keeps the runtime default
+  bool trim2 = true;
+};
+
+SccResult hong(const Digraph& g, const HongOptions& opts = {});
+
+}  // namespace ecl::scc
+
+#endif  // ECL_CORE_HONG_HPP

@@ -1,0 +1,186 @@
+#include "core/ispan.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/trim.hpp"
+#include "graph/condensation.hpp"
+#include "support/rng.hpp"
+
+namespace ecl::scc {
+namespace {
+
+/// OpenMP level-synchronous BFS confined to active same-color vertices.
+/// Visited vertices are stamped with `round` in `tag`.
+struct OmpBfs {
+  explicit OmpBfs(vid n) : tag(n, 0), frontier(n), next(n) {}
+
+  std::vector<std::uint64_t> tag;
+  std::vector<vid> frontier;
+  std::vector<vid> next;
+
+  std::uint64_t run(const Digraph& dir, std::uint64_t round, std::span<const vid> sources,
+                    std::span<const std::uint8_t> active,
+                    std::span<const std::uint64_t> color,
+                    std::uint64_t& edges_processed) {
+    std::size_t frontier_size = 0;
+    for (vid s : sources) {
+      tag[s] = round;
+      frontier[frontier_size++] = s;
+    }
+    std::uint64_t levels = 0;
+    while (frontier_size > 0) {
+      ++levels;
+      std::atomic<std::size_t> next_size{0};
+      std::uint64_t level_edges = 0;
+#pragma omp parallel for schedule(dynamic, 64) reduction(+ : level_edges)
+      for (std::size_t i = 0; i < frontier_size; ++i) {
+        const vid u = frontier[i];
+        for (vid w : dir.out_neighbors(u)) {
+          ++level_edges;
+          if (!active[w] || color[w] != color[u]) continue;
+          std::atomic_ref<std::uint64_t> slot(tag[w]);
+          std::uint64_t expected = slot.load(std::memory_order_relaxed);
+          if (expected == round) continue;
+          if (slot.compare_exchange_strong(expected, round, std::memory_order_relaxed)) {
+            next[next_size.fetch_add(1, std::memory_order_relaxed)] = w;
+          }
+        }
+      }
+      edges_processed += level_edges;
+      frontier.swap(next);
+      frontier_size = next_size.load(std::memory_order_relaxed);
+    }
+    return levels;
+  }
+};
+
+}  // namespace
+
+SccResult ispan(const Digraph& g, const IspanOptions& opts) {
+  const vid n = g.num_vertices();
+  SccResult result;
+  result.labels.assign(n, graph::kInvalidVid);
+  if (n == 0) return result;
+
+  const int saved_threads = omp_get_max_threads();
+  if (opts.num_threads > 0) omp_set_num_threads(static_cast<int>(opts.num_threads));
+
+  const Digraph rev = g.reverse();
+  std::vector<std::uint8_t> active(n, 1);
+  std::vector<std::uint64_t> color(n, 0);
+  std::vector<eid> in_deg = g.in_degrees();
+
+  OmpBfs fwd(n);
+  OmpBfs bwd(n);
+  std::uint64_t edges_processed = 0;
+  vid remaining = n;
+
+  // ---- Phase 1: large-SCC detection. --------------------------------------
+  {
+    TrimView view{g, rev, color, active, result.labels};
+    remaining -= trim1(view, &result.metrics);
+  }
+  if (remaining > 0) {
+    // Root heuristic: the active vertex with the largest in*out degree
+    // product is almost surely inside the giant SCC of a power-law graph.
+    vid root = graph::kInvalidVid;
+    std::uint64_t best = 0;
+    for (vid v = 0; v < n; ++v) {
+      if (!active[v]) continue;
+      const std::uint64_t score =
+          (static_cast<std::uint64_t>(g.out_degree(v)) + 1) * (in_deg[v] + 1);
+      if (root == graph::kInvalidVid || score > best) {
+        best = score;
+        root = v;
+      }
+    }
+
+    ++result.metrics.outer_iterations;
+    const vid sources[1] = {root};
+    result.metrics.propagation_rounds +=
+        fwd.run(g, 1, sources, active, color, edges_processed);
+    result.metrics.propagation_rounds +=
+        bwd.run(rev, 1, sources, active, color, edges_processed);
+
+    std::uint64_t found = 0;
+#pragma omp parallel for schedule(static) reduction(+ : found)
+    for (vid v = 0; v < n; ++v) {
+      if (!active[v]) continue;
+      const bool in_fwd = fwd.tag[v] == 1;
+      const bool in_bwd = bwd.tag[v] == 1;
+      if (in_fwd && in_bwd) {
+        result.labels[v] = root;
+        active[v] = 0;
+        ++found;
+      } else {
+        std::uint64_t seed = color[v] * 4 + (in_fwd ? 1 : (in_bwd ? 2 : 3));
+        color[v] = splitmix64(seed);
+      }
+    }
+    remaining -= static_cast<vid>(found);
+  }
+
+  // ---- Phase 2: small-SCC detection (trims + FB rounds on the residue). ---
+  const std::uint64_t guard =
+      opts.max_rounds ? opts.max_rounds : static_cast<std::uint64_t>(n) + 2;
+  std::uint64_t round = 1;
+  std::vector<vid> pivots;
+  while (remaining > 0) {
+    if (round++ > guard) throw std::logic_error("ispan: round guard exceeded (internal bug)");
+    ++result.metrics.outer_iterations;
+
+    TrimView view{g, rev, color, active, result.labels};
+    vid trimmed = trim1(view, &result.metrics);
+    if (opts.trim2) trimmed += trim2_pass(view);
+    if (opts.trim3) trimmed += trim3_pass(view);
+    if (opts.trim2 || opts.trim3) trimmed += trim1(view, &result.metrics);
+    remaining -= trimmed;
+    if (remaining == 0) break;
+
+    std::unordered_map<std::uint64_t, vid> pivot_of;
+    for (vid v = 0; v < n; ++v) {
+      if (!active[v]) continue;
+      auto [it, inserted] = pivot_of.try_emplace(color[v], v);
+      if (!inserted) it->second = std::max(it->second, v);
+    }
+    pivots.clear();
+    for (const auto& [c, p] : pivot_of) pivots.push_back(p);
+
+    result.metrics.propagation_rounds +=
+        fwd.run(g, round, pivots, active, color, edges_processed);
+    result.metrics.propagation_rounds +=
+        bwd.run(rev, round, pivots, active, color, edges_processed);
+
+    std::uint64_t found = 0;
+#pragma omp parallel for schedule(static) reduction(+ : found)
+    for (vid v = 0; v < n; ++v) {
+      if (!active[v]) continue;
+      const bool in_fwd = fwd.tag[v] == round;
+      const bool in_bwd = bwd.tag[v] == round;
+      if (in_fwd && in_bwd) {
+        result.labels[v] = pivot_of.at(color[v]);
+        active[v] = 0;
+        ++found;
+      } else {
+        std::uint64_t seed = color[v] * 4 + (in_fwd ? 1 : (in_bwd ? 2 : 3));
+        color[v] = splitmix64(seed);
+      }
+    }
+    if (found == 0) throw std::logic_error("ispan: round found no SCC (internal bug)");
+    remaining -= static_cast<vid>(found);
+  }
+
+  if (opts.num_threads > 0) omp_set_num_threads(saved_threads);
+
+  result.metrics.edges_processed = edges_processed;
+  std::vector<vid> dense(result.labels.begin(), result.labels.end());
+  result.num_components = graph::normalize_labels(dense);
+  return result;
+}
+
+}  // namespace ecl::scc

@@ -1,0 +1,31 @@
+#ifndef ECL_CORE_ISPAN_HPP
+#define ECL_CORE_ISPAN_HPP
+
+// iSpan-style parallel CPU SCC detection (Ji et al. [13]): the paper's CPU
+// baseline (Tables 5-7, Figures 7/10/13).
+//
+// Two phases, as in the original: (1) detect the large SCC first — Trim-1,
+// then a forward spanning tree (BFS) from a high-degree root and a backward
+// reachability pass, the intersection being the large SCC; (2) detect the
+// small SCCs — Trim-1/2/3 plus repeated Forward-Backward rounds on the
+// residue. Parallelized with OpenMP (the original ships OpenMP and MPI
+// versions; this is the shared-memory one).
+
+#include "core/result.hpp"
+
+namespace ecl::scc {
+
+struct IspanOptions {
+  /// OpenMP thread count; 0 keeps the runtime default.
+  unsigned num_threads = 0;
+  /// iSpan runs Trim-1 before and Trim-1/2/3 after large-SCC detection.
+  bool trim2 = true;
+  bool trim3 = true;
+  std::uint64_t max_rounds = 0;  ///< 0 = |V| + 2 safety guard
+};
+
+SccResult ispan(const Digraph& g, const IspanOptions& opts = {});
+
+}  // namespace ecl::scc
+
+#endif  // ECL_CORE_ISPAN_HPP

@@ -1,0 +1,66 @@
+#include "core/kosaraju.hpp"
+
+namespace ecl::scc {
+
+SccResult kosaraju(const Digraph& g) {
+  const vid n = g.num_vertices();
+
+  // Pass 1: iterative DFS post-order on g.
+  std::vector<vid> order;
+  order.reserve(n);
+  {
+    std::vector<std::uint8_t> visited(n, 0);
+    struct Frame {
+      vid v;
+      eid next_edge;
+    };
+    std::vector<Frame> dfs;
+    for (vid root = 0; root < n; ++root) {
+      if (visited[root]) continue;
+      visited[root] = 1;
+      dfs.push_back({root, 0});
+      while (!dfs.empty()) {
+        Frame& frame = dfs.back();
+        const auto row = g.out_neighbors(frame.v);
+        if (frame.next_edge < row.size()) {
+          const vid w = row[frame.next_edge++];
+          if (!visited[w]) {
+            visited[w] = 1;
+            dfs.push_back({w, 0});
+          }
+        } else {
+          order.push_back(frame.v);
+          dfs.pop_back();
+        }
+      }
+    }
+  }
+
+  // Pass 2: DFS on the transpose in reverse post-order; each tree is an SCC.
+  const Digraph rev = g.reverse();
+  SccResult result;
+  result.labels.assign(n, graph::kInvalidVid);
+  vid next_component = 0;
+  std::vector<vid> stack;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (result.labels[*it] != graph::kInvalidVid) continue;
+    stack.push_back(*it);
+    result.labels[*it] = next_component;
+    while (!stack.empty()) {
+      const vid v = stack.back();
+      stack.pop_back();
+      for (vid w : rev.out_neighbors(v)) {
+        if (result.labels[w] == graph::kInvalidVid) {
+          result.labels[w] = next_component;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++next_component;
+  }
+
+  result.num_components = next_component;
+  return result;
+}
+
+}  // namespace ecl::scc

@@ -1,0 +1,17 @@
+#ifndef ECL_CORE_KOSARAJU_HPP
+#define ECL_CORE_KOSARAJU_HPP
+
+// Kosaraju-Sharir two-pass SCC algorithm: a second, independently coded
+// oracle so the test suite never trusts a single reference implementation.
+
+#include "core/result.hpp"
+
+namespace ecl::scc {
+
+/// Runs Kosaraju's algorithm (iterative DFS; labels are dense component
+/// indices in topological order of the condensation).
+SccResult kosaraju(const Digraph& g);
+
+}  // namespace ecl::scc
+
+#endif  // ECL_CORE_KOSARAJU_HPP

@@ -1,0 +1,63 @@
+#include "core/registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/ecl_scc.hpp"
+#include "core/ecl_omp.hpp"
+#include "core/ecl_serial.hpp"
+#include "core/fb_trim.hpp"
+#include "core/hong.hpp"
+#include "core/ispan.hpp"
+#include "core/kosaraju.hpp"
+#include "core/tarjan.hpp"
+
+namespace ecl::scc {
+namespace {
+
+device::Device& titanv_device() {
+  static device::Device dev(device::titan_v_profile());
+  return dev;
+}
+
+const std::vector<std::pair<std::string, SccAlgorithm>>& table() {
+  static const std::vector<std::pair<std::string, SccAlgorithm>> algorithms = {
+      {"tarjan", [](const Digraph& g) { return tarjan(g); }},
+      {"kosaraju", [](const Digraph& g) { return kosaraju(g); }},
+      {"ecl-serial", [](const Digraph& g) { return ecl_serial(g); }},
+      {"ecl-a100", [](const Digraph& g) { return ecl_scc(g, shared_device()); }},
+      {"ecl-titanv", [](const Digraph& g) { return ecl_scc(g, titanv_device()); }},
+      {"gpu-scc-a100", [](const Digraph& g) { return fb_trim(g, shared_device()); }},
+      {"gpu-scc-titanv", [](const Digraph& g) { return fb_trim(g, titanv_device()); }},
+      {"ispan", [](const Digraph& g) { return ispan(g); }},
+      {"hong", [](const Digraph& g) { return hong(g); }},
+      {"ecl-omp", [](const Digraph& g) { return ecl_omp(g); }},
+  };
+  return algorithms;
+}
+
+}  // namespace
+
+std::vector<std::string> algorithm_names() {
+  std::vector<std::string> names;
+  names.reserve(table().size());
+  for (const auto& [name, fn] : table()) names.push_back(name);
+  return names;
+}
+
+SccAlgorithm find_algorithm(const std::string& name) {
+  for (const auto& [candidate, fn] : table()) {
+    if (candidate == name) return fn;
+  }
+  std::ostringstream msg;
+  msg << "unknown SCC algorithm '" << name << "'; valid names:";
+  for (const auto& valid : algorithm_names()) msg << ' ' << valid;
+  throw std::invalid_argument(msg.str());
+}
+
+SccResult run_algorithm(const std::string& name, const Digraph& g) {
+  return find_algorithm(name)(g);
+}
+
+}  // namespace ecl::scc

@@ -1,0 +1,30 @@
+#ifndef ECL_CORE_REGISTRY_HPP
+#define ECL_CORE_REGISTRY_HPP
+
+// Name-based algorithm registry used by the examples and the benchmark
+// harness: maps the configuration names of the paper's evaluation
+// ("ecl-a100", "gpu-scc-titanv", "ispan", ...) to runnable closures.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/result.hpp"
+
+namespace ecl::scc {
+
+using SccAlgorithm = std::function<SccResult(const Digraph&)>;
+
+/// Names of all registered algorithm configurations.
+std::vector<std::string> algorithm_names();
+
+/// Looks up an algorithm by name; throws std::invalid_argument for unknown
+/// names (the message lists valid ones).
+SccAlgorithm find_algorithm(const std::string& name);
+
+/// Convenience: look up and run.
+SccResult run_algorithm(const std::string& name, const Digraph& g);
+
+}  // namespace ecl::scc
+
+#endif  // ECL_CORE_REGISTRY_HPP

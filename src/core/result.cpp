@@ -1,0 +1,31 @@
+#include "core/result.hpp"
+
+#include <algorithm>
+
+#include "graph/condensation.hpp"
+
+namespace ecl::scc {
+
+bool same_partition(std::span<const vid> a, std::span<const vid> b) {
+  if (a.size() != b.size()) return false;
+  // Two labelings agree iff the dense renumberings (in first-appearance
+  // order) are identical.
+  std::vector<vid> da(a.begin(), a.end());
+  std::vector<vid> db(b.begin(), b.end());
+  graph::normalize_labels(da);
+  graph::normalize_labels(db);
+  return da == db;
+}
+
+void canonicalize_labels(std::span<vid> labels) {
+  std::vector<vid> rep(labels.size(), graph::kInvalidVid);
+  // First pass: smallest member per (raw) label value. Raw labels are
+  // vertex-valued for every algorithm here, so indexing by label is safe.
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    vid& r = rep[labels[v]];
+    r = std::min<vid>(r, static_cast<vid>(v));
+  }
+  for (std::size_t v = 0; v < labels.size(); ++v) labels[v] = rep[labels[v]];
+}
+
+}  // namespace ecl::scc

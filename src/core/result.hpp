@@ -1,0 +1,54 @@
+#ifndef ECL_CORE_RESULT_HPP
+#define ECL_CORE_RESULT_HPP
+
+// Common result type returned by every SCC algorithm in the library.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ecl::scc {
+
+using graph::Digraph;
+using graph::eid;
+using graph::vid;
+
+/// Instrumentation counters filled in by the algorithms; the quantities the
+/// paper's optimization study (Fig. 14) reasons about.
+struct SccMetrics {
+  std::uint64_t outer_iterations = 0;    ///< Alg. 1 while-loop trips / FB rounds
+  std::uint64_t propagation_rounds = 0;  ///< Phase-2 global rounds / BFS levels
+  std::uint64_t edges_processed = 0;     ///< total edge visits across all rounds
+  std::uint64_t edges_removed = 0;       ///< worklist shrinkage (Phase 3)
+  std::uint64_t kernel_launches = 0;     ///< virtual-device launches
+  std::uint64_t block_iterations = 0;    ///< async-kernel internal repeats
+
+  /// Wall-clock split across Algorithm 1's phases (filled by ecl_scc; the
+  /// paper's §3.3 identifies Phase 2 as the dominant, optimization-worthy
+  /// cost). phase3_seconds includes component detection + edge removal.
+  double phase1_seconds = 0.0;
+  double phase2_seconds = 0.0;
+  double phase3_seconds = 0.0;
+};
+
+/// An SCC decomposition: labels[v] identifies v's component. Label values
+/// are algorithm-specific (ECL-SCC: the max vertex ID in the component;
+/// Tarjan: discovery index); use `same_partition` to compare decompositions.
+struct SccResult {
+  std::vector<vid> labels;
+  vid num_components = 0;
+  SccMetrics metrics;
+};
+
+/// True iff two labelings induce the same partition of [0, n).
+bool same_partition(std::span<const vid> a, std::span<const vid> b);
+
+/// Rewrites labels so every component is named by its smallest member
+/// (a canonical form that is algorithm-independent).
+void canonicalize_labels(std::span<vid> labels);
+
+}  // namespace ecl::scc
+
+#endif  // ECL_CORE_RESULT_HPP

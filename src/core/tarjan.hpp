@@ -1,0 +1,19 @@
+#ifndef ECL_CORE_TARJAN_HPP
+#define ECL_CORE_TARJAN_HPP
+
+// Tarjan's sequential SCC algorithm (1972): the linear-time oracle the
+// paper verifies every ECL-SCC run against (§4). Implemented iteratively
+// with an explicit DFS stack so deep mesh graphs cannot overflow the call
+// stack.
+
+#include "core/result.hpp"
+
+namespace ecl::scc {
+
+/// Runs Tarjan's algorithm. Labels are dense component indices in reverse
+/// topological discovery order (a component is numbered when popped).
+SccResult tarjan(const Digraph& g);
+
+}  // namespace ecl::scc
+
+#endif  // ECL_CORE_TARJAN_HPP

@@ -1,0 +1,187 @@
+#include "core/trim.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace ecl::scc {
+namespace {
+
+/// True when w counts as a neighbor for trimming purposes: still active and
+/// in the same color class as v.
+bool counts(const TrimView& view, vid v, vid w) {
+  if (!view.active[w]) return false;
+  return view.color.empty() || view.color[v] == view.color[w];
+}
+
+/// Collects up to `cap` active same-color neighbors of v from `row`,
+/// ignoring self loops. Returns the count, or cap + 1 if there are more.
+template <std::size_t N>
+unsigned collect(const TrimView& view, vid v, std::span<const vid> row,
+                 std::array<vid, N>& out, unsigned cap) {
+  unsigned count = 0;
+  for (vid w : row) {
+    if (w == v || !counts(view, v, w)) continue;
+    if (count < cap && count < N) out[count] = w;
+    if (++count > cap) break;
+  }
+  return count;
+}
+
+}  // namespace
+
+bool trim1_removable(const TrimView& view, vid v) {
+  if (!view.active[v]) return false;
+  bool has_in = false;
+  for (vid w : view.rev.out_neighbors(v)) {
+    if (w != v && counts(view, v, w)) {
+      has_in = true;
+      break;
+    }
+  }
+  if (!has_in) return true;
+  for (vid w : view.g.out_neighbors(v)) {
+    if (w != v && counts(view, v, w)) return false;
+  }
+  return true;
+}
+
+vid trim1_mark_range(const TrimView& view, vid lo, vid hi, std::uint8_t* mark) {
+  vid count = 0;
+  for (vid v = lo; v < hi; ++v) {
+    if (trim1_removable(view, v)) {
+      mark[v] = 1;
+      ++count;
+    }
+  }
+  return count;
+}
+
+vid trim1_pass(TrimView view) {
+  // Level-synchronous semantics: removal decisions are based on the state
+  // at the start of the pass, exactly like one parallel GPU sweep. This is
+  // what makes deep trivial-SCC DAGs (star, beam-hex) require one sweep per
+  // DAG level — the behavior the paper's §5.1.1 analysis hinges on.
+  const vid n = view.g.num_vertices();
+  std::vector<vid> to_remove;
+  for (vid v = 0; v < n; ++v) {
+    if (trim1_removable(view, v)) to_remove.push_back(v);
+  }
+  for (vid v : to_remove) {
+    view.labels[v] = v;
+    view.active[v] = 0;
+  }
+  return static_cast<vid>(to_remove.size());
+}
+
+vid trim1(TrimView view, SccMetrics* metrics) {
+  vid total = 0;
+  for (;;) {
+    const vid removed = trim1_pass(view);
+    if (metrics != nullptr) ++metrics->propagation_rounds;
+    if (removed == 0) return total;
+    total += removed;
+  }
+}
+
+vid trim2_pass(TrimView view) {
+  const vid n = view.g.num_vertices();
+  vid removed = 0;
+  std::array<vid, 2> nbr{};
+  for (vid v = 0; v < n; ++v) {
+    if (!view.active[v]) continue;
+
+    // Pattern (a): v's only active in-neighbor is u, u's only active
+    // in-neighbor is v, and the pair edges exist in both directions.
+    const unsigned in_count = collect(view, v, view.rev.out_neighbors(v), nbr, 1);
+    if (in_count == 1) {
+      const vid u = nbr[0];
+      std::array<vid, 2> unbr{};
+      if (collect(view, u, view.rev.out_neighbors(u), unbr, 1) == 1 && unbr[0] == v &&
+          view.g.has_edge(v, u)) {
+        const vid label = std::max(u, v);
+        view.labels[v] = view.labels[u] = label;
+        view.active[v] = view.active[u] = 0;
+        removed += 2;
+        continue;
+      }
+    }
+
+    // Pattern (b): same with outgoing edges.
+    const unsigned out_count = collect(view, v, view.g.out_neighbors(v), nbr, 1);
+    if (out_count == 1) {
+      const vid u = nbr[0];
+      std::array<vid, 2> unbr{};
+      if (collect(view, u, view.g.out_neighbors(u), unbr, 1) == 1 && unbr[0] == v &&
+          view.g.has_edge(u, v)) {
+        const vid label = std::max(u, v);
+        view.labels[v] = view.labels[u] = label;
+        view.active[v] = view.active[u] = 0;
+        removed += 2;
+      }
+    }
+  }
+  return removed;
+}
+
+vid trim3_pass(TrimView view, unsigned max_neighbors) {
+  const vid n = view.g.num_vertices();
+  vid removed = 0;
+  std::array<vid, 16> nbr{};
+  for (vid v = 0; v < n; ++v) {
+    if (!view.active[v]) continue;
+
+    // Candidate partners: active same-color vertices adjacent to v.
+    unsigned count = collect(view, v, view.g.out_neighbors(v), nbr, max_neighbors);
+    if (count > max_neighbors) continue;
+    std::array<vid, 16> more{};
+    const unsigned in_count = collect(view, v, view.rev.out_neighbors(v), more, max_neighbors);
+    if (in_count > max_neighbors) continue;
+    for (unsigned i = 0; i < in_count && count < nbr.size(); ++i) {
+      if (std::find(nbr.begin(), nbr.begin() + count, more[i]) == nbr.begin() + count)
+        nbr[count++] = more[i];
+    }
+
+    bool matched = false;
+    for (unsigned i = 0; i < count && !matched; ++i) {
+      for (unsigned j = i + 1; j < count && !matched; ++j) {
+        const std::array<vid, 3> s{v, nbr[i], nbr[j]};
+
+        // Internal strong connectivity of the induced 3-vertex subgraph.
+        auto internal_edge = [&](vid a, vid b) { return view.g.has_edge(a, b); };
+        auto reaches = [&](vid a, vid b) {
+          if (internal_edge(a, b)) return true;
+          const vid mid = (s[0] != a && s[0] != b) ? s[0] : (s[1] != a && s[1] != b) ? s[1] : s[2];
+          return internal_edge(a, mid) && internal_edge(mid, b);
+        };
+        bool strong = true;
+        for (vid a : s)
+          for (vid b : s)
+            if (a != b && !reaches(a, b)) strong = false;
+        if (!strong) continue;
+
+        // No external active in-edges (or no external out-edges) into S.
+        auto external_free = [&](const Digraph& dir) {
+          for (vid a : s) {
+            for (vid w : dir.out_neighbors(a)) {
+              if (w == s[0] || w == s[1] || w == s[2]) continue;
+              if (counts(view, a, w)) return false;
+            }
+          }
+          return true;
+        };
+        if (!external_free(view.rev) && !external_free(view.g)) continue;
+
+        const vid label = std::max({s[0], s[1], s[2]});
+        for (vid a : s) {
+          view.labels[a] = label;
+          view.active[a] = 0;
+        }
+        removed += 3;
+        matched = true;
+      }
+    }
+  }
+  return removed;
+}
+
+}  // namespace ecl::scc

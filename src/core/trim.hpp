@@ -1,0 +1,64 @@
+#ifndef ECL_CORE_TRIM_HPP
+#define ECL_CORE_TRIM_HPP
+
+// Trim steps: direct detection of SCCs with 1, 2, or 3 vertices (Fig. 2).
+//
+// Trim-1 (McLendon [15]): an active vertex with no active in-neighbor or no
+// active out-neighbor is a trivial SCC. Trim-2: a mutually connected pair
+// whose only incoming (or only outgoing) active edges are the pair edges.
+// Trim-3 (Ji et al. [13]): three-vertex SCCs; implemented via the sound
+// generalization of the five patterns — a strongly connected triple with no
+// external active in-edges (or no external active out-edges) is a complete
+// SCC.
+//
+// All trim functions operate on an `active` mask and an optional `color`
+// partition (Forward-Backward confines SCCs to one color class): only
+// active, same-color neighbors count. Detected vertices are labeled with
+// the maximum vertex ID of their component (matching ECL-SCC's labeling
+// convention) and deactivated.
+
+#include <cstdint>
+#include <span>
+
+#include "core/result.hpp"
+
+namespace ecl::scc {
+
+/// Shared view of the trimming state. `color` may be empty (no partition
+/// constraint). `active[v] == 1` means v is not yet assigned to an SCC.
+struct TrimView {
+  const Digraph& g;
+  const Digraph& rev;
+  std::span<const std::uint64_t> color;  ///< empty or size n
+  std::span<std::uint8_t> active;        ///< size n, mutated
+  std::span<vid> labels;                 ///< size n, mutated
+};
+
+/// True when v is removable by Trim-1 under the current active/color state
+/// (no active same-color in-neighbor, or no such out-neighbor).
+bool trim1_removable(const TrimView& view, vid v);
+
+/// Chunk of one parallel Trim-1 mark sweep: sets mark[v] = 1 for removable
+/// vertices in [lo, hi); returns the count. Read-only on the view, so
+/// chunks can run concurrently (snapshot semantics = one GPU sweep).
+vid trim1_mark_range(const TrimView& view, vid lo, vid hi, std::uint8_t* mark);
+
+/// One Trim-1 sweep; returns the number of vertices removed.
+vid trim1_pass(TrimView view);
+
+/// Iterated Trim-1 (new trivial SCCs appear as others are removed, §2).
+/// Returns the total removed; adds one `propagation_round` per sweep if
+/// `metrics` is provided.
+vid trim1(TrimView view, SccMetrics* metrics = nullptr);
+
+/// One Trim-2 sweep; returns the number of vertices removed (2 per SCC).
+vid trim2_pass(TrimView view);
+
+/// One Trim-3 sweep; returns the number of vertices removed (3 per SCC).
+/// Vertices whose active neighborhood exceeds `max_neighbors` are skipped
+/// (the patterns only occur at small degree).
+vid trim3_pass(TrimView view, unsigned max_neighbors = 8);
+
+}  // namespace ecl::scc
+
+#endif  // ECL_CORE_TRIM_HPP

@@ -1,0 +1,112 @@
+#include "core/verify.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "graph/condensation.hpp"
+
+namespace ecl::scc {
+namespace {
+
+VerifyReport fail(std::string message) { return {false, std::move(message)}; }
+
+}  // namespace
+
+VerifyReport verify_scc(const Digraph& g, std::span<const vid> labels) {
+  const vid n = g.num_vertices();
+  if (labels.size() != n) return fail("label count != vertex count");
+
+  std::vector<vid> dense(labels.begin(), labels.end());
+  vid k = 0;
+  try {
+    k = graph::normalize_labels(dense);
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+
+  // Group members by component.
+  std::vector<vid> count(k, 0);
+  for (vid c : dense) ++count[c];
+  std::vector<eid> start(k + 1, 0);
+  for (vid c = 0; c < k; ++c) start[c + 1] = start[c] + count[c];
+  std::vector<vid> members(n);
+  {
+    std::vector<eid> cursor(start.begin(), start.end() - 1);
+    for (vid v = 0; v < n; ++v) members[cursor[dense[v]]++] = v;
+  }
+
+  // (1) Each class must be strongly connected: BFS within the class from
+  // its first member, in both directions, must cover the class.
+  const Digraph rev = g.reverse();
+  std::vector<vid> seen(n, graph::kInvalidVid);  // component id whose BFS reached v
+  std::vector<vid> frontier;
+  auto class_covered = [&](const Digraph& graph_dir, vid comp, std::uint32_t tag_shift) {
+    const eid lo = start[comp];
+    const eid hi = start[comp + 1];
+    if (hi - lo <= 1) return true;
+    const vid source = members[lo];
+    // Encode direction in the tag so forward/backward passes don't collide.
+    const vid tag = static_cast<vid>((static_cast<std::uint64_t>(comp) << 1 | tag_shift) + 1);
+    frontier.clear();
+    frontier.push_back(source);
+    seen[source] = tag;
+    vid covered = 1;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      for (vid w : graph_dir.out_neighbors(frontier[i])) {
+        if (dense[w] == comp && seen[w] != tag) {
+          seen[w] = tag;
+          frontier.push_back(w);
+          ++covered;
+        }
+      }
+    }
+    return covered == static_cast<vid>(hi - lo);
+  };
+
+  for (vid comp = 0; comp < k; ++comp) {
+    if (!class_covered(g, comp, 0)) {
+      std::ostringstream msg;
+      msg << "component " << comp << " is not strongly connected (forward)";
+      return fail(msg.str());
+    }
+  }
+  std::fill(seen.begin(), seen.end(), graph::kInvalidVid);
+  for (vid comp = 0; comp < k; ++comp) {
+    if (!class_covered(rev, comp, 1)) {
+      std::ostringstream msg;
+      msg << "component " << comp << " is not strongly connected (backward)";
+      return fail(msg.str());
+    }
+  }
+
+  // (2) Maximality: the condensation must be acyclic.
+  const Digraph cond = graph::condensation(g, dense, k);
+  if (!graph::is_dag(cond))
+    return fail("condensation has a cycle: two components are mutually reachable");
+
+  return {};
+}
+
+VerifyReport verify_against(std::span<const vid> labels, std::span<const vid> oracle) {
+  if (!same_partition(labels, oracle)) return fail("labeling disagrees with oracle partition");
+  return {};
+}
+
+VerifyReport verify_max_id_labels(std::span<const vid> labels) {
+  // label value must be (a) a member of the class and (b) the max member.
+  std::vector<vid> max_member(labels.size(), 0);
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    const vid label = labels[v];
+    if (label >= labels.size()) return fail("label is not a vertex ID");
+    max_member[label] = std::max<vid>(max_member[label], static_cast<vid>(v));
+  }
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    const vid label = labels[v];
+    if (labels[label] != label) return fail("label value is not in its own class");
+    if (max_member[label] != label) return fail("label is not the max vertex ID of its class");
+  }
+  return {};
+}
+
+}  // namespace ecl::scc

@@ -1,0 +1,37 @@
+#ifndef ECL_CORE_VERIFY_HPP
+#define ECL_CORE_VERIFY_HPP
+
+// SCC labeling verification.
+//
+// Two flavors, as in the paper's methodology (§4): comparison against
+// Tarjan's algorithm, and an intrinsic check that does not trust any
+// reference implementation.
+
+#include <span>
+#include <string>
+
+#include "core/result.hpp"
+
+namespace ecl::scc {
+
+struct VerifyReport {
+  bool ok = true;
+  std::string message;  ///< empty when ok
+};
+
+/// Intrinsic verification: `labels` is a valid SCC decomposition of g iff
+///  (1) every label class induces a strongly connected subgraph, and
+///  (2) the condensation under `labels` is a DAG (maximality: no two
+///      classes are mutually reachable).
+VerifyReport verify_scc(const Digraph& g, std::span<const vid> labels);
+
+/// Cross-check against an oracle labeling (partition equality).
+VerifyReport verify_against(std::span<const vid> labels, std::span<const vid> oracle);
+
+/// ECL-SCC-specific invariant: every component's label equals the maximum
+/// vertex ID among its members (§3.2.1).
+VerifyReport verify_max_id_labels(std::span<const vid> labels);
+
+}  // namespace ecl::scc
+
+#endif  // ECL_CORE_VERIFY_HPP

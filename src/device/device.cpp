@@ -1,0 +1,33 @@
+#include "device/device.hpp"
+
+#include <chrono>
+
+#include "support/env.hpp"
+
+namespace ecl::device {
+
+// The paper's two evaluation GPUs. The launch overheads keep the Titan V
+// slightly more latency-bound than the A100, mirroring the generational
+// gap the paper measures on launch-dominated inputs.
+DeviceProfile titan_v_profile() { return {"titanv", 80, 512, 2048, 30.0}; }
+DeviceProfile a100_profile() { return {"a100", 108, 512, 2048, 20.0}; }
+DeviceProfile tiny_profile() { return {"tiny", 2, 32, 64, 0.0}; }
+
+Device::Device(DeviceProfile profile, unsigned host_workers)
+    : profile_(std::move(profile)), pool_(host_workers) {
+  effective_overhead_us_ =
+      profile_.launch_overhead_us * env_double("ECL_LAUNCH_OVERHEAD", 1.0);
+}
+
+void Device::charge_launch_overhead() {
+  if (effective_overhead_us_ <= 0.0) return;
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      Clock::now() + std::chrono::nanoseconds(static_cast<long>(effective_overhead_us_ * 1e3));
+  // Spin: sleep_for's granularity (>= 50us on most kernels) is far coarser
+  // than a launch latency.
+  while (Clock::now() < deadline) {
+  }
+}
+
+}  // namespace ecl::device

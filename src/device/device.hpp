@@ -1,0 +1,150 @@
+#ifndef ECL_DEVICE_DEVICE_HPP
+#define ECL_DEVICE_DEVICE_HPP
+
+// Virtual-GPU execution substrate.
+//
+// The paper's system is a CUDA implementation; this container has no GPU, so
+// the reproduction runs the same kernels on a "virtual device" that models
+// the execution structure the paper's optimizations manipulate:
+//
+//  * kernels are launched over a grid of thread blocks with an implicit
+//    grid-wide barrier at launch end (the paper's three per-phase barriers);
+//  * a persistent-thread launch runs exactly as many resident blocks as the
+//    device profile can co-schedule, each grid-striding over the work
+//    (Gupta et al. [9], §3.4);
+//  * per-launch statistics (kernel launches, block iterations) expose the
+//    quantities the paper's async optimization reduces (§3.3).
+//
+// Blocks execute as tasks on a host thread pool. Within a block, the logical
+// 512 "threads" run as a sequential loop over the block's items — every
+// cross-block interaction (worklist appends, signature races) uses the same
+// atomics the CUDA code would, so the concurrency semantics are preserved.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "device/thread_pool.hpp"
+
+namespace ecl::device {
+
+/// Hardware profile of a simulated GPU. The two profiles used in the paper's
+/// evaluation are provided (Titan V, A100).
+struct DeviceProfile {
+  std::string name;
+  unsigned num_sms = 8;
+  unsigned threads_per_block = 512;  ///< launch width used by ECL-SCC (§3.4)
+  unsigned max_threads_per_sm = 2048;
+  /// Simulated per-launch latency in microseconds. Real CUDA launches cost
+  /// ~5-15us, which on latency-bound codes (iterated Trim-1 sweeps, level-
+  /// synchronous BFS) dominates the runtime — the effect the paper's async
+  /// Phase-2 optimization exists to avoid (§3.3, [19]). The default values
+  /// are calibrated so the latency-to-throughput ratio of the simulated
+  /// device over ECL_SCALE-sized graphs approximates a real GPU over
+  /// paper-sized ones. Scaled globally by ECL_LAUNCH_OVERHEAD (a factor;
+  /// set to 0 to disable).
+  double launch_overhead_us = 0.0;
+  /// Failure-injection knob for tests: hand out block IDs in reverse task
+  /// order. Correct kernels must not depend on block scheduling order, so
+  /// every algorithm must produce identical results under this profile.
+  bool reverse_block_order = false;
+
+  /// Number of thread blocks the device can keep resident at once; this is
+  /// the grid size of persistent-thread launches.
+  unsigned resident_blocks() const noexcept {
+    return num_sms * (max_threads_per_sm / threads_per_block);
+  }
+};
+
+DeviceProfile titan_v_profile();  ///< 80 SMs, 2048 threads/SM
+DeviceProfile a100_profile();     ///< 108 SMs, 2048 threads/SM
+DeviceProfile tiny_profile();     ///< 2 SMs; exercises grid-stride remainder paths in tests
+
+/// Context handed to a kernel for one thread block.
+struct BlockContext {
+  unsigned block_id = 0;
+  unsigned num_blocks = 1;
+  unsigned threads_per_block = 512;
+
+  /// Items this block owns under block-cyclic (grid-stride) distribution of
+  /// `total` items in chunks of threads_per_block: chunk c belongs to block
+  /// (c % num_blocks).
+  struct ChunkRange {
+    std::uint64_t begin;
+    std::uint64_t end;
+  };
+
+  /// Calls fn(chunk_begin, chunk_end) for every chunk this block owns.
+  template <typename Fn>
+  void for_each_chunk(std::uint64_t total, Fn&& fn) const {
+    const std::uint64_t chunk = threads_per_block;
+    for (std::uint64_t lo = static_cast<std::uint64_t>(block_id) * chunk; lo < total;
+         lo += static_cast<std::uint64_t>(num_blocks) * chunk) {
+      fn(lo, std::min(total, lo + chunk));
+    }
+  }
+};
+
+/// Cumulative launch statistics, reset per algorithm run.
+struct LaunchStats {
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t blocks_executed = 0;
+  std::uint64_t block_iterations = 0;  ///< async-kernel internal repeats (§3.3)
+
+  void reset() { *this = LaunchStats{}; }
+};
+
+/// A simulated GPU device.
+class Device {
+ public:
+  /// `host_workers == 0` selects the host's hardware concurrency.
+  explicit Device(DeviceProfile profile = a100_profile(), unsigned host_workers = 0);
+
+  const DeviceProfile& profile() const noexcept { return profile_; }
+  LaunchStats& stats() noexcept { return stats_; }
+  const LaunchStats& stats() const noexcept { return stats_; }
+
+  /// Launches `num_blocks` blocks of `kernel`; returns after all blocks
+  /// complete (grid-wide barrier).
+  template <typename Kernel>
+  void launch(unsigned num_blocks, Kernel&& kernel) {
+    ++stats_.kernel_launches;
+    stats_.blocks_executed += num_blocks;
+    charge_launch_overhead();
+    const bool reverse = profile_.reverse_block_order;
+    const std::function<void(std::size_t)> task = [&, reverse](std::size_t b) {
+      const auto block_id =
+          static_cast<unsigned>(reverse ? (num_blocks - 1 - b) : b);
+      BlockContext ctx{block_id, num_blocks, profile_.threads_per_block};
+      kernel(ctx);
+    };
+    pool_.parallel_for(num_blocks, task);
+  }
+
+  /// Persistent-thread launch: grid size = resident_blocks() (§3.4).
+  template <typename Kernel>
+  void launch_persistent(Kernel&& kernel) {
+    launch(profile_.resident_blocks(), std::forward<Kernel>(kernel));
+  }
+
+  /// Grid size for a one-item-per-thread launch over `total` items.
+  unsigned blocks_for(std::uint64_t total) const noexcept {
+    const std::uint64_t tpb = profile_.threads_per_block;
+    const std::uint64_t blocks = (total + tpb - 1) / tpb;
+    return static_cast<unsigned>(blocks == 0 ? 1 : blocks);
+  }
+
+ private:
+  /// Spin-waits for the profile's launch latency (µs-accurate).
+  void charge_launch_overhead();
+
+  DeviceProfile profile_;
+  double effective_overhead_us_ = 0.0;
+  ThreadPool pool_;
+  LaunchStats stats_;
+};
+
+}  // namespace ecl::device
+
+#endif  // ECL_DEVICE_DEVICE_HPP

@@ -1,0 +1,85 @@
+#include "device/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace ecl::device {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  // The calling thread participates in every batch, so spawn workers - 1.
+  threads_.reserve(workers - 1);
+  for (unsigned i = 1; i < workers; ++i) threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  {
+    std::lock_guard lock(mutex_);
+    fn_ = &fn;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    completed_.store(0, std::memory_order_relaxed);
+    batch_failed_.store(false, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_ready_.notify_all();
+
+  // The caller works too; this also makes the pool correct with 0 spawned
+  // threads (single-core hosts).
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) break;
+    try {
+      fn(i);
+    } catch (...) {
+      batch_failed_.store(true, std::memory_order_relaxed);
+    }
+    completed_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  std::unique_lock lock(mutex_);
+  work_done_.wait(lock, [&] { return completed_.load(std::memory_order_acquire) >= count_; });
+  fn_ = nullptr;
+  if (batch_failed_.load(std::memory_order_relaxed))
+    throw std::runtime_error("ThreadPool: a worker task threw an exception");
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      fn = fn_;
+      count = count_;
+    }
+    if (fn == nullptr) continue;
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        batch_failed_.store(true, std::memory_order_relaxed);
+      }
+      if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 >= count) {
+        work_done_.notify_one();
+      }
+    }
+  }
+}
+
+}  // namespace ecl::device

@@ -1,0 +1,54 @@
+#ifndef ECL_DEVICE_THREAD_POOL_HPP
+#define ECL_DEVICE_THREAD_POOL_HPP
+
+// A minimal blocking thread pool used as the host backend of the virtual
+// GPU (see device.hpp). Work is handed out as dense task indices, which the
+// device layer maps to thread blocks.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ecl::device {
+
+class ThreadPool {
+ public:
+  /// `workers == 0` selects std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_workers() const noexcept { return static_cast<unsigned>(threads_.size() + 1); }
+
+  /// Runs fn(i) for every i in [0, count), distributing indices dynamically
+  /// across the workers (including the calling thread). Blocks until all
+  /// tasks complete. Exceptions thrown by fn propagate to the caller.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+
+  // Current batch state (guarded by mutex_ for control, atomics for indices).
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t count_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> completed_{0};
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  std::atomic<bool> batch_failed_{false};
+};
+
+}  // namespace ecl::device
+
+#endif  // ECL_DEVICE_THREAD_POOL_HPP

@@ -1,0 +1,23 @@
+#include "device/worklist.hpp"
+
+namespace ecl::device {
+
+EdgeWorklist::EdgeWorklist(const graph::Digraph& g) {
+  std::vector<graph::Edge> edges;
+  edges.reserve(g.num_edges());
+  for (graph::vid u = 0; u < g.num_vertices(); ++u)
+    for (graph::vid v : g.out_neighbors(u)) edges.push_back({u, v});
+  init(edges);
+}
+
+EdgeWorklist::EdgeWorklist(std::span<const graph::Edge> edges) { init(edges); }
+
+void EdgeWorklist::init(std::span<const graph::Edge> edges) {
+  buffers_[0].assign(edges.begin(), edges.end());
+  buffers_[1].resize(edges.size());
+  size_.store(edges.size(), std::memory_order_relaxed);
+  next_size_.store(0, std::memory_order_relaxed);
+  cur_ = 0;
+}
+
+}  // namespace ecl::device

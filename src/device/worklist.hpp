@@ -1,0 +1,67 @@
+#ifndef ECL_DEVICE_WORKLIST_HPP
+#define ECL_DEVICE_WORKLIST_HPP
+
+// Double-buffered edge worklist (§3.3).
+//
+// ECL-SCC's Phase 3 never materializes a smaller graph; it appends the
+// surviving edges to a second worklist via an atomic cursor and then swaps
+// the two buffer pointers. This class is that data structure.
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ecl::device {
+
+class EdgeWorklist {
+ public:
+  EdgeWorklist() = default;
+
+  /// Fills the current buffer with every edge of g; the spare buffer gets
+  /// the same capacity so Phase 3 can never overflow it (it only shrinks).
+  explicit EdgeWorklist(const graph::Digraph& g);
+
+  /// Initializes from an explicit edge set.
+  explicit EdgeWorklist(std::span<const graph::Edge> edges);
+
+  /// Edges in the current buffer.
+  std::span<const graph::Edge> edges() const noexcept {
+    return {buffers_[cur_].data(), size_.load(std::memory_order_acquire)};
+  }
+
+  std::size_t size() const noexcept { return size_.load(std::memory_order_acquire); }
+  bool empty() const noexcept { return size() == 0; }
+
+  /// Thread-safe append into the *next* buffer (Phase-3 survivors).
+  void push_next(graph::Edge e) noexcept {
+    const std::size_t slot = next_size_.fetch_add(1, std::memory_order_relaxed);
+    buffers_[1 - cur_][slot] = e;
+  }
+
+  /// Number of edges appended to the next buffer so far.
+  std::size_t next_size() const noexcept { return next_size_.load(std::memory_order_acquire); }
+
+  /// Pointer swap: the next buffer becomes current; the old current buffer
+  /// becomes the (logically empty) next buffer. Not thread-safe; call at a
+  /// grid barrier only.
+  void swap_buffers() noexcept {
+    size_.store(next_size_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    next_size_.store(0, std::memory_order_relaxed);
+    cur_ = 1 - cur_;
+  }
+
+ private:
+  void init(std::span<const graph::Edge> edges);
+
+  std::vector<graph::Edge> buffers_[2];
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::size_t> next_size_{0};
+  int cur_ = 0;
+};
+
+}  // namespace ecl::device
+
+#endif  // ECL_DEVICE_WORKLIST_HPP

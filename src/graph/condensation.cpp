@@ -1,0 +1,75 @@
+#include "graph/condensation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecl::graph {
+
+vid normalize_labels(std::span<vid> labels) {
+  std::vector<vid> remap(labels.size(), kInvalidVid);
+  vid next = 0;
+  for (vid& label : labels) {
+    if (label >= labels.size()) throw std::invalid_argument("normalize_labels: label out of range");
+    if (remap[label] == kInvalidVid) remap[label] = next++;
+    label = remap[label];
+  }
+  return next;
+}
+
+Digraph condensation(const Digraph& g, std::span<const vid> labels, vid num_components) {
+  EdgeList edges;
+  for (vid u = 0; u < g.num_vertices(); ++u) {
+    for (vid v : g.out_neighbors(u)) {
+      if (labels[u] != labels[v]) edges.add(labels[u], labels[v]);
+    }
+  }
+  return Digraph(num_components, edges);
+}
+
+std::vector<vid> topological_order(const Digraph& dag) {
+  const vid n = dag.num_vertices();
+  std::vector<eid> indeg = dag.in_degrees();
+  std::vector<vid> order;
+  order.reserve(n);
+  std::vector<vid> ready;
+  for (vid v = 0; v < n; ++v)
+    if (indeg[v] == 0) ready.push_back(v);
+  while (!ready.empty()) {
+    const vid u = ready.back();
+    ready.pop_back();
+    order.push_back(u);
+    for (vid v : dag.out_neighbors(u)) {
+      if (--indeg[v] == 0) ready.push_back(v);
+    }
+  }
+  if (order.size() != n) throw std::invalid_argument("topological_order: graph has a cycle");
+  return order;
+}
+
+vid dag_depth(const Digraph& dag) {
+  if (dag.num_vertices() == 0) return 0;
+  const std::vector<vid> order = topological_order(dag);
+  std::vector<vid> depth(dag.num_vertices(), 1);
+  vid best = 1;
+  for (vid u : order) {
+    for (vid v : dag.out_neighbors(u)) {
+      depth[v] = std::max(depth[v], static_cast<vid>(depth[u] + 1));
+      best = std::max(best, depth[v]);
+    }
+  }
+  return best;
+}
+
+bool is_dag(const Digraph& g) {
+  // Self loops are cycles.
+  for (vid v = 0; v < g.num_vertices(); ++v)
+    if (g.has_edge(v, v)) return false;
+  try {
+    (void)topological_order(g);
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+}  // namespace ecl::graph

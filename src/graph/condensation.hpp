@@ -1,0 +1,39 @@
+#ifndef ECL_GRAPH_CONDENSATION_HPP
+#define ECL_GRAPH_CONDENSATION_HPP
+
+// SCC condensation: contracting each strongly connected component to a
+// single vertex yields a DAG (the paper calls its longest path the "DAG
+// depth", reported in Tables 1-3 and central to ECL-SCC's complexity bound
+// O(d c |E|)).
+
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ecl::graph {
+
+/// Renumbers arbitrary component labels to dense IDs [0, k). Returns the
+/// number of components k and rewrites `labels` in place. Dense IDs are
+/// assigned in order of first appearance, so the result is deterministic.
+vid normalize_labels(std::span<vid> labels);
+
+/// Condensation of g under `labels` (labels[v] in [0, k) for all v).
+/// The returned DAG has k vertices and one edge per pair of components
+/// connected by at least one original edge; self loops are omitted.
+Digraph condensation(const Digraph& g, std::span<const vid> labels, vid num_components);
+
+/// Topological order of a DAG (Kahn). Throws std::invalid_argument if the
+/// graph has a cycle.
+std::vector<vid> topological_order(const Digraph& dag);
+
+/// Length (in vertices) of the longest path in a DAG: the paper's "DAG
+/// depth". A single vertex has depth 1.
+vid dag_depth(const Digraph& dag);
+
+/// True iff the graph contains no directed cycle.
+bool is_dag(const Digraph& g);
+
+}  // namespace ecl::graph
+
+#endif  // ECL_GRAPH_CONDENSATION_HPP

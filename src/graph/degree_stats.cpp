@@ -1,0 +1,42 @@
+#include "graph/degree_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ecl::graph {
+
+DegreeStats compute_degree_stats(const Digraph& g) {
+  DegreeStats s;
+  const vid n = g.num_vertices();
+  if (n == 0) return s;
+
+  s.min_out = std::numeric_limits<eid>::max();
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (vid v = 0; v < n; ++v) {
+    const eid d = g.out_degree(v);
+    s.min_out = std::min(s.min_out, d);
+    s.max_out = std::max(s.max_out, d);
+    sum += static_cast<double>(d);
+    sum_sq += static_cast<double>(d) * static_cast<double>(d);
+
+    unsigned bucket = 0;
+    for (eid x = d; x > 1; x >>= 1) ++bucket;
+    if (s.log2_histogram.size() <= bucket) s.log2_histogram.resize(bucket + 1, 0);
+    ++s.log2_histogram[bucket];
+  }
+  for (eid d : g.in_degrees()) s.max_in = std::max(s.max_in, d);
+
+  s.avg = sum / static_cast<double>(n);
+  const double variance = std::max(0.0, sum_sq / static_cast<double>(n) - s.avg * s.avg);
+  s.stddev_out = std::sqrt(variance);
+  s.hub_ratio = s.avg > 0 ? static_cast<double>(s.max_out) / s.avg : 0.0;
+  return s;
+}
+
+bool looks_power_law(const DegreeStats& stats, double threshold) {
+  return stats.hub_ratio > threshold;
+}
+
+}  // namespace ecl::graph

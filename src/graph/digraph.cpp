@@ -1,0 +1,81 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecl::graph {
+
+Digraph::Digraph(vid num_vertices, const EdgeList& edges) {
+  offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const Edge& e : edges) {
+    if (e.src >= num_vertices || e.dst >= num_vertices)
+      throw std::out_of_range("Digraph: edge endpoint exceeds num_vertices");
+    ++offsets_[e.src + 1];
+  }
+  for (std::size_t v = 0; v < num_vertices; ++v) offsets_[v + 1] += offsets_[v];
+
+  targets_.resize(edges.size());
+  std::vector<eid> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edges) targets_[cursor[e.src]++] = e.dst;
+
+  // Sort each adjacency row and drop duplicates (keeps has_edge O(log d) and
+  // makes construction order-independent).
+  eid write = 0;
+  eid row_begin = 0;
+  for (vid v = 0; v < num_vertices; ++v) {
+    const eid row_end = offsets_[v + 1];
+    std::sort(targets_.begin() + static_cast<std::ptrdiff_t>(row_begin),
+              targets_.begin() + static_cast<std::ptrdiff_t>(row_end));
+    const eid new_begin = write;
+    for (eid i = row_begin; i < row_end; ++i) {
+      if (i == row_begin || targets_[i] != targets_[i - 1]) targets_[write++] = targets_[i];
+    }
+    row_begin = row_end;
+    offsets_[v] = new_begin;
+  }
+  offsets_[num_vertices] = write;
+  targets_.resize(write);
+}
+
+Digraph::Digraph(std::vector<eid> offsets, std::vector<vid> targets)
+    : offsets_(std::move(offsets)), targets_(std::move(targets)) {
+  if (offsets_.empty() || offsets_.back() != targets_.size())
+    throw std::invalid_argument("Digraph: inconsistent CSR arrays");
+}
+
+Digraph Digraph::reverse() const {
+  const vid n = num_vertices();
+  std::vector<eid> roffsets(static_cast<std::size_t>(n) + 1, 0);
+  for (vid t : targets_) ++roffsets[t + 1];
+  for (vid v = 0; v < n; ++v) roffsets[v + 1] += roffsets[v];
+  std::vector<vid> rtargets(targets_.size());
+  std::vector<eid> cursor(roffsets.begin(), roffsets.end() - 1);
+  for (vid u = 0; u < n; ++u)
+    for (vid v : out_neighbors(u)) rtargets[cursor[v]++] = u;
+  Digraph rev;
+  rev.offsets_ = std::move(roffsets);
+  rev.targets_ = std::move(rtargets);
+  // Rows are already sorted because u ascends during the fill.
+  return rev;
+}
+
+std::vector<eid> Digraph::in_degrees() const {
+  std::vector<eid> deg(num_vertices(), 0);
+  for (vid t : targets_) ++deg[t];
+  return deg;
+}
+
+EdgeList Digraph::edges() const {
+  EdgeList list;
+  list.reserve(targets_.size());
+  for (vid u = 0; u < num_vertices(); ++u)
+    for (vid v : out_neighbors(u)) list.add(u, v);
+  return list;
+}
+
+bool Digraph::has_edge(vid u, vid v) const noexcept {
+  const auto row = out_neighbors(u);
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+}  // namespace ecl::graph

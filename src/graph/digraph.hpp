@@ -1,0 +1,64 @@
+#ifndef ECL_GRAPH_DIGRAPH_HPP
+#define ECL_GRAPH_DIGRAPH_HPP
+
+// Compressed-sparse-row directed graph.
+//
+// This is the substrate every SCC algorithm in the library operates on. It
+// matches the representation used by the paper's CUDA code: a CSR adjacency
+// structure with integer vertex IDs (the uniqueness of which ECL-SCC's
+// max-ID propagation relies on).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace ecl::graph {
+
+/// Immutable CSR directed graph over vertices [0, num_vertices).
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Builds from an edge list. Parallel edges are collapsed; self loops are
+  /// kept (they are harmless to every algorithm here and occur in real
+  /// matrices). `num_vertices` must exceed every endpoint.
+  Digraph(vid num_vertices, const EdgeList& edges);
+
+  /// Builds directly from CSR arrays (offsets.size() == n + 1).
+  Digraph(std::vector<eid> offsets, std::vector<vid> targets);
+
+  vid num_vertices() const noexcept { return static_cast<vid>(offsets_.empty() ? 0 : offsets_.size() - 1); }
+  eid num_edges() const noexcept { return targets_.empty() ? 0 : static_cast<eid>(targets_.size()); }
+
+  /// Out-neighbors of v, sorted ascending.
+  std::span<const vid> out_neighbors(vid v) const noexcept {
+    return {targets_.data() + offsets_[v], targets_.data() + offsets_[v + 1]};
+  }
+
+  eid out_degree(vid v) const noexcept { return offsets_[v + 1] - offsets_[v]; }
+
+  std::span<const eid> offsets() const noexcept { return offsets_; }
+  std::span<const vid> targets() const noexcept { return targets_; }
+
+  /// The transpose graph (every edge reversed).
+  Digraph reverse() const;
+
+  /// In-degree of every vertex (one O(|E|) pass).
+  std::vector<eid> in_degrees() const;
+
+  /// All edges as an edge list (source order).
+  EdgeList edges() const;
+
+  /// True if (u -> v) is an edge (binary search, O(log deg)).
+  bool has_edge(vid u, vid v) const noexcept;
+
+ private:
+  std::vector<eid> offsets_{0};
+  std::vector<vid> targets_;
+};
+
+}  // namespace ecl::graph
+
+#endif  // ECL_GRAPH_DIGRAPH_HPP

@@ -1,0 +1,22 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+
+namespace ecl::graph {
+
+void EdgeList::sort_and_dedup() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+}
+
+void EdgeList::remove_self_loops() {
+  std::erase_if(edges_, [](const Edge& e) { return e.src == e.dst; });
+}
+
+vid EdgeList::min_num_vertices() const noexcept {
+  vid hi = 0;
+  for (const Edge& e : edges_) hi = std::max({hi, e.src + 1, e.dst + 1});
+  return hi;
+}
+
+}  // namespace ecl::graph

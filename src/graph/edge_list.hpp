@@ -1,0 +1,61 @@
+#ifndef ECL_GRAPH_EDGE_LIST_HPP
+#define ECL_GRAPH_EDGE_LIST_HPP
+
+// Directed edge list: the mutable graph representation used while
+// constructing inputs (generators, mesh sweep graphs, file loaders).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ecl::graph {
+
+/// Vertex ID. 32 bits covers every input in the paper (max ~8.4M vertices).
+using vid = std::uint32_t;
+/// Edge index / edge count.
+using eid = std::uint64_t;
+
+inline constexpr vid kInvalidVid = static_cast<vid>(-1);
+
+struct Edge {
+  vid src;
+  vid dst;
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// A growable list of directed edges.
+class EdgeList {
+ public:
+  EdgeList() = default;
+  explicit EdgeList(std::vector<Edge> edges) : edges_(std::move(edges)) {}
+
+  void add(vid src, vid dst) { edges_.push_back({src, dst}); }
+  void reserve(std::size_t n) { edges_.reserve(n); }
+
+  std::size_t size() const noexcept { return edges_.size(); }
+  bool empty() const noexcept { return edges_.empty(); }
+
+  const Edge& operator[](std::size_t i) const noexcept { return edges_[i]; }
+  auto begin() const noexcept { return edges_.begin(); }
+  auto end() const noexcept { return edges_.end(); }
+
+  std::vector<Edge>& raw() noexcept { return edges_; }
+  const std::vector<Edge>& raw() const noexcept { return edges_; }
+
+  /// Sorts by (src, dst) and removes duplicate edges.
+  void sort_and_dedup();
+
+  /// Removes self loops (u -> u).
+  void remove_self_loops();
+
+  /// Largest endpoint + 1, or 0 when empty: a lower bound on num_vertices.
+  vid min_num_vertices() const noexcept;
+
+ private:
+  std::vector<Edge> edges_;
+};
+
+}  // namespace ecl::graph
+
+#endif  // ECL_GRAPH_EDGE_LIST_HPP

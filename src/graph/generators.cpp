@@ -1,0 +1,194 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ecl::graph {
+namespace {
+
+/// Power-law-ish vertex pick: squaring the uniform variate concentrates
+/// probability mass on low ranks, approximating a heavy-tailed degree
+/// distribution without a full Zipf inverse CDF.
+vid skewed_pick(vid n, Rng& rng) {
+  const double r = rng.uniform();
+  return static_cast<vid>(static_cast<double>(n) * r * r * 0.999999);
+}
+
+}  // namespace
+
+Digraph path_graph(vid n) {
+  EdgeList edges;
+  if (n > 0) edges.reserve(n - 1);
+  for (vid v = 0; v + 1 < n; ++v) edges.add(v, v + 1);
+  return Digraph(n, edges);
+}
+
+Digraph cycle_graph(vid n) {
+  EdgeList edges;
+  edges.reserve(n);
+  for (vid v = 0; v < n; ++v) edges.add(v, (v + 1) % n);
+  return Digraph(n, edges);
+}
+
+Digraph bidirectional_clique(vid n) {
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1));
+  for (vid u = 0; u < n; ++u)
+    for (vid v = 0; v < n; ++v)
+      if (u != v) edges.add(u, v);
+  return Digraph(n, edges);
+}
+
+Digraph grid_dag(vid rows, vid cols) {
+  EdgeList edges;
+  auto at = [cols](vid i, vid j) { return i * cols + j; };
+  for (vid i = 0; i < rows; ++i) {
+    for (vid j = 0; j < cols; ++j) {
+      if (i + 1 < rows) edges.add(at(i, j), at(i + 1, j));
+      if (j + 1 < cols) edges.add(at(i, j), at(i, j + 1));
+    }
+  }
+  return Digraph(rows * cols, edges);
+}
+
+Digraph cycle_chain(vid k, vid cycle_len) {
+  if (cycle_len == 0) throw std::invalid_argument("cycle_chain: cycle_len must be > 0");
+  EdgeList edges;
+  const vid n = k * cycle_len;
+  for (vid c = 0; c < k; ++c) {
+    const vid base = c * cycle_len;
+    if (cycle_len > 1) {
+      for (vid i = 0; i < cycle_len; ++i) edges.add(base + i, base + (i + 1) % cycle_len);
+    }
+    if (c + 1 < k) edges.add(base, base + cycle_len);  // one-way bridge
+  }
+  return Digraph(n, edges);
+}
+
+Digraph random_digraph(vid n, eid m, Rng& rng) {
+  EdgeList edges;
+  edges.reserve(m);
+  for (eid i = 0; i < m; ++i) {
+    const vid u = static_cast<vid>(rng.bounded(n));
+    const vid v = static_cast<vid>(rng.bounded(n));
+    edges.add(u, v);
+  }
+  edges.remove_self_loops();
+  return Digraph(n, edges);
+}
+
+Digraph rmat(unsigned scale, double edge_factor, Rng& rng, double a, double b, double c) {
+  const vid n = vid{1} << scale;
+  const eid m = static_cast<eid>(edge_factor * static_cast<double>(n));
+  EdgeList edges;
+  edges.reserve(m);
+  for (eid i = 0; i < m; ++i) {
+    vid u = 0;
+    vid v = 0;
+    for (unsigned bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform();
+      // Quadrant probabilities (a | b / c | d) with mild per-level noise so
+      // the generated graph is not exactly self-similar.
+      const double na = a * rng.uniform(0.95, 1.05);
+      const double nb = b * rng.uniform(0.95, 1.05);
+      const double nc = c * rng.uniform(0.95, 1.05);
+      if (r < na) {
+        // top-left: no bits set
+      } else if (r < na + nb) {
+        v |= vid{1} << bit;
+      } else if (r < na + nb + nc) {
+        u |= vid{1} << bit;
+      } else {
+        u |= vid{1} << bit;
+        v |= vid{1} << bit;
+      }
+    }
+    if (u != v) edges.add(u, v);
+  }
+  return Digraph(n, edges);
+}
+
+Digraph scc_profile_graph(const SccProfile& profile, Rng& rng) {
+  const vid n = profile.num_vertices;
+  if (n == 0) return Digraph(0, EdgeList{});
+
+  // --- Partition vertices into planted components. -------------------------
+  // comp_of[v] = component index; components are assigned a layer each and
+  // filler edges only flow toward strictly larger (layer, comp) keys.
+  const vid giant_size = static_cast<vid>(profile.giant_fraction * static_cast<double>(n));
+
+  std::vector<vid> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  for (vid i = n; i > 1; --i)
+    std::swap(ids[i - 1], ids[rng.bounded(i)]);  // Fisher-Yates: random ID layout
+
+  std::vector<std::vector<vid>> comps;
+  std::size_t cursor = 0;
+  auto take = [&](vid size) {
+    size = static_cast<vid>(std::min<std::size_t>(size, n - cursor));
+    if (size == 0) return false;
+    std::vector<vid> members(ids.begin() + static_cast<std::ptrdiff_t>(cursor),
+                             ids.begin() + static_cast<std::ptrdiff_t>(cursor + size));
+    cursor += size;
+    comps.push_back(std::move(members));
+    return true;
+  };
+
+  if (giant_size >= 2) take(giant_size);
+  for (vid i = 0; i < profile.size2_sccs && cursor + 2 <= n; ++i) take(2);
+  for (vid i = 0; i < profile.mid_sccs && cursor + 3 <= n; ++i)
+    take(static_cast<vid>(3 + rng.bounded(30)));
+  while (cursor < n) take(1);
+
+  const std::size_t num_comps = comps.size();
+  const vid depth = std::max<vid>(1, profile.dag_depth);
+
+  // Layer assignment: the first `depth` components form a backbone chain
+  // guaranteeing the requested DAG depth; the rest get uniform layers.
+  std::vector<vid> layer(num_comps);
+  for (std::size_t ci = 0; ci < num_comps; ++ci)
+    layer[ci] = (ci < depth) ? static_cast<vid>(ci) : static_cast<vid>(rng.bounded(depth));
+
+  std::vector<vid> comp_of(n);
+  for (std::size_t ci = 0; ci < num_comps; ++ci)
+    for (vid v : comps[ci]) comp_of[v] = static_cast<vid>(ci);
+
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(profile.avg_degree * static_cast<double>(n)));
+
+  // Intra-component cycles make each planted component strongly connected.
+  for (const auto& members : comps) {
+    if (members.size() < 2) continue;
+    for (std::size_t i = 0; i < members.size(); ++i)
+      edges.add(members[i], members[(i + 1) % members.size()]);
+  }
+
+  // Backbone chain edges guarantee DAG depth >= `depth`.
+  for (std::size_t ci = 0; ci + 1 < std::min<std::size_t>(depth, num_comps); ++ci)
+    edges.add(comps[ci][0], comps[ci + 1][0]);
+
+  // Filler edges: within a component they densify the SCC; across
+  // components they are oriented by (layer, comp index), which is acyclic.
+  const eid target_edges = static_cast<eid>(profile.avg_degree * static_cast<double>(n));
+  auto key = [&](vid v) {
+    return (static_cast<std::uint64_t>(layer[comp_of[v]]) << 32) | comp_of[v];
+  };
+  while (n >= 2 && edges.size() < target_edges) {
+    vid u = profile.power_law ? skewed_pick(n, rng) : static_cast<vid>(rng.bounded(n));
+    vid v = profile.power_law ? skewed_pick(n, rng) : static_cast<vid>(rng.bounded(n));
+    if (u == v) continue;
+    if (comp_of[u] == comp_of[v]) {
+      if (comps[comp_of[u]].size() < 2) continue;  // never create new cycles
+      edges.add(u, v);
+    } else {
+      if (key(u) == key(v)) continue;
+      if (key(u) < key(v)) edges.add(u, v);
+      else edges.add(v, u);
+    }
+  }
+  return Digraph(n, edges);
+}
+
+}  // namespace ecl::graph

@@ -1,0 +1,69 @@
+#ifndef ECL_GRAPH_GENERATORS_HPP
+#define ECL_GRAPH_GENERATORS_HPP
+
+// Synthetic directed-graph generators.
+//
+// Two roles in this reproduction:
+//  * small structured graphs (paths, cycles, DAG grids, clique chains) used
+//    throughout the test suite, and
+//  * power-law / SCC-profile generators that stand in for the SuiteSparse
+//    inputs of Table 3 (see DESIGN.md, substitution table).
+
+#include <cstddef>
+
+#include "graph/digraph.hpp"
+#include "support/rng.hpp"
+
+namespace ecl::graph {
+
+/// Simple directed path 0 -> 1 -> ... -> n-1 (n trivial SCCs, DAG depth n).
+Digraph path_graph(vid n);
+
+/// Directed cycle 0 -> 1 -> ... -> n-1 -> 0 (one SCC of size n).
+Digraph cycle_graph(vid n);
+
+/// Fully bidirectional clique on n vertices (one SCC, n(n-1) edges).
+Digraph bidirectional_clique(vid n);
+
+/// 2-D grid DAG: vertex (i, j) -> (i+1, j) and (i, j+1). All-trivial SCCs
+/// with DAG depth rows + cols - 1; a good stand-in for sweep-front shapes.
+Digraph grid_dag(vid rows, vid cols);
+
+/// Chain of `k` directed cycles of length `cycle_len`, consecutive cycles
+/// joined by a one-way bridge edge. k SCCs forming a depth-k DAG: the
+/// worst-case shape for Forward-Backward, the motivating case for ECL-SCC.
+Digraph cycle_chain(vid k, vid cycle_len);
+
+/// Erdős–Rényi G(n, m) digraph: m distinct directed edges chosen uniformly.
+Digraph random_digraph(vid n, eid m, Rng& rng);
+
+/// R-MAT power-law digraph with 2^scale vertices and approximately
+/// edge_factor * 2^scale edges (Graph500 parameters a=.57 b=.19 c=.19).
+Digraph rmat(unsigned scale, double edge_factor, Rng& rng,
+             double a = 0.57, double b = 0.19, double c = 0.19);
+
+/// Options describing the SCC profile of a synthetic graph; used to imitate
+/// a Table 3 input (giant-SCC fraction, sprinkled small SCCs, DAG depth).
+struct SccProfile {
+  vid num_vertices = 1024;
+  double avg_degree = 8.0;
+  /// Fraction of vertices placed in one giant SCC (0 disables it).
+  double giant_fraction = 0.0;
+  /// Number of size-2 SCCs to embed.
+  vid size2_sccs = 0;
+  /// Number of mid-size SCCs (random sizes in [3, 32]) to embed.
+  vid mid_sccs = 0;
+  /// Approximate DAG depth of the acyclic residue (chain length of layers).
+  vid dag_depth = 1;
+  /// Use power-law (R-MAT style) endpoint selection for filler edges.
+  bool power_law = true;
+};
+
+/// Builds a digraph realizing (approximately) the requested SCC profile.
+/// Inter-component filler edges are added strictly "downhill" with respect
+/// to a hidden layer order, so they never merge the planted SCCs.
+Digraph scc_profile_graph(const SccProfile& profile, Rng& rng);
+
+}  // namespace ecl::graph
+
+#endif  // ECL_GRAPH_GENERATORS_HPP

@@ -1,0 +1,207 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace ecl::graph {
+namespace {
+
+bool is_comment(const std::string& line) {
+  for (char c : line) {
+    if (c == ' ' || c == '\t') continue;
+    return c == '#' || c == '%';
+  }
+  return true;  // blank line
+}
+
+std::ifstream open_or_throw(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  return in;
+}
+
+}  // namespace
+
+Digraph read_edge_list(std::istream& in) {
+  EdgeList edges;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (is_comment(line)) continue;
+    std::istringstream ss(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(ss >> u >> v)) throw std::runtime_error("edge list: malformed line: " + line);
+    edges.add(static_cast<vid>(u), static_cast<vid>(v));
+  }
+  return Digraph(edges.min_num_vertices(), edges);
+}
+
+Digraph read_edge_list_file(const std::string& path) {
+  auto in = open_or_throw(path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const Digraph& g) {
+  out << "# vertices " << g.num_vertices() << " edges " << g.num_edges() << '\n';
+  for (vid u = 0; u < g.num_vertices(); ++u)
+    for (vid v : g.out_neighbors(u)) out << u << ' ' << v << '\n';
+}
+
+Digraph read_dimacs(std::istream& in) {
+  EdgeList edges;
+  vid n = 0;
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ss(line);
+    char tag = 0;
+    ss >> tag;
+    if (tag == 'p') {
+      std::string kind;
+      std::uint64_t nn = 0;
+      std::uint64_t mm = 0;
+      if (!(ss >> kind >> nn >> mm)) throw std::runtime_error("dimacs: malformed problem line");
+      n = static_cast<vid>(nn);
+      edges.reserve(mm);
+      saw_header = true;
+    } else if (tag == 'a' || tag == 'e') {
+      std::uint64_t u = 0;
+      std::uint64_t v = 0;
+      if (!(ss >> u >> v)) throw std::runtime_error("dimacs: malformed arc line: " + line);
+      if (u == 0 || v == 0) throw std::runtime_error("dimacs: vertex IDs are 1-based");
+      edges.add(static_cast<vid>(u - 1), static_cast<vid>(v - 1));
+    }
+  }
+  if (!saw_header) throw std::runtime_error("dimacs: missing problem line");
+  return Digraph(n, edges);
+}
+
+void write_dimacs(std::ostream& out, const Digraph& g) {
+  out << "p sp " << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (vid u = 0; u < g.num_vertices(); ++u)
+    for (vid v : g.out_neighbors(u)) out << "a " << (u + 1) << ' ' << (v + 1) << '\n';
+}
+
+Digraph read_matrix_market(std::istream& in) {
+  std::string line;
+  // Header (first non-comment line): rows cols entries.
+  vid n = 0;
+  EdgeList edges;
+  bool saw_size = false;
+  while (std::getline(in, line)) {
+    if (is_comment(line)) continue;
+    std::istringstream ss(line);
+    if (!saw_size) {
+      std::uint64_t rows = 0;
+      std::uint64_t cols = 0;
+      std::uint64_t entries = 0;
+      if (!(ss >> rows >> cols >> entries)) throw std::runtime_error("mtx: malformed size line");
+      n = static_cast<vid>(std::max(rows, cols));
+      edges.reserve(entries);
+      saw_size = true;
+    } else {
+      std::uint64_t i = 0;
+      std::uint64_t j = 0;
+      if (!(ss >> i >> j)) throw std::runtime_error("mtx: malformed entry: " + line);
+      if (i == 0 || j == 0) throw std::runtime_error("mtx: indices are 1-based");
+      edges.add(static_cast<vid>(i - 1), static_cast<vid>(j - 1));
+    }
+  }
+  if (!saw_size) throw std::runtime_error("mtx: missing size line");
+  return Digraph(n, edges);
+}
+
+void write_matrix_market(std::ostream& out, const Digraph& g) {
+  out << "%%MatrixMarket matrix coordinate pattern general\n";
+  out << g.num_vertices() << ' ' << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (vid u = 0; u < g.num_vertices(); ++u)
+    for (vid v : g.out_neighbors(u)) out << (u + 1) << ' ' << (v + 1) << '\n';
+}
+
+namespace {
+
+constexpr char kBinaryMagic[4] = {'E', 'C', 'L', 'G'};
+constexpr std::uint32_t kBinaryVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("eclg: truncated file");
+  return value;
+}
+
+}  // namespace
+
+Digraph read_binary(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || !std::equal(magic, magic + 4, kBinaryMagic))
+    throw std::runtime_error("eclg: bad magic");
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kBinaryVersion) throw std::runtime_error("eclg: unsupported version");
+  const auto n = read_pod<std::uint64_t>(in);
+  const auto m = read_pod<std::uint64_t>(in);
+
+  std::vector<eid> offsets(n + 1);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(eid)));
+  std::vector<vid> targets(m);
+  in.read(reinterpret_cast<char*>(targets.data()),
+          static_cast<std::streamsize>(targets.size() * sizeof(vid)));
+  if (!in) throw std::runtime_error("eclg: truncated arrays");
+  return Digraph(std::move(offsets), std::move(targets));
+}
+
+void write_binary(std::ostream& out, const Digraph& g) {
+  out.write(kBinaryMagic, 4);
+  write_pod(out, kBinaryVersion);
+  write_pod(out, static_cast<std::uint64_t>(g.num_vertices()));
+  write_pod(out, static_cast<std::uint64_t>(g.num_edges()));
+  out.write(reinterpret_cast<const char*>(g.offsets().data()),
+            static_cast<std::streamsize>(g.offsets().size() * sizeof(eid)));
+  out.write(reinterpret_cast<const char*>(g.targets().data()),
+            static_cast<std::streamsize>(g.targets().size() * sizeof(vid)));
+}
+
+Digraph read_graph_file(const std::string& path) {
+  auto ends_with = [&](const char* suffix) {
+    const std::string s(suffix);
+    return path.size() >= s.size() && path.compare(path.size() - s.size(), s.size(), s) == 0;
+  };
+  if (ends_with(".eclg")) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open graph file: " + path);
+    return read_binary(in);
+  }
+  auto in = open_or_throw(path);
+  if (ends_with(".mtx")) return read_matrix_market(in);
+  if (ends_with(".gr") || ends_with(".dimacs")) return read_dimacs(in);
+  return read_edge_list(in);
+}
+
+void write_graph_file(const std::string& path, const Digraph& g) {
+  auto ends_with = [&](const char* suffix) {
+    const std::string s(suffix);
+    return path.size() >= s.size() && path.compare(path.size() - s.size(), s.size(), s) == 0;
+  };
+  std::ofstream out(path, ends_with(".eclg") ? std::ios::binary : std::ios::out);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  if (ends_with(".eclg")) write_binary(out, g);
+  else if (ends_with(".mtx")) write_matrix_market(out, g);
+  else if (ends_with(".gr") || ends_with(".dimacs")) write_dimacs(out, g);
+  else write_edge_list(out, g);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace ecl::graph

@@ -1,0 +1,46 @@
+#ifndef ECL_GRAPH_IO_HPP
+#define ECL_GRAPH_IO_HPP
+
+// Graph file IO. Supports the three formats commonly used to distribute the
+// paper's inputs: plain edge lists (SNAP style), DIMACS, and MatrixMarket
+// coordinate format (SuiteSparse Matrix Collection).
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace ecl::graph {
+
+/// Plain edge list: one "src dst" pair per line; '#' and '%' start comments.
+/// Vertex IDs need not be contiguous; the graph has max_id + 1 vertices.
+Digraph read_edge_list(std::istream& in);
+Digraph read_edge_list_file(const std::string& path);
+void write_edge_list(std::ostream& out, const Digraph& g);
+
+/// DIMACS format: "p sp <n> <m>" header, "a <src> <dst> [w]" arcs (1-based).
+Digraph read_dimacs(std::istream& in);
+void write_dimacs(std::ostream& out, const Digraph& g);
+
+/// MatrixMarket coordinate format (general, pattern or weighted; weights
+/// ignored). Entry "i j" becomes the directed edge i -> j (1-based).
+Digraph read_matrix_market(std::istream& in);
+void write_matrix_market(std::ostream& out, const Digraph& g);
+
+/// Binary CSR format ("ECLG"): magic, version, vertex/edge counts, raw
+/// offset and target arrays. Orders of magnitude faster to load than the
+/// text formats for multi-million-edge graphs.
+Digraph read_binary(std::istream& in);
+void write_binary(std::ostream& out, const Digraph& g);
+
+/// Dispatch by file extension: .mtx -> MatrixMarket, .gr/.dimacs -> DIMACS,
+/// .eclg -> binary CSR, anything else -> edge list.
+Digraph read_graph_file(const std::string& path);
+
+/// Dispatch by extension like read_graph_file (.eclg binary, .mtx, .gr,
+/// else edge list).
+void write_graph_file(const std::string& path, const Digraph& g);
+
+}  // namespace ecl::graph
+
+#endif  // ECL_GRAPH_IO_HPP

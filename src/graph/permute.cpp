@@ -1,0 +1,32 @@
+#include "graph/permute.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace ecl::graph {
+
+std::vector<vid> random_permutation(vid n, Rng& rng) {
+  std::vector<vid> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (vid i = n; i > 1; --i) std::swap(perm[i - 1], perm[rng.bounded(i)]);
+  return perm;
+}
+
+Digraph apply_permutation(const Digraph& g, const std::vector<vid>& perm) {
+  const vid n = g.num_vertices();
+  if (perm.size() != n) throw std::invalid_argument("apply_permutation: size mismatch");
+  EdgeList edges;
+  edges.reserve(g.num_edges());
+  for (vid u = 0; u < n; ++u)
+    for (vid v : g.out_neighbors(u)) edges.add(perm[u], perm[v]);
+  return Digraph(n, edges);
+}
+
+PermutedGraph randomly_permute(const Digraph& g, Rng& rng) {
+  PermutedGraph out;
+  out.perm = random_permutation(g.num_vertices(), rng);
+  out.graph = apply_permutation(g, out.perm);
+  return out;
+}
+
+}  // namespace ecl::graph

@@ -1,0 +1,33 @@
+#ifndef ECL_GRAPH_PERMUTE_HPP
+#define ECL_GRAPH_PERMUTE_HPP
+
+// Vertex relabeling. ECL-SCC's expected O(log d) outer-iteration count
+// relies on vertex IDs being randomly distributed (§3, §3.2), so the
+// library provides explicit relabeling utilities; they are also used by
+// property tests (SCC structure must be invariant under relabeling).
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "support/rng.hpp"
+
+namespace ecl::graph {
+
+/// Returns a uniformly random permutation p of [0, n) (p[old] = new).
+std::vector<vid> random_permutation(vid n, Rng& rng);
+
+/// Relabels every vertex v of g to perm[v]; perm must be a permutation of
+/// [0, g.num_vertices()).
+Digraph apply_permutation(const Digraph& g, const std::vector<vid>& perm);
+
+/// Convenience: relabel with a fresh random permutation, returning both the
+/// relabeled graph and the permutation used.
+struct PermutedGraph {
+  Digraph graph;
+  std::vector<vid> perm;  ///< perm[old_id] = new_id
+};
+PermutedGraph randomly_permute(const Digraph& g, Rng& rng);
+
+}  // namespace ecl::graph
+
+#endif  // ECL_GRAPH_PERMUTE_HPP

@@ -1,0 +1,79 @@
+#include "graph/reach.hpp"
+
+#include <limits>
+
+namespace ecl::graph {
+
+std::vector<std::uint8_t> reachable_from(const Digraph& g, vid source) {
+  const vid sources[1] = {source};
+  return reachable_from(g, std::span<const vid>(sources));
+}
+
+std::vector<std::uint8_t> reachable_from(const Digraph& g, std::span<const vid> sources) {
+  std::vector<std::uint8_t> visited(g.num_vertices(), 0);
+  std::vector<vid> frontier;
+  for (vid s : sources) {
+    if (!visited[s]) {
+      visited[s] = 1;
+      frontier.push_back(s);
+    }
+  }
+  std::vector<vid> next;
+  while (!frontier.empty()) {
+    next.clear();
+    for (vid u : frontier) {
+      for (vid v : g.out_neighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = 1;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return visited;
+}
+
+std::vector<vid> bfs_levels(const Digraph& g, vid source) {
+  constexpr vid kUnreached = std::numeric_limits<vid>::max();
+  std::vector<vid> level(g.num_vertices(), kUnreached);
+  std::vector<vid> frontier{source};
+  level[source] = 0;
+  vid depth = 0;
+  std::vector<vid> next;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (vid u : frontier) {
+      for (vid v : g.out_neighbors(u)) {
+        if (level[v] == kUnreached) {
+          level[v] = depth;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return level;
+}
+
+bool is_reachable(const Digraph& g, vid u, vid v) {
+  if (u == v) return true;
+  std::vector<std::uint8_t> visited(g.num_vertices(), 0);
+  std::vector<vid> stack{u};
+  visited[u] = 1;
+  while (!stack.empty()) {
+    const vid x = stack.back();
+    stack.pop_back();
+    for (vid y : g.out_neighbors(x)) {
+      if (y == v) return true;
+      if (!visited[y]) {
+        visited[y] = 1;
+        stack.push_back(y);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace ecl::graph

@@ -1,0 +1,31 @@
+#ifndef ECL_GRAPH_REACH_HPP
+#define ECL_GRAPH_REACH_HPP
+
+// Breadth-first reachability utilities. Used by the Forward-Backward
+// baseline, by verification (mutual reachability defines an SCC), and by
+// graph statistics.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ecl::graph {
+
+/// BFS from `source`; returns visited flags (1 byte per vertex).
+std::vector<std::uint8_t> reachable_from(const Digraph& g, vid source);
+
+/// BFS from every vertex in `sources`.
+std::vector<std::uint8_t> reachable_from(const Digraph& g, std::span<const vid> sources);
+
+/// BFS levels from `source` (kInvalidVid for unreachable vertices);
+/// the level of `source` itself is 0.
+std::vector<vid> bfs_levels(const Digraph& g, vid source);
+
+/// True iff v is reachable from u (early-exit BFS).
+bool is_reachable(const Digraph& g, vid u, vid v);
+
+}  // namespace ecl::graph
+
+#endif  // ECL_GRAPH_REACH_HPP

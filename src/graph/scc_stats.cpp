@@ -1,0 +1,79 @@
+#include "graph/scc_stats.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/condensation.hpp"
+
+namespace ecl::graph {
+
+std::vector<vid> component_sizes(std::span<const vid> labels) {
+  std::vector<vid> dense(labels.begin(), labels.end());
+  const vid k = normalize_labels(dense);
+  std::vector<vid> sizes(k, 0);
+  for (vid c : dense) ++sizes[c];
+  return sizes;
+}
+
+SccStats compute_scc_stats(const Digraph& g, std::span<const vid> labels) {
+  if (labels.size() != g.num_vertices())
+    throw std::invalid_argument("compute_scc_stats: label count != vertex count");
+
+  SccStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  s.avg_degree = s.num_vertices == 0
+                     ? 0.0
+                     : static_cast<double>(s.num_edges) / static_cast<double>(s.num_vertices);
+
+  for (vid v = 0; v < g.num_vertices(); ++v)
+    s.max_out_degree = std::max(s.max_out_degree, g.out_degree(v));
+  for (eid d : g.in_degrees()) s.max_in_degree = std::max(s.max_in_degree, d);
+
+  std::vector<vid> dense(labels.begin(), labels.end());
+  const vid k = normalize_labels(dense);
+  s.num_sccs = k;
+
+  std::vector<vid> sizes(k, 0);
+  for (vid c : dense) ++sizes[c];
+  for (vid size : sizes) {
+    if (size == 1) ++s.size1_sccs;
+    if (size == 2) ++s.size2_sccs;
+    s.largest_scc = std::max(s.largest_scc, size);
+  }
+
+  s.dag_depth = (k == 0) ? 0 : dag_depth(condensation(g, dense, k));
+  return s;
+}
+
+SccStatsRange aggregate_stats(std::span<const SccStats> stats) {
+  SccStatsRange r;
+  if (stats.empty()) return r;
+  r.min_sccs = r.min_size1 = r.min_size2 = r.min_largest = r.min_depth =
+      std::numeric_limits<vid>::max();
+  double degree_sum = 0.0;
+  eid edge_sum = 0;
+  for (const SccStats& s : stats) {
+    r.num_vertices = std::max(r.num_vertices, s.num_vertices);
+    edge_sum += s.num_edges;
+    degree_sum += s.avg_degree;
+    r.max_in_degree = std::max(r.max_in_degree, s.max_in_degree);
+    r.max_out_degree = std::max(r.max_out_degree, s.max_out_degree);
+    r.min_sccs = std::min(r.min_sccs, s.num_sccs);
+    r.max_sccs = std::max(r.max_sccs, s.num_sccs);
+    r.min_size1 = std::min(r.min_size1, s.size1_sccs);
+    r.max_size1 = std::max(r.max_size1, s.size1_sccs);
+    r.min_size2 = std::min(r.min_size2, s.size2_sccs);
+    r.max_size2 = std::max(r.max_size2, s.size2_sccs);
+    r.min_largest = std::min(r.min_largest, s.largest_scc);
+    r.max_largest = std::max(r.max_largest, s.largest_scc);
+    r.min_depth = std::min(r.min_depth, s.dag_depth);
+    r.max_depth = std::max(r.max_depth, s.dag_depth);
+  }
+  r.num_edges = edge_sum / stats.size();
+  r.avg_degree = degree_sum / static_cast<double>(stats.size());
+  return r;
+}
+
+}  // namespace ecl::graph

@@ -1,0 +1,58 @@
+#ifndef ECL_GRAPH_SCC_STATS_HPP
+#define ECL_GRAPH_SCC_STATS_HPP
+
+// Structural statistics of a directed graph and its SCC decomposition —
+// exactly the columns reported by the paper's Tables 1, 2, and 3.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ecl::graph {
+
+/// One row of Table 1/2/3 for a single graph.
+struct SccStats {
+  vid num_vertices = 0;
+  eid num_edges = 0;
+  double avg_degree = 0.0;
+  eid max_in_degree = 0;
+  eid max_out_degree = 0;
+  vid num_sccs = 0;
+  vid size1_sccs = 0;
+  vid size2_sccs = 0;
+  vid largest_scc = 0;
+  vid dag_depth = 0;
+};
+
+/// Computes all statistics given an SCC labeling of g. `labels` may use
+/// arbitrary (not necessarily dense) component IDs; they are normalized
+/// internally.
+SccStats compute_scc_stats(const Digraph& g, std::span<const vid> labels);
+
+/// Sizes of all components under `labels` (after normalization), indexed by
+/// dense component ID.
+std::vector<vid> component_sizes(std::span<const vid> labels);
+
+/// Aggregated min/max over a family of graphs (the mesh tables report each
+/// column as a [min, max] range across ordinates).
+struct SccStatsRange {
+  vid num_vertices = 0;
+  eid num_edges = 0;
+  double avg_degree = 0.0;
+  eid max_in_degree = 0;
+  eid max_out_degree = 0;
+  vid min_sccs = 0, max_sccs = 0;
+  vid min_size1 = 0, max_size1 = 0;
+  vid min_size2 = 0, max_size2 = 0;
+  vid min_largest = 0, max_largest = 0;
+  vid min_depth = 0, max_depth = 0;
+};
+
+SccStatsRange aggregate_stats(std::span<const SccStats> stats);
+
+}  // namespace ecl::graph
+
+#endif  // ECL_GRAPH_SCC_STATS_HPP

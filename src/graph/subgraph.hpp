@@ -1,0 +1,30 @@
+#ifndef ECL_GRAPH_SUBGRAPH_HPP
+#define ECL_GRAPH_SUBGRAPH_HPP
+
+// Induced subgraph extraction, with the vertex mapping needed to transfer
+// results (e.g. SCC labels computed on the subgraph) back to the parent
+// graph. Used by task-parallel baselines that recurse on residual pieces.
+
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ecl::graph {
+
+struct Subgraph {
+  Digraph graph;
+  /// to_parent[local] = vertex ID in the parent graph.
+  std::vector<vid> to_parent;
+};
+
+/// Subgraph induced by `members` (need not be sorted; duplicates are not
+/// allowed). Local IDs follow the order of `members`.
+Subgraph induced_subgraph(const Digraph& g, std::span<const vid> members);
+
+/// Subgraph induced by all vertices with active[v] != 0.
+Subgraph induced_subgraph(const Digraph& g, std::span<const std::uint8_t> active);
+
+}  // namespace ecl::graph
+
+#endif  // ECL_GRAPH_SUBGRAPH_HPP

@@ -1,0 +1,38 @@
+#include "graph/wcc.hpp"
+
+namespace ecl::graph {
+
+WccResult weakly_connected_components(const Digraph& g) {
+  const std::vector<std::uint8_t> active(g.num_vertices(), 1);
+  return weakly_connected_components(g, g.reverse(), active);
+}
+
+WccResult weakly_connected_components(const Digraph& g, const Digraph& reverse,
+                                      std::span<const std::uint8_t> active) {
+  const vid n = g.num_vertices();
+  WccResult result;
+  result.labels.assign(n, kInvalidVid);
+
+  std::vector<vid> stack;
+  for (vid root = 0; root < n; ++root) {
+    if (!active[root] || result.labels[root] != kInvalidVid) continue;
+    const vid comp = result.num_components++;
+    result.labels[root] = comp;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const vid v = stack.back();
+      stack.pop_back();
+      for (const Digraph* dir : {&g, &reverse}) {
+        for (vid w : dir->out_neighbors(v)) {
+          if (active[w] && result.labels[w] == kInvalidVid) {
+            result.labels[w] = comp;
+            stack.push_back(w);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ecl::graph

@@ -1,0 +1,32 @@
+#ifndef ECL_GRAPH_WCC_HPP
+#define ECL_GRAPH_WCC_HPP
+
+// Weakly connected components: connectivity of the underlying undirected
+// graph. Hong et al. [11] use WCC decomposition to split the residual
+// graph into independent tasks after the giant SCC is removed (§2); the
+// mesh workloads also use it to identify disconnected SCC clusters.
+
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ecl::graph {
+
+/// WCC labels for all vertices (dense IDs in [0, count), first-appearance
+/// order). Edge direction is ignored.
+struct WccResult {
+  std::vector<vid> labels;
+  vid num_components = 0;
+};
+
+WccResult weakly_connected_components(const Digraph& g);
+
+/// WCC restricted to an active subset: inactive vertices get kInvalidVid
+/// and are not traversed through.
+WccResult weakly_connected_components(const Digraph& g, const Digraph& reverse,
+                                      std::span<const std::uint8_t> active);
+
+}  // namespace ecl::graph
+
+#endif  // ECL_GRAPH_WCC_HPP

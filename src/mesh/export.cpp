@@ -1,0 +1,49 @@
+#include "mesh/export.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "graph/condensation.hpp"
+
+namespace ecl::mesh {
+
+void write_vtk_sweep_graph(std::ostream& out, const Mesh& mesh, const graph::Digraph& graph,
+                           std::span<const graph::vid> labels) {
+  if (graph.num_vertices() != mesh.num_elements)
+    throw std::invalid_argument("write_vtk_sweep_graph: graph/mesh size mismatch");
+  if (!labels.empty() && labels.size() != mesh.num_elements)
+    throw std::invalid_argument("write_vtk_sweep_graph: bad label count");
+
+  out << "# vtk DataFile Version 3.0\n";
+  out << "ECL-SCC sweep graph: " << mesh.name << "\n";
+  out << "ASCII\nDATASET POLYDATA\n";
+
+  out << "POINTS " << mesh.num_elements << " double\n";
+  for (const Vec3& c : mesh.element_centers) out << c.x << ' ' << c.y << ' ' << c.z << '\n';
+
+  const auto m = graph.num_edges();
+  out << "LINES " << m << ' ' << 3 * m << '\n';
+  for (graph::vid u = 0; u < graph.num_vertices(); ++u) {
+    for (graph::vid v : graph.out_neighbors(u)) out << "2 " << u << ' ' << v << '\n';
+  }
+
+  if (!labels.empty()) {
+    std::vector<graph::vid> dense(labels.begin(), labels.end());
+    graph::normalize_labels(dense);
+    out << "POINT_DATA " << mesh.num_elements << '\n';
+    out << "SCALARS scc int 1\nLOOKUP_TABLE default\n";
+    for (graph::vid c : dense) out << c << '\n';
+  }
+}
+
+void write_vtk_sweep_graph_file(const std::string& path, const Mesh& mesh,
+                                const graph::Digraph& graph,
+                                std::span<const graph::vid> labels) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_vtk_sweep_graph(out, mesh, graph, labels);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace ecl::mesh

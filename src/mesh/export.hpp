@@ -1,0 +1,32 @@
+#ifndef ECL_MESH_EXPORT_HPP
+#define ECL_MESH_EXPORT_HPP
+
+// Visualization export: writes a sweep graph as legacy-VTK polydata —
+// element centers as points, directed sweep edges as lines, and optional
+// per-element SCC labels as point scalars. Load in ParaView/VisIt to see
+// where the cycle clusters sit on the geometry.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "graph/digraph.hpp"
+#include "mesh/mesh.hpp"
+
+namespace ecl::mesh {
+
+/// Writes `graph` over `mesh`'s element centers. `labels` may be empty
+/// (no scalars) or one entry per element (written as "scc" point data,
+/// normalized to dense component IDs).
+void write_vtk_sweep_graph(std::ostream& out, const Mesh& mesh, const graph::Digraph& graph,
+                           std::span<const graph::vid> labels = {});
+
+/// Convenience: writes to a file path (throws std::runtime_error on IO
+/// failure).
+void write_vtk_sweep_graph_file(const std::string& path, const Mesh& mesh,
+                                const graph::Digraph& graph,
+                                std::span<const graph::vid> labels = {});
+
+}  // namespace ecl::mesh
+
+#endif  // ECL_MESH_EXPORT_HPP

@@ -1,0 +1,45 @@
+#ifndef ECL_MESH_GENERATORS_HPP
+#define ECL_MESH_GENERATORS_HPP
+
+// Generators for every mesh family of the paper's Table 4.
+//
+// Each generator builds real geometry (mapped structured grids, parametric
+// surfaces) and derives faces + quadrature normals from it, so the sweep
+// graphs inherit the paper's structural properties (Tables 1-2) from the
+// geometry rather than from hand-tuned randomness:
+//
+//   beam-hex     hex, order 1, straight box        -> all-trivial SCCs, deep DAG
+//   star         quad, order 1, planar star domain -> all-trivial SCCs, deepest DAG
+//   torch-hex    hex, order 1, flared cylinder     -> bilinear (nonplanar) radial
+//                                                     faces give a few hundred
+//                                                     size-2 SCCs
+//   torch-tet    tet, order 1, flared cylinder     -> near-planar faces with mild
+//                                                     curvature residue
+//   toroid-hex   hex, order 3, solid torus         -> clustered small SCCs
+//   toroid-wedge wedge, order 3, solid torus       -> many size-2 SCCs
+//   klein-bottle quad, order 3, closed non-orientable surface -> one giant SCC
+//   mobius-strip quad, order 3, twisted open strip -> per-ordinate extremes
+//   twist-hex    hex, order 3, twisted solid ring  -> a single all-vertex SCC
+//
+// `target_elements` is approximate: generators round to structured grid
+// dimensions near the request.
+
+#include <cstddef>
+
+#include "mesh/mesh.hpp"
+
+namespace ecl::mesh {
+
+Mesh beam_hex(std::size_t target_elements);
+Mesh star(std::size_t target_elements);
+Mesh torch_hex(std::size_t target_elements);
+Mesh torch_tet(std::size_t target_elements);
+Mesh toroid_hex(std::size_t target_elements);
+Mesh toroid_wedge(std::size_t target_elements);
+Mesh klein_bottle(std::size_t target_elements);
+Mesh mobius_strip(std::size_t target_elements);
+Mesh twist_hex(std::size_t target_elements, int twists = 3);
+
+}  // namespace ecl::mesh
+
+#endif  // ECL_MESH_GENERATORS_HPP

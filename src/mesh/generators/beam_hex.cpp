@@ -1,0 +1,21 @@
+#include "mesh/generators.hpp"
+#include "mesh/generators/structured.hpp"
+
+namespace ecl::mesh {
+
+Mesh beam_hex(std::size_t target_elements) {
+  // A 4:1:1 box beam of straight (order 1) hexahedra: every face is planar,
+  // so every sweep graph is acyclic with all-trivial SCCs, and the DAG
+  // depth tracks the taxicab extent of the grid (Table 1: beam-hex).
+  const auto [ni, nj, nk] = detail::dims_for_target(target_elements, 4.0, 1.0, 1.0);
+  detail::HexGridSpec spec;
+  spec.ni = ni;
+  spec.nj = nj;
+  spec.nk = nk;
+  spec.map = [](double x, double y, double z) -> Vec3 { return {4.0 * x, y, z}; };
+  const auto soup = detail::structured_hex_grid(spec);
+  return build_mesh_from_cells("beam-hex", ElementType::Hexahedron, 1, soup.vertices,
+                               soup.cells);
+}
+
+}  // namespace ecl::mesh

@@ -1,0 +1,49 @@
+#ifndef ECL_MESH_GENERATORS_FIELDS_HPP
+#define ECL_MESH_GENERATORS_FIELDS_HPP
+
+// Internal curvature-field builders shared by the mesh generators.
+//
+// A high-order (order-3) face bends, so its quadrature normals fan out
+// around the mean normal; a face becomes re-entrant for ordinate Omega when
+// that fan straddles the plane dot(Omega, n) = 0. `face_wobble` models the
+// fan directly: the perturbation is linear in the face-local coordinates
+// (s, t), so its magnitude is resolution-independent (refining the mesh
+// does not wash it out — each refined face is still an order-3 face), while
+// the spatial envelope controls where on the mesh the curvature is severe
+// (clustered vs scattered small SCCs).
+
+#include <cmath>
+#include <functional>
+
+#include "mesh/mesh.hpp"
+
+namespace ecl::mesh::detail {
+
+/// Smooth unit-ish direction field that rotates with position, so no
+/// ordinate is globally orthogonal to the wobble.
+inline Vec3 rotating_dir(const Vec3& p, double phase) {
+  return {std::sin(1.7 * p.y + 2.3 * p.z + phase), std::cos(1.9 * p.z + 1.3 * p.x + 2.0 * phase),
+          std::sin(1.5 * p.x + 2.1 * p.y + 3.0 * phase)};
+}
+
+/// Curvature fan of half-angle ~atan(tilt/2), optionally gated by a spatial
+/// envelope in [0, 1] and optionally along a fixed direction (pass
+/// `fixed_dir` with nonzero norm to make re-entrancy ordinate-selective, as
+/// on the mobius strip).
+inline CurvatureField face_wobble(double tilt, std::function<double(const Vec3&)> envelope = {},
+                                  Vec3 fixed_dir = {}) {
+  const bool has_fixed = norm(fixed_dir) > 0.0;
+  const Vec3 fixed = normalized(fixed_dir);
+  return [tilt, envelope = std::move(envelope), has_fixed, fixed](const Vec3& p, double s,
+                                                                  double t) -> Vec3 {
+    const double gate = envelope ? envelope(p) : 1.0;
+    if (gate <= 0.0) return {};
+    const Vec3 a = has_fixed ? fixed : rotating_dir(p, 0.0);
+    const Vec3 b = has_fixed ? fixed : rotating_dir(p, 1.4);
+    return (gate * tilt) * ((s - 0.5) * a + (t - 0.5) * b);
+  };
+}
+
+}  // namespace ecl::mesh::detail
+
+#endif  // ECL_MESH_GENERATORS_FIELDS_HPP

@@ -1,0 +1,46 @@
+#include <cmath>
+#include <numbers>
+
+#include "mesh/generators.hpp"
+#include "mesh/generators/structured.hpp"
+
+namespace ecl::mesh {
+
+Mesh star(std::size_t target_elements) {
+  // A planar (order 1, z = 0) quadrilateral mesh of a star-shaped domain:
+  // a polar grid whose outer boundary follows a five-pointed star radius
+  // profile. All faces are straight in-plane segments, so sweep graphs are
+  // acyclic; winding the many angular cells around the hole makes the SCC
+  // DAG the deepest of the small-mesh families (Table 1: star, depth 1534
+  // at 327k elements).
+  using std::numbers::pi;
+
+  // Angular-dominant aspect: nt ~ 16 nr reproduces depth ~ 2.7 sqrt(N).
+  const unsigned nr = std::max(2u, static_cast<unsigned>(std::sqrt(target_elements / 16.0)));
+  const unsigned nt = std::max(8u, static_cast<unsigned>(target_elements / nr));
+
+  std::vector<Vec3> vertices;
+  std::vector<Cell> quads;
+  const unsigned pj = nt;  // periodic in theta
+  vertices.reserve(static_cast<std::size_t>(nr + 1) * pj);
+  for (unsigned j = 0; j < pj; ++j) {
+    const double theta = 2.0 * pi * j / nt;
+    const double outer = 0.55 + 0.35 * std::cos(5.0 * theta);
+    for (unsigned i = 0; i <= nr; ++i) {
+      const double r = 0.08 + (outer - 0.08) * i / nr;
+      vertices.push_back({r * std::cos(theta), r * std::sin(theta), 0.0});
+    }
+  }
+  auto node = [&](unsigned i, unsigned j) -> std::uint32_t {
+    return (j % pj) * (nr + 1) + i;
+  };
+  quads.reserve(static_cast<std::size_t>(nr) * nt);
+  for (unsigned j = 0; j < nt; ++j) {
+    for (unsigned i = 0; i < nr; ++i) {
+      quads.push_back(Cell{{node(i, j), node(i + 1, j), node(i + 1, j + 1), node(i, j + 1)}});
+    }
+  }
+  return build_surface_mesh("star", 1, vertices, quads, /*points=*/2);
+}
+
+}  // namespace ecl::mesh

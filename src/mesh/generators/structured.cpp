@@ -1,0 +1,89 @@
+#include "mesh/generators/structured.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecl::mesh::detail {
+
+CellSoup structured_hex_grid(const HexGridSpec& spec) {
+  if (!spec.map) throw std::invalid_argument("structured_hex_grid: map is required");
+  const unsigned ni = spec.ni, nj = spec.nj, nk = spec.nk;
+  // Node counts: a periodic direction reuses node 0 as node n.
+  const unsigned pi = spec.periodic_i ? ni : ni + 1;
+  const unsigned pj = spec.periodic_j ? nj : nj + 1;
+  const unsigned pk = spec.periodic_k ? nk : nk + 1;
+
+  CellSoup soup;
+  soup.vertices.reserve(static_cast<std::size_t>(pi) * pj * pk);
+  for (unsigned k = 0; k < pk; ++k) {
+    for (unsigned j = 0; j < pj; ++j) {
+      for (unsigned i = 0; i < pi; ++i) {
+        soup.vertices.push_back(spec.map(static_cast<double>(i) / ni,
+                                         static_cast<double>(j) / nj,
+                                         static_cast<double>(k) / nk));
+      }
+    }
+  }
+
+  auto node = [&](unsigned i, unsigned j, unsigned k) -> std::uint32_t {
+    i %= pi;
+    j %= pj;
+    k %= pk;
+    return (k * pj + j) * pi + i;
+  };
+
+  soup.cells.reserve(static_cast<std::size_t>(ni) * nj * nk);
+  for (unsigned k = 0; k < nk; ++k) {
+    for (unsigned j = 0; j < nj; ++j) {
+      for (unsigned i = 0; i < ni; ++i) {
+        Cell cell;
+        cell.vertices = {node(i, j, k),         node(i + 1, j, k),
+                         node(i, j + 1, k),     node(i + 1, j + 1, k),
+                         node(i, j, k + 1),     node(i + 1, j, k + 1),
+                         node(i, j + 1, k + 1), node(i + 1, j + 1, k + 1)};
+        soup.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return soup;
+}
+
+CellSoup subdivide_hexes_to_tets(const CellSoup& hexes) {
+  // Six tetrahedra per hex: one per monotone corner path 0 -> a -> b -> 7.
+  static constexpr int paths[6][2] = {{1, 3}, {1, 5}, {2, 3}, {2, 6}, {4, 5}, {4, 6}};
+  CellSoup soup;
+  soup.vertices = hexes.vertices;
+  soup.cells.reserve(hexes.cells.size() * 6);
+  for (const Cell& hex : hexes.cells) {
+    const auto& v = hex.vertices;
+    for (const auto& [a, b] : paths) {
+      soup.cells.push_back(Cell{{v[0], v[a], v[b], v[7]}});
+    }
+  }
+  return soup;
+}
+
+CellSoup subdivide_hexes_to_wedges(const CellSoup& hexes) {
+  CellSoup soup;
+  soup.vertices = hexes.vertices;
+  soup.cells.reserve(hexes.cells.size() * 2);
+  for (const Cell& hex : hexes.cells) {
+    const auto& v = hex.vertices;
+    // Split the (x, y) square along the 0-3 diagonal; wedge = bottom
+    // triangle + matching top triangle.
+    soup.cells.push_back(Cell{{v[0], v[1], v[3], v[4], v[5], v[7]}});
+    soup.cells.push_back(Cell{{v[0], v[3], v[2], v[4], v[7], v[6]}});
+  }
+  return soup;
+}
+
+GridDims dims_for_target(std::size_t target, double a, double b, double c) {
+  const double volume = a * b * c;
+  const double f = std::cbrt(static_cast<double>(target) / volume);
+  auto dim = [&](double w) {
+    return std::max(1u, static_cast<unsigned>(std::lround(w * f)));
+  };
+  return {dim(a), dim(b), dim(c)};
+}
+
+}  // namespace ecl::mesh::detail

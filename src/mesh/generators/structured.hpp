@@ -1,0 +1,48 @@
+#ifndef ECL_MESH_GENERATORS_STRUCTURED_HPP
+#define ECL_MESH_GENERATORS_STRUCTURED_HPP
+
+// Internal helpers shared by the mesh generators: mapped structured hex
+// grids (with optional periodic directions) and the standard cell
+// subdivisions (hex -> 6 Kuhn tetrahedra, hex -> 2 wedges), both of which
+// are facet-consistent across neighboring cells.
+
+#include <functional>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace ecl::mesh::detail {
+
+struct CellSoup {
+  std::vector<Vec3> vertices;
+  std::vector<Cell> cells;
+};
+
+struct HexGridSpec {
+  unsigned ni = 1, nj = 1, nk = 1;  ///< cells per direction
+  bool periodic_i = false, periodic_j = false, periodic_k = false;
+  /// Maps node parameters (x, y, z) in [0,1]^3 to physical space. For a
+  /// periodic direction the map must satisfy map(0,..) == map(1,..).
+  std::function<Vec3(double, double, double)> map;
+};
+
+/// Builds the mapped structured hex grid (corner ordering v = x + 2y + 4z).
+CellSoup structured_hex_grid(const HexGridSpec& spec);
+
+/// Kuhn/Freudenthal subdivision: each hex becomes 6 tetrahedra. Face
+/// diagonals match across neighboring hexes of a structured grid.
+CellSoup subdivide_hexes_to_tets(const CellSoup& hexes);
+
+/// Splits each hex into 2 wedges along the (local) 0-3 diagonal plane.
+CellSoup subdivide_hexes_to_wedges(const CellSoup& hexes);
+
+/// Grid dimensions (a*f, b*f, c*f) whose product approximates `target`
+/// while keeping the a:b:c aspect ratio.
+struct GridDims {
+  unsigned ni, nj, nk;
+};
+GridDims dims_for_target(std::size_t target, double a, double b, double c);
+
+}  // namespace ecl::mesh::detail
+
+#endif  // ECL_MESH_GENERATORS_STRUCTURED_HPP

@@ -1,0 +1,65 @@
+#include <cmath>
+#include <numbers>
+
+#include "mesh/generators.hpp"
+#include "mesh/generators/fields.hpp"
+#include "mesh/generators/structured.hpp"
+
+namespace ecl::mesh {
+namespace {
+
+using std::numbers::pi;
+
+/// Solid-torus grid: annular cross section (radial r, minor angle psi),
+/// swept around the major circle (theta). Periodic in psi and theta.
+detail::CellSoup toroid_grid(std::size_t target_elements) {
+  const auto [ni, nj, nk] = detail::dims_for_target(target_elements, 1.0, 3.0, 6.0);
+  detail::HexGridSpec spec;
+  spec.ni = ni;
+  spec.nj = nj;
+  spec.nk = nk;
+  spec.periodic_j = true;
+  spec.periodic_k = true;
+  spec.map = [](double r, double psi, double theta) -> Vec3 {
+    const double rho = 0.12 + 0.28 * r;  // cross-section annulus
+    const double a = 2.0 * pi * psi;
+    const double t = 2.0 * pi * theta;
+    const double ring = 1.0 + rho * std::cos(a);
+    return {ring * std::cos(t), ring * std::sin(t), rho * std::sin(a)};
+  };
+  return detail::structured_hex_grid(spec);
+}
+
+/// Order-3 curvature for the toroid meshes: the fan tilt is gated by a
+/// low-frequency spatial envelope, so re-entrant faces cluster into
+/// contiguous patches — producing the connected small-SCC clusters of
+/// Tables 1-2 (toroid-hex largest SCC up to a few hundred) rather than
+/// only isolated 2-cycles.
+CurvatureField toroid_curvature(double tilt, double frequency, double phase) {
+  auto envelope = [frequency, phase](const Vec3& p) {
+    const double f = frequency;
+    const double e = std::sin(f * p.x + phase) * std::sin(0.8 * f * p.y + 2.0 * phase) +
+                     0.6 * std::sin(0.9 * f * p.z + 3.0 * phase);
+    return std::max(0.0, e - 0.55);
+  };
+  return detail::face_wobble(tilt, envelope);
+}
+
+}  // namespace
+
+Mesh toroid_hex(std::size_t target_elements) {
+  const auto soup = toroid_grid(target_elements);
+  return build_mesh_from_cells("toroid-hex", ElementType::Hexahedron, 3, soup.vertices,
+                               soup.cells, toroid_curvature(0.9, 2.2, 0.9));
+}
+
+Mesh toroid_wedge(std::size_t target_elements) {
+  const auto hexes = toroid_grid(std::max<std::size_t>(1, target_elements / 2));
+  const auto soup = detail::subdivide_hexes_to_wedges(hexes);
+  // Higher-frequency, lower-amplitude field: isolated re-entrant faces,
+  // i.e. thousands of size-2 SCCs with small clusters (toroid-wedge rows).
+  return build_mesh_from_cells("toroid-wedge", ElementType::Wedge, 3, soup.vertices,
+                               soup.cells, toroid_curvature(0.8, 5.0, 0.3));
+}
+
+}  // namespace ecl::mesh

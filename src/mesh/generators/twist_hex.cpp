@@ -1,0 +1,44 @@
+#include <cmath>
+#include <numbers>
+
+#include "mesh/generators.hpp"
+#include "mesh/generators/fields.hpp"
+#include "mesh/generators/structured.hpp"
+
+namespace ecl::mesh {
+
+Mesh twist_hex(std::size_t target_elements, int twists) {
+  // A solid square-section ring whose cross section rotates `twists` full
+  // turns around the loop (the MFEM twist miniapp with severe distortion).
+  // The rotation makes every sweep direction circulate around the ring, so
+  // each sweep graph is one SCC containing every element (Table 2:
+  // twist-hex, 61 ordinates, always a single all-vertex SCC).
+  using std::numbers::pi;
+
+  const auto [ni, nj, nk] = detail::dims_for_target(target_elements, 1.0, 1.0, 12.0);
+  detail::HexGridSpec spec;
+  spec.ni = ni;
+  spec.nj = nj;
+  spec.nk = nk;
+  spec.periodic_k = true;  // closed ring; integer twists keep the seam exact
+  const double turns = 2.0 * pi * twists;
+  spec.map = [turns](double u, double v, double s) -> Vec3 {
+    const double a = 0.45 * (u - 0.5);
+    const double b = 0.45 * (v - 0.5);
+    const double rot = turns * s;
+    const double p = a * std::cos(rot) - b * std::sin(rot);
+    const double q = a * std::sin(rot) + b * std::cos(rot);
+    const double theta = 2.0 * pi * s;
+    const double ring = 1.0 + p;
+    return {ring * std::cos(theta), ring * std::sin(theta), q};
+  };
+  const auto soup = detail::structured_hex_grid(spec);
+
+  // Severe order-3 distortion on top of the twist: the normal fan is so
+  // wide that essentially every face is re-entrant, gluing the closed ring
+  // into a single SCC containing every element (Table 2: twist-hex).
+  return build_mesh_from_cells("twist-hex", ElementType::Hexahedron, 3, soup.vertices,
+                               soup.cells, detail::face_wobble(3.5));
+}
+
+}  // namespace ecl::mesh

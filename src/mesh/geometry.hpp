@@ -1,0 +1,43 @@
+#ifndef ECL_MESH_GEOMETRY_HPP
+#define ECL_MESH_GEOMETRY_HPP
+
+// Minimal 3-D vector geometry for the mesh substrate.
+
+#include <cmath>
+
+namespace ecl::mesh {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend constexpr Vec3 operator+(Vec3 a, Vec3 b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+  friend constexpr Vec3 operator-(Vec3 a, Vec3 b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+  friend constexpr Vec3 operator*(double s, Vec3 v) { return {s * v.x, s * v.y, s * v.z}; }
+  friend constexpr Vec3 operator*(Vec3 v, double s) { return s * v; }
+  Vec3& operator+=(Vec3 o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+};
+
+constexpr double dot(Vec3 a, Vec3 b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+
+constexpr Vec3 cross(Vec3 a, Vec3 b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+inline double norm(Vec3 v) { return std::sqrt(dot(v, v)); }
+
+/// Unit vector in the direction of v; the zero vector maps to itself.
+inline Vec3 normalized(Vec3 v) {
+  const double n = norm(v);
+  return n > 0.0 ? (1.0 / n) * v : v;
+}
+
+}  // namespace ecl::mesh
+
+#endif  // ECL_MESH_GEOMETRY_HPP

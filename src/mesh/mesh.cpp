@@ -1,0 +1,246 @@
+#include "mesh/mesh.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace ecl::mesh {
+namespace {
+
+/// One facet of a cell: up to 4 vertex indices in cyclic order (triangles
+/// leave the 4th slot unused).
+struct Facet {
+  std::array<std::uint32_t, 4> verts{};
+  int size = 0;
+};
+
+/// Facets of each supported cell type, in cyclic vertex order.
+std::vector<Facet> cell_facets(const Cell& cell) {
+  const auto& v = cell.vertices;
+  auto tri = [&](int a, int b, int c) { return Facet{{v[a], v[b], v[c], 0}, 3}; };
+  auto quad = [&](int a, int b, int c, int d) { return Facet{{v[a], v[b], v[c], v[d]}, 4}; };
+  switch (v.size()) {
+    case 4:  // tetrahedron
+      return {tri(0, 1, 2), tri(0, 1, 3), tri(0, 2, 3), tri(1, 2, 3)};
+    case 6:  // wedge: bottom {0,1,2}, top {3,4,5}
+      return {tri(0, 1, 2), tri(3, 4, 5), quad(0, 1, 4, 3), quad(1, 2, 5, 4), quad(2, 0, 3, 5)};
+    case 8:  // hexahedron, corner v = x + 2y + 4z
+      return {quad(0, 1, 3, 2), quad(4, 5, 7, 6), quad(0, 1, 5, 4),
+              quad(2, 3, 7, 6), quad(0, 2, 6, 4), quad(1, 3, 7, 5)};
+    default:
+      throw std::invalid_argument("cell_facets: unsupported cell size");
+  }
+}
+
+std::array<std::uint32_t, 4> facet_key(const Facet& f) {
+  std::array<std::uint32_t, 4> key = f.verts;
+  if (f.size == 3) key[3] = static_cast<std::uint32_t>(-1);
+  std::sort(key.begin(), key.end());
+  return key;
+}
+
+Vec3 cell_center(const std::vector<Vec3>& vertices, const Cell& cell) {
+  Vec3 c;
+  for (auto v : cell.vertices) c += vertices[v];
+  return (1.0 / static_cast<double>(cell.vertices.size())) * c;
+}
+
+/// Bilinear patch over cyclic corners (a, b, c, d).
+struct BilinearPatch {
+  Vec3 a, b, c, d;
+
+  Vec3 at(double s, double t) const {
+    return (1 - s) * (1 - t) * a + s * (1 - t) * b + s * t * c + (1 - s) * t * d;
+  }
+  Vec3 normal(double s, double t) const {
+    const Vec3 ds = (1 - t) * (b - a) + t * (c - d);
+    const Vec3 dt = (1 - s) * (d - a) + s * (c - b);
+    return normalized(cross(ds, dt));
+  }
+};
+
+/// Quadrature positions along one axis: k interior points of (0, 1).
+std::vector<double> axis_points(int k) {
+  std::vector<double> pts(k);
+  for (int i = 0; i < k; ++i) pts[i] = (i + 0.5) / k;
+  return pts;
+}
+
+void apply_curvature(const CurvatureField& curvature, const Vec3& point, double s, double t,
+                     Vec3& normal) {
+  if (curvature) normal = normalized(normal + curvature(point, s, t));
+}
+
+/// Quadrature normals of a facet, oriented so the center normal points
+/// along `outward_hint` (from e1's center toward e2's center).
+std::vector<Vec3> facet_normals(const std::vector<Vec3>& vertices, const Facet& facet,
+                                const Vec3& outward_hint, const CurvatureField& curvature) {
+  std::vector<Vec3> normals;
+  if (facet.size == 3) {
+    const Vec3 p0 = vertices[facet.verts[0]];
+    const Vec3 p1 = vertices[facet.verts[1]];
+    const Vec3 p2 = vertices[facet.verts[2]];
+    Vec3 n = normalized(cross(p1 - p0, p2 - p0));
+    if (dot(n, outward_hint) < 0) n = -1.0 * n;
+    // Three quadrature points: blends of the centroid toward each corner,
+    // with face-local coordinates spread over the parameter square.
+    const Vec3 centroid = (1.0 / 3.0) * (p0 + p1 + p2);
+    static constexpr double tri_params[3][2] = {{0.15, 0.15}, {0.85, 0.3}, {0.4, 0.85}};
+    int idx = 0;
+    for (const Vec3& corner : {p0, p1, p2}) {
+      const Vec3 point = 0.5 * (centroid + corner);
+      Vec3 pn = n;
+      apply_curvature(curvature, point, tri_params[idx][0], tri_params[idx][1], pn);
+      ++idx;
+      normals.push_back(pn);
+    }
+  } else {
+    const BilinearPatch patch{vertices[facet.verts[0]], vertices[facet.verts[1]],
+                              vertices[facet.verts[2]], vertices[facet.verts[3]]};
+    const double flip = dot(patch.normal(0.5, 0.5), outward_hint) < 0 ? -1.0 : 1.0;
+    for (double s : axis_points(2)) {
+      for (double t : axis_points(2)) {
+        Vec3 pn = flip * patch.normal(s, t);
+        apply_curvature(curvature, patch.at(s, t), s, t, pn);
+        normals.push_back(pn);
+      }
+    }
+  }
+  return normals;
+}
+
+}  // namespace
+
+const char* to_string(ElementType type) {
+  switch (type) {
+    case ElementType::Hexahedron: return "Hexahedral";
+    case ElementType::Tetrahedron: return "Tetrahedral";
+    case ElementType::Wedge: return "Wedge";
+    case ElementType::Quadrilateral: return "Quadrilateral";
+  }
+  return "?";
+}
+
+Mesh build_mesh_from_cells(std::string name, ElementType type, int order,
+                           const std::vector<Vec3>& vertices, const std::vector<Cell>& cells,
+                           const CurvatureField& curvature) {
+  Mesh mesh;
+  mesh.name = std::move(name);
+  mesh.element_type = type;
+  mesh.order = order;
+  mesh.num_elements = static_cast<vid>(cells.size());
+  mesh.element_centers.reserve(cells.size());
+  for (const Cell& cell : cells) mesh.element_centers.push_back(cell_center(vertices, cell));
+
+  // Match facets: a key seen twice identifies an interior face.
+  std::map<std::array<std::uint32_t, 4>, std::pair<vid, Facet>> open_facets;
+  for (vid e = 0; e < cells.size(); ++e) {
+    for (const Facet& facet : cell_facets(cells[e])) {
+      const auto key = facet_key(facet);
+      auto it = open_facets.find(key);
+      if (it == open_facets.end()) {
+        open_facets.emplace(key, std::make_pair(e, facet));
+        continue;
+      }
+      const auto [e1, f1] = it->second;
+      open_facets.erase(it);
+      if (e1 == e) throw std::logic_error("build_mesh_from_cells: degenerate cell facet");
+      Face face;
+      face.e1 = e1;
+      face.e2 = e;
+      const Vec3 hint = mesh.element_centers[face.e2] - mesh.element_centers[face.e1];
+      face.normals = facet_normals(vertices, f1, hint, curvature);
+      mesh.faces.push_back(std::move(face));
+    }
+  }
+  return mesh;
+}
+
+Mesh build_surface_mesh(std::string name, int order, const std::vector<Vec3>& vertices,
+                        const std::vector<Cell>& quads, int points,
+                        const CurvatureField& curvature) {
+  Mesh mesh;
+  mesh.name = std::move(name);
+  mesh.element_type = ElementType::Quadrilateral;
+  mesh.order = order;
+  mesh.num_elements = static_cast<vid>(quads.size());
+  mesh.element_centers.reserve(quads.size());
+  for (const Cell& q : quads) {
+    if (q.vertices.size() != 4)
+      throw std::invalid_argument("build_surface_mesh: cells must be quads");
+    mesh.element_centers.push_back(cell_center(vertices, q));
+  }
+
+  // Per-element surface patch (for evaluating the surface normal near an
+  // edge) and edge matching by sorted endpoint pair.
+  auto patch_of = [&](vid e) {
+    const auto& v = quads[e].vertices;
+    return BilinearPatch{vertices[v[0]], vertices[v[1]], vertices[v[2]], vertices[v[3]]};
+  };
+
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::pair<vid, int>> open_edges;
+  for (vid e = 0; e < quads.size(); ++e) {
+    const auto& v = quads[e].vertices;
+    for (int side = 0; side < 4; ++side) {
+      const std::uint32_t p = v[side];
+      const std::uint32_t q = v[(side + 1) % 4];
+      const std::pair<std::uint32_t, std::uint32_t> key = std::minmax(p, q);
+      auto it = open_edges.find(key);
+      if (it == open_edges.end()) {
+        open_edges.emplace(key, std::make_pair(e, side));
+        continue;
+      }
+      const auto [e1, side1] = it->second;
+      open_edges.erase(it);
+      Face face;
+      face.e1 = e1;
+      face.e2 = e;
+      const Vec3 hint = mesh.element_centers[face.e2] - mesh.element_centers[face.e1];
+
+      // Walk the shared edge on e1's patch; the in-surface edge normal is
+      // surface_normal x edge_tangent, oriented from e1 toward e2.
+      const auto& v1 = quads[e1].vertices;
+      const Vec3 ep = vertices[v1[side1]];
+      const Vec3 eq = vertices[v1[(side1 + 1) % 4]];
+      const Vec3 tangent = normalized(eq - ep);
+      const BilinearPatch patch1 = patch_of(e1);
+      const BilinearPatch patch2 = patch_of(e);
+
+      // Parametric coordinates of side1 on e1's patch.
+      auto side_param = [](int side, double u) -> std::pair<double, double> {
+        switch (side) {
+          case 0: return {u, 0.0};
+          case 1: return {1.0, u};
+          case 2: return {1.0 - u, 1.0};
+          default: return {0.0, 1.0 - u};
+        }
+      };
+
+      // Center-point orientation fix shared by all quadrature points.
+      const auto [cs, ct] = side_param(side1, 0.5);
+      const Vec3 surf_center =
+          normalized(patch1.normal(cs, ct) + patch2.normal(0.5, 0.5));
+      Vec3 center_normal = normalized(cross(surf_center, tangent));
+      const double flip = dot(center_normal, hint) < 0 ? -1.0 : 1.0;
+
+      int point_index = 0;
+      for (double u : axis_points(points)) {
+        const auto [s, t] = side_param(side1, u);
+        const Vec3 point = patch1.at(s, t);
+        // Surface normal at the edge point: average of both patches' plane
+        // normals, which captures the fold across the edge.
+        const Vec3 surf = normalized(patch1.normal(s, t) + patch2.normal(0.5, 0.5));
+        Vec3 n = flip * normalized(cross(surf, tangent));
+        // The edge is one-dimensional; alternate the second face-local
+        // coordinate so curvature fields exercise both fan axes.
+        const double t_local = (point_index++ % 2 == 0) ? 0.15 : 0.85;
+        apply_curvature(curvature, point, u, t_local, n);
+        face.normals.push_back(n);
+      }
+      mesh.faces.push_back(std::move(face));
+    }
+  }
+  return mesh;
+}
+
+}  // namespace ecl::mesh

@@ -1,0 +1,98 @@
+#ifndef ECL_MESH_MESH_HPP
+#define ECL_MESH_MESH_HPP
+
+// Unstructured mesh substrate for the radiative-transfer workloads (§4.1).
+//
+// The paper consumes MFEM meshes only through their interior faces: each
+// face stores the pair of adjacent elements (e1, e2) and the outward unit
+// normal of e1 evaluated at several quadrature points x_i along the face.
+// High-order (curved) elements make the normal vary across a face; when the
+// sign of dot(ordinate, n(x_i)) differs between points, the face is
+// "re-entrant" and induces a 2-cycle in the sweep graph — the source of the
+// small SCCs that motivate ECL-SCC.
+//
+// This module represents exactly that view (elements are opaque indices;
+// faces carry quadrature normals) plus a generic constructor that derives
+// interior faces from a "cell soup" (cells with shared global vertices), so
+// every generator — hex, tet, wedge, surface-quad — funnels through one
+// audited code path.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "mesh/geometry.hpp"
+
+namespace ecl::mesh {
+
+using graph::vid;
+
+enum class ElementType { Hexahedron, Tetrahedron, Wedge, Quadrilateral };
+
+const char* to_string(ElementType type);
+
+/// An interior face between elements e1 and e2 (convention: the stored
+/// normals are outward normals of e1, i.e. they nominally point from e1
+/// into e2 — §4.1).
+struct Face {
+  vid e1 = 0;
+  vid e2 = 0;
+  /// Outward unit normal of e1 at each quadrature point along the face.
+  std::vector<Vec3> normals;
+};
+
+/// A mesh, reduced to the data the sweep-graph construction needs.
+struct Mesh {
+  std::string name;
+  ElementType element_type = ElementType::Hexahedron;
+  int order = 1;  ///< geometric order; > 1 implies curved (varying) normals
+  vid num_elements = 0;
+  std::vector<Face> faces;
+  std::vector<Vec3> element_centers;  ///< one per element (used by sweeps/tests)
+};
+
+/// A polyhedral cell described by indices into a shared vertex array.
+/// Supported sizes: 3 (surface triangle is not used), 4 = tetrahedron,
+/// 6 = wedge, 8 = hexahedron (VTK corner ordering: x fastest, then y, z).
+struct Cell {
+  std::vector<std::uint32_t> vertices;
+};
+
+/// Smooth per-point normal perturbation used to model high-order curved
+/// faces. Called with the quadrature point's physical position and its
+/// face-local parametric coordinates (s, t) in [0,1]^2; returns a vector
+/// added to the geometric normal before renormalization. Depending on
+/// (s, t) lets the perturbation vary *within* one face — the signature of a
+/// genuinely curved (order-3) face — independent of mesh resolution, while
+/// the physical position argument lets generators spatially correlate the
+/// curvature (clustered re-entrant faces). Null = straight faces.
+using CurvatureField = std::function<Vec3(const Vec3& point, double s, double t)>;
+
+/// Builds the interior-face list of a cell soup.
+///
+///  * Matching: two cells sharing a full facet (same vertex set) are
+///    adjacent; the facet becomes one interior Face.
+///  * Normals: evaluated from the actual facet geometry (triangle: exact
+///    plane normal; quad: bilinear-patch normal) at `points_per_edge`^2
+///    quadrature points for quads and 3 points for triangles, oriented so
+///    the face-center normal points from e1 to e2.
+///  * Curvature: if provided, perturbs each quadrature normal (then
+///    renormalizes), modeling order-3 geometry on top of straight cells.
+Mesh build_mesh_from_cells(std::string name, ElementType type, int order,
+                           const std::vector<Vec3>& vertices, const std::vector<Cell>& cells,
+                           const CurvatureField& curvature = nullptr);
+
+/// Builds a mesh from surface quads (2-D manifold in 3-D): interior "faces"
+/// are shared element edges; normals are in-surface edge normals (tangent
+/// to the surface, perpendicular to the edge, pointing from e1 toward e2),
+/// evaluated at `points` positions along the edge.
+Mesh build_surface_mesh(std::string name, int order, const std::vector<Vec3>& vertices,
+                        const std::vector<Cell>& quads, int points,
+                        const CurvatureField& curvature = nullptr);
+
+}  // namespace ecl::mesh
+
+#endif  // ECL_MESH_MESH_HPP

@@ -1,0 +1,23 @@
+#include "mesh/ordinates.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ecl::mesh {
+
+std::vector<Vec3> fibonacci_ordinates(unsigned n) {
+  std::vector<Vec3> dirs;
+  dirs.reserve(n);
+  const double golden_angle = std::numbers::pi * (3.0 - std::sqrt(5.0));
+  for (unsigned i = 0; i < n; ++i) {
+    // z sweeps (-1, 1); the small offsets keep directions off the poles and
+    // off exact axis alignment (which would make many dot products zero).
+    const double z = 1.0 - (2.0 * i + 1.0) / n;
+    const double r = std::sqrt(std::max(0.0, 1.0 - z * z));
+    const double phi = golden_angle * static_cast<double>(i) + 0.1;
+    dirs.push_back({r * std::cos(phi), r * std::sin(phi), z});
+  }
+  return dirs;
+}
+
+}  // namespace ecl::mesh

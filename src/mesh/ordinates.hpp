@@ -1,0 +1,20 @@
+#ifndef ECL_MESH_ORDINATES_HPP
+#define ECL_MESH_ORDINATES_HPP
+
+// Angular quadrature: the discrete ordinates Omega_d of the transport sweep
+// (§1, §4.1). SCC detection runs once per ordinate; the paper's mesh groups
+// use N_Omega in {8, 30, 32, 61}.
+
+#include <vector>
+
+#include "mesh/geometry.hpp"
+
+namespace ecl::mesh {
+
+/// N unit directions distributed quasi-uniformly over the sphere via the
+/// Fibonacci (golden-angle) lattice. Deterministic.
+std::vector<Vec3> fibonacci_ordinates(unsigned n);
+
+}  // namespace ecl::mesh
+
+#endif  // ECL_MESH_ORDINATES_HPP

@@ -1,0 +1,27 @@
+#include "mesh/replicate.hpp"
+
+#include <stdexcept>
+
+namespace ecl::mesh {
+
+graph::Digraph replicate_chain(const graph::Digraph& g, unsigned copies) {
+  using graph::vid;
+  const vid n = g.num_vertices();
+  if (n == 0 || copies == 0) return graph::Digraph(0, graph::EdgeList{});
+  if (n == 1) return graph::Digraph(1, graph::EdgeList{});
+
+  // Copy c maps vertex v to c * (n - 1) + v, which automatically identifies
+  // copy c's vertex n-1 with copy c+1's vertex 0.
+  const vid total = copies * (n - 1) + 1;
+  graph::EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges()) * copies);
+  for (unsigned c = 0; c < copies; ++c) {
+    const vid base = c * (n - 1);
+    for (vid u = 0; u < n; ++u) {
+      for (vid v : g.out_neighbors(u)) edges.add(base + u, base + v);
+    }
+  }
+  return graph::Digraph(total, edges);
+}
+
+}  // namespace ecl::mesh

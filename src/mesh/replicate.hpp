@@ -1,0 +1,19 @@
+#ifndef ECL_MESH_REPLICATE_HPP
+#define ECL_MESH_REPLICATE_HPP
+
+// Expanded-mesh construction (§5.1.4): the paper replicates a sweep graph
+// 10x to stress sizes beyond the last-level caches. The copies are chained
+// by identifying the last vertex of copy c with the first vertex of copy
+// c+1 (the paper's expanded sizes are exactly 10 |V| - 9).
+
+#include "graph/digraph.hpp"
+
+namespace ecl::mesh {
+
+/// Chains `copies` copies of g, merging vertex n-1 of each copy with vertex
+/// 0 of the next. The result has copies * (n - 1) + 1 vertices.
+graph::Digraph replicate_chain(const graph::Digraph& g, unsigned copies);
+
+}  // namespace ecl::mesh
+
+#endif  // ECL_MESH_REPLICATE_HPP

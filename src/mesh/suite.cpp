@@ -1,0 +1,40 @@
+#include "mesh/suite.hpp"
+
+#include "mesh/generators.hpp"
+#include "support/env.hpp"
+
+namespace ecl::mesh {
+
+Mesh MeshGroup::generate_scaled() const { return generate(ecl::scaled(paper_elements, 256)); }
+
+std::vector<MeshGroup> small_mesh_suite() {
+  return {
+      {"beam-hex", 30, 262'144, [](std::size_t n) { return beam_hex(n); }},
+      {"star", 8, 327'680, [](std::size_t n) { return star(n); }},
+      {"torch-hex", 32, 264'064, [](std::size_t n) { return torch_hex(n); }},
+      {"torch-tet", 32, 515'360, [](std::size_t n) { return torch_tet(n); }},
+      {"toroid-hex", 32, 196'608, [](std::size_t n) { return toroid_hex(n); }},
+      {"toroid-wedge", 32, 196'608, [](std::size_t n) { return toroid_wedge(n); }},
+  };
+}
+
+std::vector<MeshGroup> large_mesh_suite() {
+  return {
+      {"klein-bottle", 8, 8'388'608, [](std::size_t n) { return klein_bottle(n); }},
+      {"mobius-strip", 8, 4'194'304, [](std::size_t n) { return mobius_strip(n); }},
+      {"torch-hex", 32, 2'112'512, [](std::size_t n) { return torch_hex(n); }},
+      {"torch-tet", 32, 4'122'880, [](std::size_t n) { return torch_tet(n); }},
+      {"toroid-hex", 32, 1'572'864, [](std::size_t n) { return toroid_hex(n); }},
+      {"toroid-wedge", 32, 1'572'864, [](std::size_t n) { return toroid_wedge(n); }},
+      {"twist-hex", 61, 6'291'456, [](std::size_t n) { return twist_hex(n); }},
+  };
+}
+
+const MeshGroup* find_group(const std::vector<MeshGroup>& suite, const std::string& name) {
+  for (const auto& group : suite) {
+    if (group.name == name) return &group;
+  }
+  return nullptr;
+}
+
+}  // namespace ecl::mesh

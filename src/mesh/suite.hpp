@@ -1,0 +1,40 @@
+#ifndef ECL_MESH_SUITE_HPP
+#define ECL_MESH_SUITE_HPP
+
+// The paper's mesh evaluation suites (Tables 1 and 2): each group is a mesh
+// family plus its ordinate count N_Omega and the paper's element count.
+// Benchmarks scale the element counts by ECL_SCALE (support/env.hpp).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace ecl::mesh {
+
+struct MeshGroup {
+  std::string name;
+  unsigned num_ordinates = 8;         ///< N_Omega (= number of graphs)
+  std::size_t paper_elements = 0;     ///< vertex count in the paper's table
+  std::function<Mesh(std::size_t)> generate;
+
+  /// Generates the mesh at paper_elements * scale_factor() (ECL_SCALE).
+  Mesh generate_scaled() const;
+};
+
+/// Table 1 groups: beam-hex, star, torch-hex, torch-tet, toroid-hex,
+/// toroid-wedge.
+std::vector<MeshGroup> small_mesh_suite();
+
+/// Table 2 groups: klein-bottle, mobius-strip, torch-hex, torch-tet,
+/// toroid-hex, toroid-wedge, twist-hex.
+std::vector<MeshGroup> large_mesh_suite();
+
+/// Looks a group up by name in either suite ("small/torch-hex" style keys
+/// are not needed: large groups shadow small ones only in size).
+const MeshGroup* find_group(const std::vector<MeshGroup>& suite, const std::string& name);
+
+}  // namespace ecl::mesh
+
+#endif  // ECL_MESH_SUITE_HPP

@@ -1,0 +1,54 @@
+#include "mesh/sweep_graph.hpp"
+
+namespace ecl::mesh {
+namespace {
+
+/// Per-face edge directions for one ordinate.
+struct FaceDirections {
+  bool forward = false;   // e1 -> e2
+  bool backward = false;  // e2 -> e1
+};
+
+FaceDirections classify(const Face& face, const Vec3& ordinate) {
+  FaceDirections dirs;
+  for (const Vec3& n : face.normals) {
+    if (dot(ordinate, n) > 0.0) {
+      dirs.forward = true;
+    } else {
+      dirs.backward = true;
+    }
+  }
+  return dirs;
+}
+
+}  // namespace
+
+graph::Digraph build_sweep_graph(const Mesh& mesh, const Vec3& ordinate) {
+  graph::EdgeList edges;
+  edges.reserve(mesh.faces.size());
+  for (const Face& face : mesh.faces) {
+    const FaceDirections dirs = classify(face, ordinate);
+    if (dirs.forward) edges.add(face.e1, face.e2);
+    if (dirs.backward) edges.add(face.e2, face.e1);
+  }
+  return graph::Digraph(mesh.num_elements, edges);
+}
+
+std::vector<graph::Digraph> build_sweep_graphs(const Mesh& mesh,
+                                               const std::vector<Vec3>& ordinates) {
+  std::vector<graph::Digraph> graphs;
+  graphs.reserve(ordinates.size());
+  for (const Vec3& omega : ordinates) graphs.push_back(build_sweep_graph(mesh, omega));
+  return graphs;
+}
+
+std::size_t count_reentrant_faces(const Mesh& mesh, const Vec3& ordinate) {
+  std::size_t count = 0;
+  for (const Face& face : mesh.faces) {
+    const FaceDirections dirs = classify(face, ordinate);
+    if (dirs.forward && dirs.backward) ++count;
+  }
+  return count;
+}
+
+}  // namespace ecl::mesh

@@ -1,0 +1,33 @@
+#ifndef ECL_MESH_SWEEP_GRAPH_HPP
+#define ECL_MESH_SWEEP_GRAPH_HPP
+
+// Sweep-graph construction (§4.1).
+//
+// For an ordinate Omega, each interior face (e1, e2) contributes directed
+// edges according to the sign of dot(Omega, n(x_i)) at every quadrature
+// point x_i: positive -> edge e1 -> e2, otherwise -> edge e2 -> e1. A face
+// whose signs differ between points is re-entrant and produces edges in
+// both directions, i.e. a 2-cycle.
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "mesh/mesh.hpp"
+
+namespace ecl::mesh {
+
+/// Directed sweep graph of `mesh` for one ordinate. Vertices are mesh
+/// elements; vertex count equals mesh.num_elements.
+graph::Digraph build_sweep_graph(const Mesh& mesh, const Vec3& ordinate);
+
+/// Sweep graphs for all ordinates (one per direction).
+std::vector<graph::Digraph> build_sweep_graphs(const Mesh& mesh,
+                                               const std::vector<Vec3>& ordinates);
+
+/// Number of re-entrant faces of `mesh` for one ordinate (faces producing
+/// both edge directions). Diagnostic used by tests and examples.
+std::size_t count_reentrant_faces(const Mesh& mesh, const Vec3& ordinate);
+
+}  // namespace ecl::mesh
+
+#endif  // ECL_MESH_SWEEP_GRAPH_HPP

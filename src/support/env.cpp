@@ -1,0 +1,50 @@
+#include "support/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ecl {
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  return (end == raw) ? fallback : value;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  return (end == raw) ? fallback : static_cast<std::int64_t>(value);
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return (raw == nullptr || *raw == '\0') ? fallback : std::string(raw);
+}
+
+double scale_factor() {
+  static const double factor = [] {
+    double f = env_double("ECL_SCALE", 0.02);
+    return std::clamp(f, 1e-6, 1.0);
+  }();
+  return factor;
+}
+
+std::size_t bench_runs() {
+  static const std::size_t runs = [] {
+    const std::int64_t r = env_int("ECL_RUNS", 3);
+    return static_cast<std::size_t>(std::max<std::int64_t>(1, r));
+  }();
+  return runs;
+}
+
+std::size_t scaled(std::size_t paper_size, std::size_t floor) {
+  const double s = static_cast<double>(paper_size) * scale_factor();
+  return std::max(floor, static_cast<std::size_t>(s));
+}
+
+}  // namespace ecl

@@ -1,0 +1,38 @@
+#ifndef ECL_SUPPORT_ENV_HPP
+#define ECL_SUPPORT_ENV_HPP
+
+// Environment-driven experiment configuration.
+//
+// The paper's inputs range up to millions of vertices; this container may be
+// far smaller. Every benchmark therefore sizes its workloads as
+// `paper_size * scale_factor()`, where the factor is controlled by the
+// ECL_SCALE environment variable (default chosen for a single-core host).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ecl {
+
+/// Reads an environment variable, returning `fallback` when unset or invalid.
+double env_double(const char* name, double fallback);
+std::int64_t env_int(const char* name, std::int64_t fallback);
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Global workload scale factor in (0, 1]: fraction of the paper's input
+/// sizes used by benchmarks. Controlled by ECL_SCALE (e.g. ECL_SCALE=1 runs
+/// the full paper sizes; the default keeps the full suite tractable on one
+/// core).
+double scale_factor();
+
+/// Number of benchmark repetitions per measurement (paper: median of 9).
+/// Controlled by ECL_RUNS.
+std::size_t bench_runs();
+
+/// Scales a paper-sized vertex/element count by scale_factor(), with a floor
+/// so structural properties (cycles, DAG depth > 1, ...) survive downscaling.
+std::size_t scaled(std::size_t paper_size, std::size_t floor = 64);
+
+}  // namespace ecl
+
+#endif  // ECL_SUPPORT_ENV_HPP

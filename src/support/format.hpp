@@ -1,0 +1,36 @@
+#ifndef ECL_SUPPORT_FORMAT_HPP
+#define ECL_SUPPORT_FORMAT_HPP
+
+// Console table formatting used by the benchmark harness to print rows in
+// the same shape as the paper's tables.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ecl {
+
+/// Formats `value` with thousands separators ("1,505,785").
+std::string with_commas(std::uint64_t value);
+
+/// Fixed-point formatting helper ("0.0046").
+std::string fixed(double value, int decimals);
+
+/// Simple monospace table: set a header once, append rows, then render.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column alignment; first column left-aligned, rest right.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ecl
+
+#endif  // ECL_SUPPORT_FORMAT_HPP

@@ -1,0 +1,28 @@
+#include "support/rng.hpp"
+
+namespace ecl {
+
+std::uint64_t Rng::bounded(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless method with rejection for exact uniformity.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::gaussian() noexcept {
+  // Irwin-Hall with 12 uniforms: mean 6, variance 1.
+  double acc = 0.0;
+  for (int i = 0; i < 12; ++i) acc += uniform();
+  return acc - 6.0;
+}
+
+}  // namespace ecl

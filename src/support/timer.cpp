@@ -1,0 +1,34 @@
+#include "support/timer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecl {
+
+double median(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  const std::size_t mid = samples.size() / 2;
+  std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(mid),
+                   samples.end());
+  double hi = samples[mid];
+  if (samples.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double mean(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double acc = 0.0;
+  for (double s : samples) acc += s;
+  return acc / static_cast<double>(samples.size());
+}
+
+double geomean(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double acc = 0.0;
+  for (double s : samples) acc += std::log(s);
+  return std::exp(acc / static_cast<double>(samples.size()));
+}
+
+}  // namespace ecl

@@ -1,0 +1,56 @@
+#ifndef ECL_SUPPORT_TIMER_HPP
+#define ECL_SUPPORT_TIMER_HPP
+
+// Wall-clock timing and small run-statistics helpers used by benchmarks and
+// the evaluation harness (median-of-N runs, as in the paper's methodology).
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+namespace ecl {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Median of a sample (the paper reports the median of 9 runs).
+double median(std::vector<double> samples);
+
+/// Arithmetic mean. Returns 0 for empty input.
+double mean(const std::vector<double>& samples);
+
+/// Geometric mean. All inputs must be > 0; returns 0 for empty input.
+double geomean(const std::vector<double>& samples);
+
+/// Runs `fn` `runs` times and returns the median wall-clock seconds.
+template <typename Fn>
+double median_seconds(std::size_t runs, Fn&& fn) {
+  std::vector<double> t;
+  t.reserve(runs);
+  for (std::size_t i = 0; i < runs; ++i) {
+    Timer timer;
+    fn();
+    t.push_back(timer.seconds());
+  }
+  return median(std::move(t));
+}
+
+}  // namespace ecl
+
+#endif  // ECL_SUPPORT_TIMER_HPP

@@ -1,0 +1,122 @@
+#include "sweep/sweep_solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/condensation.hpp"
+
+namespace ecl::sweep {
+
+using graph::Digraph;
+using graph::eid;
+using graph::vid;
+
+SweepPlan::SweepPlan(const Digraph& graph, std::span<const vid> labels) : n_(graph.num_vertices()) {
+  if (labels.size() != n_) throw std::invalid_argument("SweepPlan: labels size mismatch");
+  if (n_ == 0) return;
+
+  std::vector<vid> dense(labels.begin(), labels.end());
+  const vid k = graph::normalize_labels(dense);
+  const Digraph cond = graph::condensation(graph, dense, k);
+  comp_order_ = graph::topological_order(cond);  // throws if labeling is not an SCC partition
+
+  std::vector<vid> comp_size(k, 0);
+  for (vid c : dense) ++comp_size[c];
+  comp_start_.assign(k + 1, 0);
+  for (vid c = 0; c < k; ++c) {
+    comp_start_[c + 1] = comp_start_[c] + comp_size[c];
+    has_cycles_ |= comp_size[c] > 1;
+  }
+  members_.resize(n_);
+  std::vector<eid> cursor(comp_start_.begin(), comp_start_.end() - 1);
+  for (vid v = 0; v < n_; ++v) members_[cursor[dense[v]]++] = v;
+
+  if (!has_cycles_) {
+    for (vid v = 0; v < n_ && !has_cycles_; ++v) has_cycles_ = graph.has_edge(v, v);
+  }
+  reverse_ = graph.reverse();
+}
+
+SweepResult SweepPlan::run(std::span<const double> source, const SweepOptions& opts) const {
+  if (source.size() != n_) throw std::invalid_argument("SweepPlan::run: source size mismatch");
+  if (opts.absorption < 1.0)
+    throw std::invalid_argument("sweep: absorption must be >= 1 (contraction condition)");
+
+  SweepResult result;
+  result.intensity.assign(n_, 0.0);
+  if (n_ == 0) return result;
+
+  auto relax = [&](vid v) {
+    double incoming = 0.0;
+    double in_deg = 0.0;
+    for (vid u : reverse_.out_neighbors(v)) {
+      incoming += result.intensity[u];
+      in_deg += 1.0;
+    }
+    return (source[v] + incoming) / (1.0 + opts.absorption * in_deg);
+  };
+
+  for (vid c : comp_order_) {
+    ++result.wavefronts;
+    const eid lo = comp_start_[c];
+    const eid hi = comp_start_[c + 1];
+    if (hi - lo == 1) {
+      const vid v = members_[lo];
+      result.intensity[v] = relax(v);
+      continue;
+    }
+    // Non-trivial SCC: source iteration to the local fixed point.
+    ++result.nontrivial_sccs;
+    bool converged = false;
+    for (unsigned iter = 0; iter < opts.max_scc_iterations; ++iter) {
+      ++result.scc_iterations;
+      double delta = 0.0;
+      for (eid i = lo; i < hi; ++i) {
+        const vid v = members_[i];
+        const double next = relax(v);
+        delta = std::max(delta, std::abs(next - result.intensity[v]));
+        result.intensity[v] = next;
+      }
+      if (delta < opts.tolerance) {
+        converged = true;
+        break;
+      }
+    }
+    result.converged &= converged;
+  }
+  return result;
+}
+
+std::vector<SweepResult> SweepPlan::run_groups(std::span<const double> sources,
+                                               unsigned num_groups,
+                                               const SweepOptions& opts) const {
+  if (sources.size() != static_cast<std::size_t>(n_) * num_groups)
+    throw std::invalid_argument("SweepPlan::run_groups: sources size mismatch");
+  std::vector<SweepResult> results;
+  results.reserve(num_groups);
+  for (unsigned g = 0; g < num_groups; ++g) {
+    results.push_back(run(sources.subspan(static_cast<std::size_t>(g) * n_, n_), opts));
+  }
+  return results;
+}
+
+SweepResult sweep(const Digraph& graph, std::span<const vid> labels,
+                  std::span<const double> source, const SweepOptions& opts) {
+  return SweepPlan(graph, labels).run(source, opts);
+}
+
+bool would_livelock(const Digraph& graph, std::span<const vid> labels) {
+  std::vector<vid> dense(labels.begin(), labels.end());
+  const vid k = graph::normalize_labels(dense);
+  std::vector<vid> size(k, 0);
+  for (vid c : dense) ++size[c];
+  for (vid c = 0; c < k; ++c) {
+    if (size[c] > 1) return true;
+  }
+  for (vid v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.has_edge(v, v)) return true;
+  }
+  return false;
+}
+
+}  // namespace ecl::sweep

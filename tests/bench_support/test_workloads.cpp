@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "bench_support/workloads.hpp"
+#include "core/tarjan.hpp"
+#include "graph/scc_stats.hpp"
+#include "support/env.hpp"
+
+namespace ecl::test {
+namespace {
+
+TEST(Workloads, PowerLawSpecsCoverTable3) {
+  const auto specs = bench::power_law_specs();
+  ASSERT_EQ(specs.size(), 10u);
+  EXPECT_EQ(specs[0].name, "cage14");
+  EXPECT_EQ(specs[0].paper_vertices, 1'505'785u);
+  EXPECT_DOUBLE_EQ(specs[0].giant_fraction, 1.0);
+  EXPECT_EQ(specs[9].name, "wikipedia");
+  EXPECT_EQ(specs[2].dag_depth, 704u);  // com-Youtube
+}
+
+TEST(Workloads, PowerLawGraphsMatchTheirProfiles) {
+  for (const auto& spec : bench::power_law_specs()) {
+    const auto g = bench::power_law_graph(spec);
+    const auto stats = graph::compute_scc_stats(g, scc::tarjan(g).labels);
+
+    const double giant = double(stats.largest_scc) / double(stats.num_vertices);
+    EXPECT_NEAR(giant, spec.giant_fraction, 0.1) << spec.name;
+    EXPECT_NEAR(stats.avg_degree, spec.avg_degree, spec.avg_degree * 0.5) << spec.name;
+    if (spec.dag_depth > 1) EXPECT_GT(stats.dag_depth, 1u) << spec.name;
+  }
+}
+
+TEST(Workloads, PowerLawGraphsAreDeterministic) {
+  const auto spec = bench::power_law_specs()[3];  // flickr
+  const auto a = bench::power_law_graph(spec);
+  const auto b = bench::power_law_graph(spec);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(std::vector<graph::vid>(a.targets().begin(), a.targets().end()),
+            std::vector<graph::vid>(b.targets().begin(), b.targets().end()));
+}
+
+TEST(Workloads, MeshWorkloadBuildsOrdinateGraphs) {
+  const auto suite = ecl::mesh::small_mesh_suite();
+  const auto wl = bench::mesh_workload(suite.front());  // beam-hex
+  EXPECT_EQ(wl.name, "beam-hex");
+  EXPECT_EQ(wl.graphs.size(), bench::effective_ordinates(suite.front()));
+  for (const auto& g : wl.graphs) EXPECT_GT(g.num_vertices(), 0u);
+}
+
+TEST(Workloads, EffectiveOrdinatesRespectsCap) {
+  const auto suite = ecl::mesh::small_mesh_suite();
+  for (const auto& group : suite) {
+    const unsigned n = bench::effective_ordinates(group);
+    EXPECT_GE(n, 1u);
+    EXPECT_LE(n, group.num_ordinates);
+  }
+}
+
+TEST(Workloads, SuitesHaveExpectedCounts) {
+  EXPECT_EQ(bench::small_mesh_workloads().size(), 6u);
+  EXPECT_EQ(bench::power_law_workloads().size(), 10u);
+}
+
+}  // namespace
+}  // namespace ecl::test

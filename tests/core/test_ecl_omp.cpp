@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "common/test_graphs.hpp"
+#include "core/ecl_omp.hpp"
+#include "core/ecl_scc.hpp"
+#include "core/tarjan.hpp"
+#include "core/verify.hpp"
+
+namespace ecl::test {
+namespace {
+
+TEST(EclOmp, MatchesTarjanOnAllTestGraphs) {
+  for (const auto& g : all_test_graphs()) {
+    const auto oracle = scc::tarjan(g.graph);
+    const auto r = scc::ecl_omp(g.graph);
+    EXPECT_EQ(r.num_components, oracle.num_components) << g.name;
+    EXPECT_TRUE(scc::same_partition(r.labels, oracle.labels)) << g.name;
+  }
+}
+
+TEST(EclOmp, LabelsAreMaxMemberIds) {
+  Rng rng(31);
+  const auto g = graph::random_digraph(400, 1200, rng);
+  const auto r = scc::ecl_omp(g);
+  EXPECT_TRUE(scc::verify_max_id_labels(r.labels).ok);
+}
+
+TEST(EclOmp, AgreesWithDeviceImplementationExactly) {
+  // Same algorithm, independent implementations: labels must be identical,
+  // not just the same partition (both use max-member labeling).
+  Rng rng(32);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = graph::random_digraph(300, 900, rng);
+    const auto cpu = scc::ecl_omp(g);
+    const auto gpu = scc::ecl_scc(g);
+    EXPECT_EQ(cpu.labels, gpu.labels);
+  }
+}
+
+TEST(EclOmp, OptionTogglesStayCorrect) {
+  Rng rng(33);
+  const auto g = graph::random_digraph(250, 700, rng);
+  const auto oracle = scc::tarjan(g);
+  for (int bits = 0; bits < 4; ++bits) {
+    scc::EclOmpOptions opts;
+    opts.path_compression = bits & 1;
+    opts.remove_scc_edges = bits & 2;
+    EXPECT_TRUE(scc::same_partition(scc::ecl_omp(g, opts).labels, oracle.labels)) << bits;
+  }
+}
+
+TEST(EclOmp, ThreadCountSweep) {
+  Rng rng(34);
+  const auto g = graph::random_digraph(500, 1500, rng);
+  const auto oracle = scc::tarjan(g);
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    scc::EclOmpOptions opts;
+    opts.num_threads = threads;
+    EXPECT_TRUE(scc::same_partition(scc::ecl_omp(g, opts).labels, oracle.labels));
+  }
+}
+
+TEST(EclOmp, PathCompressionReducesRounds) {
+  const auto g = graph::cycle_graph(4096);
+  scc::EclOmpOptions plain;
+  plain.path_compression = false;
+  scc::EclOmpOptions compressed;
+  compressed.path_compression = true;
+  const auto a = scc::ecl_omp(g, plain);
+  const auto b = scc::ecl_omp(g, compressed);
+  EXPECT_LT(b.metrics.propagation_rounds, a.metrics.propagation_rounds / 4);
+}
+
+TEST(EclOmp, EmptyGraph) {
+  EXPECT_EQ(scc::ecl_omp(graph::Digraph(0, graph::EdgeList{})).num_components, 0u);
+}
+
+}  // namespace
+}  // namespace ecl::test

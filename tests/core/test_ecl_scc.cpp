@@ -1,0 +1,307 @@
+// The optimized parallel ECL-SCC must agree with Tarjan under EVERY
+// combination of the four optimization toggles (Fig. 14's ablation space),
+// in both signature-store modes, on multiple device profiles.
+
+#include <gtest/gtest.h>
+
+#include "common/test_graphs.hpp"
+#include "core/ecl_scc.hpp"
+#include "core/fb_trim.hpp"
+#include "core/tarjan.hpp"
+#include "core/verify.hpp"
+#include "graph/permute.hpp"
+
+namespace ecl::test {
+namespace {
+
+using scc::EclOptions;
+
+struct OptionCase {
+  EclOptions opts;
+  std::string name;
+};
+
+std::vector<OptionCase> all_option_combinations() {
+  std::vector<OptionCase> cases;
+  for (int bits = 0; bits < 32; ++bits) {
+    EclOptions o;
+    o.async_phase2 = bits & 1;
+    o.remove_scc_edges = bits & 2;
+    o.path_compression = bits & 4;
+    o.persistent_threads = bits & 8;
+    o.use_atomic_max = bits & 16;
+    std::string name;
+    name += o.async_phase2 ? "async_" : "sync_";
+    name += o.remove_scc_edges ? "rm_" : "keep_";
+    name += o.path_compression ? "pc_" : "nopc_";
+    name += o.persistent_threads ? "pt_" : "nopt_";
+    name += o.use_atomic_max ? "atomic" : "racy";
+    cases.push_back({o, name});
+  }
+  return cases;
+}
+
+class EclOptionSweep : public ::testing::TestWithParam<OptionCase> {};
+
+TEST_P(EclOptionSweep, MatchesTarjanOnRepresentativeGraphs) {
+  const EclOptions& opts = GetParam().opts;
+  Rng rng(2024);
+  std::vector<NamedGraph> graphs = structured_graphs();
+  graphs.push_back({"er_dense", graph::random_digraph(150, 600, rng)});
+  graphs.push_back({"er_sparse", graph::random_digraph(150, 150, rng)});
+
+  for (const auto& g : graphs) {
+    const auto oracle = scc::tarjan(g.graph);
+    const auto r = scc::ecl_scc(g.graph, opts);
+    ASSERT_EQ(r.num_components, oracle.num_components) << g.name;
+    ASSERT_TRUE(scc::same_partition(r.labels, oracle.labels)) << g.name;
+    ASSERT_TRUE(scc::verify_max_id_labels(r.labels).ok) << g.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllToggleCombinations, EclOptionSweep,
+                         ::testing::ValuesIn(all_option_combinations()),
+                         [](const ::testing::TestParamInfo<OptionCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(EclScc, WorksOnTinyDeviceProfile) {
+  // 2 SMs, 32-thread blocks: exercises grid-stride remainder handling.
+  device::Device dev(device::tiny_profile());
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = graph::random_digraph(200, 500, rng);
+    const auto oracle = scc::tarjan(g);
+    const auto r = scc::ecl_scc(g, dev);
+    EXPECT_TRUE(scc::same_partition(r.labels, oracle.labels));
+  }
+}
+
+TEST(EclScc, TitanVAndA100ProfilesAgree) {
+  device::Device titan(device::titan_v_profile());
+  device::Device a100(device::a100_profile());
+  const auto g = fig3_graph();
+  const auto r1 = scc::ecl_scc(g, titan);
+  const auto r2 = scc::ecl_scc(g, a100);
+  EXPECT_TRUE(scc::same_partition(r1.labels, r2.labels));
+}
+
+TEST(EclScc, AsyncModeReducesKernelLaunches) {
+  // §3.3: the asynchronous Phase-2 kernel cuts launch count substantially
+  // on inputs where propagation iterates many times (deep chains).
+  const auto g = graph::cycle_chain(64, 20);
+  EclOptions sync_opts;
+  sync_opts.async_phase2 = false;
+  EclOptions async_opts;
+  async_opts.async_phase2 = true;
+
+  device::Device dev_sync(device::a100_profile());
+  device::Device dev_async(device::a100_profile());
+  const auto sync_result = scc::ecl_scc(g, dev_sync, sync_opts);
+  const auto async_result = scc::ecl_scc(g, dev_async, async_opts);
+  EXPECT_LT(async_result.metrics.kernel_launches, sync_result.metrics.kernel_launches);
+  EXPECT_TRUE(scc::same_partition(sync_result.labels, async_result.labels));
+}
+
+TEST(EclScc, PathCompressionReducesPropagationRounds) {
+  // A long cycle is the worst case for plain propagation (c in O(d c |E|));
+  // compression traverses it in ~log(c) rounds (§3.3). Compare in sync mode
+  // where propagation_rounds directly counts fixpoint sweeps.
+  const auto g = graph::cycle_graph(4096);
+  EclOptions base;
+  base.async_phase2 = false;
+  base.path_compression = false;
+  EclOptions compressed = base;
+  compressed.path_compression = true;
+
+  const auto plain = scc::ecl_scc(g, base);
+  const auto fast = scc::ecl_scc(g, compressed);
+  EXPECT_LT(fast.metrics.propagation_rounds, plain.metrics.propagation_rounds / 4)
+      << "path compression should cut rounds by far more than 4x on a long cycle";
+}
+
+TEST(EclScc, RemoveSccEdgesShrinksWorkload) {
+  // On a graph that is one big SCC plus a tail, removing completed-SCC
+  // edges empties the worklist after the first iteration.
+  graph::EdgeList e;
+  for (graph::vid v = 0; v < 50; ++v) e.add(v, (v + 1) % 50);
+  e.add(10, 50);  // tail
+  e.add(50, 51);
+  const graph::Digraph g(52, e);
+
+  EclOptions with_rm;
+  with_rm.remove_scc_edges = true;
+  EclOptions without_rm;
+  without_rm.remove_scc_edges = false;
+
+  const auto a = scc::ecl_scc(g, with_rm);
+  const auto b = scc::ecl_scc(g, without_rm);
+  EXPECT_TRUE(scc::same_partition(a.labels, b.labels));
+  EXPECT_GE(a.metrics.edges_removed, b.metrics.edges_removed);
+  EXPECT_LE(a.metrics.edges_processed, b.metrics.edges_processed);
+}
+
+TEST(EclScc, MetricsAreConsistent) {
+  const auto g = fig3_graph();
+  const auto r = scc::ecl_scc(g);
+  EXPECT_GE(r.metrics.outer_iterations, 1u);
+  EXPECT_GE(r.metrics.propagation_rounds, r.metrics.outer_iterations);
+  EXPECT_GT(r.metrics.kernel_launches, 0u);
+  EXPECT_GT(r.metrics.edges_processed, 0u);
+  // All 15 edges are eventually dropped (cross-SCC) or retired (intra-SCC).
+  EXPECT_LE(r.metrics.edges_removed, g.num_edges());
+}
+
+TEST(EclScc, GuardTriggersOnImpossibleBudget) {
+  scc::EclOptions opts;
+  opts.max_outer_iterations = 1;
+  // fig3 needs >= 2 outer iterations, so the guard must fire.
+  EXPECT_THROW((void)scc::ecl_scc(fig3_graph(), opts), std::logic_error);
+}
+
+TEST(EclScc, EmptyAndTinyGraphs) {
+  EXPECT_EQ(scc::ecl_scc(graph::Digraph(0, graph::EdgeList{})).num_components, 0u);
+  const auto single = scc::ecl_scc(graph::Digraph(1, graph::EdgeList{}));
+  EXPECT_EQ(single.num_components, 1u);
+  EXPECT_EQ(single.labels[0], 0u);
+}
+
+TEST(EclScc, AllOptimizationsOffStillCorrect) {
+  const auto opts = scc::ecl_all_optimizations_off();
+  EXPECT_FALSE(opts.async_phase2);
+  EXPECT_FALSE(opts.remove_scc_edges);
+  EXPECT_FALSE(opts.path_compression);
+  EXPECT_FALSE(opts.persistent_threads);
+  Rng rng(77);
+  const auto g = graph::random_digraph(300, 900, rng);
+  const auto oracle = scc::tarjan(g);
+  EXPECT_TRUE(scc::same_partition(scc::ecl_scc(g, opts).labels, oracle.labels));
+}
+
+TEST(EclScc, DeterministicAcrossRunsOnSameDevice) {
+  // The final labels are determined by the graph alone (max member IDs),
+  // regardless of racing schedules.
+  Rng rng(123);
+  const auto g = graph::random_digraph(400, 1200, rng);
+  const auto first = scc::ecl_scc(g);
+  for (int i = 0; i < 3; ++i) {
+    const auto again = scc::ecl_scc(g);
+    EXPECT_EQ(first.labels, again.labels);
+  }
+}
+
+}  // namespace
+}  // namespace ecl::test
+
+// ---- 4-signature min/max variant (§3.3, the design the paper considered
+// but rejected for its memory cost) -----------------------------------------
+
+namespace ecl::test {
+namespace {
+
+TEST(EclMinMax, MatchesTarjanOnAllTestGraphs) {
+  scc::EclOptions opts;
+  opts.min_max_signatures = true;
+  for (const auto& g : all_test_graphs()) {
+    const auto oracle = scc::tarjan(g.graph);
+    const auto r = scc::ecl_scc(g.graph, opts);
+    EXPECT_EQ(r.num_components, oracle.num_components) << g.name;
+    EXPECT_TRUE(scc::same_partition(r.labels, oracle.labels)) << g.name;
+  }
+}
+
+TEST(EclMinMax, MatchesTarjanWithAtomicsAndWithoutCompression) {
+  Rng rng(404);
+  const auto g = graph::random_digraph(300, 900, rng);
+  const auto oracle = scc::tarjan(g);
+  for (int bits = 0; bits < 4; ++bits) {
+    scc::EclOptions opts;
+    opts.min_max_signatures = true;
+    opts.path_compression = bits & 1;
+    opts.use_atomic_max = bits & 2;
+    EXPECT_TRUE(scc::same_partition(scc::ecl_scc(g, opts).labels, oracle.labels)) << bits;
+  }
+}
+
+TEST(EclMinMax, NeverNeedsMoreOuterIterations) {
+  // Detecting >= 2 SCCs per cluster per round can only shrink the outer
+  // loop: compare on SCC chains with randomized IDs.
+  Rng rng(777);
+  const auto chain = graph::cycle_chain(128, 4);
+  const auto permuted = graph::randomly_permute(chain, rng);
+
+  scc::EclOptions two_sig;
+  scc::EclOptions four_sig;
+  four_sig.min_max_signatures = true;
+  const auto a = scc::ecl_scc(permuted.graph, two_sig);
+  const auto b = scc::ecl_scc(permuted.graph, four_sig);
+  EXPECT_TRUE(scc::same_partition(a.labels, b.labels));
+  EXPECT_LE(b.metrics.outer_iterations, a.metrics.outer_iterations);
+}
+
+TEST(EclMinMax, LabelsAreComponentMembers) {
+  // Min-detected components are labeled by their minimum member, so the
+  // max-ID invariant does not hold — but every label must still name a
+  // member of its own class.
+  Rng rng(55);
+  const auto g = graph::random_digraph(400, 1000, rng);
+  scc::EclOptions opts;
+  opts.min_max_signatures = true;
+  const auto r = scc::ecl_scc(g, opts);
+  for (graph::vid v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_LT(r.labels[v], g.num_vertices());
+    ASSERT_EQ(r.labels[r.labels[v]], r.labels[v]);
+  }
+}
+
+}  // namespace
+}  // namespace ecl::test
+
+// ---- failure injection: adversarial block scheduling ----------------------
+
+namespace ecl::test {
+namespace {
+
+TEST(EclScc, CorrectUnderReversedBlockScheduling) {
+  device::DeviceProfile profile = device::a100_profile();
+  profile.launch_overhead_us = 0.0;
+  profile.reverse_block_order = true;
+  device::Device adversarial(profile);
+  Rng rng(909);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = graph::random_digraph(300, 900, rng);
+    const auto oracle = scc::tarjan(g);
+    EXPECT_TRUE(scc::same_partition(scc::ecl_scc(g, adversarial).labels, oracle.labels));
+  }
+}
+
+TEST(FbTrimInjection, CorrectUnderReversedBlockScheduling) {
+  device::DeviceProfile profile = device::a100_profile();
+  profile.launch_overhead_us = 0.0;
+  profile.reverse_block_order = true;
+  device::Device adversarial(profile);
+  Rng rng(910);
+  const auto g = graph::random_digraph(300, 900, rng);
+  const auto oracle = scc::tarjan(g);
+  EXPECT_TRUE(scc::same_partition(scc::fb_trim(g, adversarial, {}).labels, oracle.labels));
+}
+
+}  // namespace
+}  // namespace ecl::test
+
+namespace ecl::test {
+namespace {
+
+TEST(EclScc, PhaseTimingBreakdownIsPopulated) {
+  Rng rng(4242);
+  const auto g = graph::random_digraph(2000, 8000, rng);
+  const auto r = scc::ecl_scc(g);
+  EXPECT_GT(r.metrics.phase1_seconds, 0.0);
+  EXPECT_GT(r.metrics.phase2_seconds, 0.0);
+  EXPECT_GT(r.metrics.phase3_seconds, 0.0);
+  // §3.3: Phase 2 "is the most performance critical code".
+  EXPECT_GT(r.metrics.phase2_seconds, r.metrics.phase1_seconds);
+}
+
+}  // namespace
+}  // namespace ecl::test

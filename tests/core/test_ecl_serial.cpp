@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/test_graphs.hpp"
+#include "core/ecl_serial.hpp"
+#include "core/tarjan.hpp"
+#include "core/verify.hpp"
+#include "graph/permute.hpp"
+
+namespace ecl::test {
+namespace {
+
+using graph::vid;
+
+TEST(EclSerial, LabelsAreMaxMemberIds) {
+  for (const auto& g : all_test_graphs()) {
+    const auto r = scc::ecl_serial(g.graph);
+    EXPECT_TRUE(scc::verify_max_id_labels(r.labels).ok) << g.name;
+  }
+}
+
+TEST(EclSerial, Fig3LabelsMatchPaperConvention) {
+  const auto r = scc::ecl_serial(fig3_graph());
+  // Each SCC's signature is the max vertex ID among its members (§3.2.1).
+  for (const auto& component : fig3_components()) {
+    vid max_id = 0;
+    for (vid v : component) max_id = std::max(max_id, v);
+    for (vid v : component) EXPECT_EQ(r.labels[v], max_id) << "vertex " << v;
+  }
+}
+
+TEST(EclSerial, Fig3TakesMultipleOuterIterations) {
+  // The clusters contain chains of SCCs, so one iteration detects only the
+  // max SCCs (those containing 9 and 11); the rest need further iterations.
+  const auto r = scc::ecl_serial(fig3_graph());
+  EXPECT_GE(r.metrics.outer_iterations, 2u);
+  EXPECT_GT(r.metrics.edges_removed, 0u);
+}
+
+TEST(EclSerial, SingleCycleConvergesInOneIteration) {
+  const auto r = scc::ecl_serial(graph::cycle_graph(32));
+  EXPECT_EQ(r.metrics.outer_iterations, 1u);
+  EXPECT_EQ(r.num_components, 1u);
+  for (vid v = 0; v < 32; ++v) EXPECT_EQ(r.labels[v], 31u);
+}
+
+TEST(EclSerial, EdgeRemovalNeverRemovesIntraComponentEdges) {
+  // After convergence all intra-SCC edges remain: edges_removed must equal
+  // the number of inter-SCC edges exactly.
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = graph::random_digraph(80, 200, rng);
+    const auto oracle = scc::tarjan(g);
+    graph::eid inter = 0;
+    for (vid u = 0; u < g.num_vertices(); ++u)
+      for (vid v : g.out_neighbors(u))
+        if (oracle.labels[u] != oracle.labels[v]) ++inter;
+    const auto r = scc::ecl_serial(g);
+    EXPECT_EQ(r.metrics.edges_removed, inter);
+  }
+}
+
+TEST(EclSerial, OuterIterationsScaleLogarithmicallyOnChains) {
+  // §3.2: random IDs roughly halve the DAG depth each outer iteration. Our
+  // chain has sequential IDs which is the favorable case; permuted IDs
+  // still take ~log(d) iterations, far below d.
+  Rng rng(11);
+  const auto chain = graph::cycle_chain(256, 1);  // depth-256 DAG of trivial SCCs
+  const auto permuted = graph::randomly_permute(chain, rng);
+  const auto r = scc::ecl_serial(permuted.graph);
+  EXPECT_EQ(r.num_components, 256u);
+  EXPECT_LE(r.metrics.outer_iterations, 24u)  // log2(256) = 8, allow slack
+      << "outer iterations did not shrink the DAG geometrically";
+}
+
+TEST(EclSerial, MatchesTarjanOnEverything) {
+  for (const auto& g : all_test_graphs()) {
+    const auto r = scc::ecl_serial(g.graph);
+    const auto oracle = scc::tarjan(g.graph);
+    EXPECT_EQ(r.num_components, oracle.num_components) << g.name;
+    EXPECT_TRUE(scc::same_partition(r.labels, oracle.labels)) << g.name;
+  }
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "common/test_graphs.hpp"
+#include "core/hong.hpp"
+#include "core/tarjan.hpp"
+
+namespace ecl::test {
+namespace {
+
+TEST(Hong, MatchesTarjanOnAllTestGraphs) {
+  for (const auto& g : all_test_graphs()) {
+    const auto oracle = scc::tarjan(g.graph);
+    const auto r = scc::hong(g.graph);
+    EXPECT_EQ(r.num_components, oracle.num_components) << g.name;
+    EXPECT_TRUE(scc::same_partition(r.labels, oracle.labels)) << g.name;
+  }
+}
+
+TEST(Hong, ThreadCountSweep) {
+  Rng rng(21);
+  const auto g = graph::random_digraph(500, 2000, rng);
+  const auto oracle = scc::tarjan(g);
+  for (unsigned threads : {1u, 2u, 4u}) {
+    scc::HongOptions opts;
+    opts.num_threads = threads;
+    EXPECT_TRUE(scc::same_partition(scc::hong(g, opts).labels, oracle.labels));
+  }
+}
+
+TEST(Hong, GiantSccDetectedInPhase1) {
+  Rng rng(22);
+  graph::SccProfile p;
+  p.num_vertices = 1000;
+  p.giant_fraction = 0.8;
+  p.dag_depth = 4;
+  const auto g = graph::scc_profile_graph(p, rng);
+  const auto r = scc::hong(g);
+  EXPECT_TRUE(scc::same_partition(r.labels, scc::tarjan(g).labels));
+  // Phase 1 handles the giant; few FB steps remain for the residue.
+  EXPECT_LE(r.metrics.outer_iterations, 200u);
+}
+
+TEST(Hong, Trim2ToggleStaysCorrect) {
+  Rng rng(23);
+  const auto g = graph::random_digraph(300, 600, rng);
+  const auto oracle = scc::tarjan(g);
+  for (bool trim2 : {false, true}) {
+    scc::HongOptions opts;
+    opts.trim2 = trim2;
+    EXPECT_TRUE(scc::same_partition(scc::hong(g, opts).labels, oracle.labels));
+  }
+}
+
+TEST(Hong, ManyWccPiecesProcessedIndependently) {
+  // Disconnected cycles: phase 2 must handle every WCC as its own task.
+  graph::EdgeList e;
+  for (graph::vid c = 0; c < 40; ++c) {
+    const graph::vid base = c * 5;
+    for (graph::vid i = 0; i < 5; ++i) e.add(base + i, base + (i + 1) % 5);
+  }
+  const graph::Digraph g(200, e);
+  const auto r = scc::hong(g);
+  EXPECT_EQ(r.num_components, 40u);
+}
+
+TEST(Hong, EmptyGraph) {
+  EXPECT_EQ(scc::hong(graph::Digraph(0, graph::EdgeList{})).num_components, 0u);
+}
+
+}  // namespace
+}  // namespace ecl::test

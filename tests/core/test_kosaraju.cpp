@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "common/test_graphs.hpp"
+#include "core/kosaraju.hpp"
+#include "core/tarjan.hpp"
+
+namespace ecl::test {
+namespace {
+
+TEST(Kosaraju, AgreesWithTarjanOnStructuredGraphs) {
+  for (const auto& g : structured_graphs()) {
+    const auto a = scc::kosaraju(g.graph);
+    const auto b = scc::tarjan(g.graph);
+    EXPECT_EQ(a.num_components, b.num_components) << g.name;
+    EXPECT_TRUE(scc::same_partition(a.labels, b.labels)) << g.name;
+  }
+}
+
+TEST(Kosaraju, AgreesWithTarjanOnRandomGraphs) {
+  for (const auto& g : random_graphs()) {
+    const auto a = scc::kosaraju(g.graph);
+    const auto b = scc::tarjan(g.graph);
+    EXPECT_TRUE(scc::same_partition(a.labels, b.labels)) << g.name;
+  }
+}
+
+TEST(Kosaraju, LabelsAreTopologicallyOrdered) {
+  // Kosaraju numbers components in topological order of the condensation:
+  // for every edge u -> v across components, label[u] <= label[v] must hold
+  // with the reverse convention... our implementation processes reverse
+  // post-order, so sources get the smallest labels.
+  const graph::Digraph g = graph::cycle_chain(8, 3);
+  const auto r = scc::kosaraju(g);
+  for (graph::vid u = 0; u < g.num_vertices(); ++u) {
+    for (graph::vid v : g.out_neighbors(u)) {
+      EXPECT_LE(r.labels[u], r.labels[v]) << "edge " << u << "->" << v;
+    }
+  }
+}
+
+TEST(Kosaraju, DeepGraphDoesNotOverflowStack) {
+  const auto r = scc::kosaraju(graph::path_graph(2'000'000));
+  EXPECT_EQ(r.num_components, 2'000'000u);
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,139 @@
+// Property-based tests: randomized structural invariants of SCC
+// decompositions and of the ECL-SCC labeling, checked across seeds via
+// TEST_P sweeps.
+
+#include <gtest/gtest.h>
+
+#include "common/test_graphs.hpp"
+#include "core/ecl_scc.hpp"
+#include "core/ecl_serial.hpp"
+#include "core/tarjan.hpp"
+#include "core/verify.hpp"
+#include "graph/condensation.hpp"
+#include "graph/permute.hpp"
+#include "graph/scc_stats.hpp"
+
+namespace ecl::test {
+namespace {
+
+using graph::Digraph;
+using graph::vid;
+
+class SccProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Digraph random_graph(Rng& rng) {
+    const vid n = static_cast<vid>(50 + rng.bounded(250));
+    const auto m = static_cast<graph::eid>(n * (0.5 + rng.uniform() * 3.0));
+    return graph::random_digraph(n, m, rng);
+  }
+};
+
+TEST_P(SccProperties, IntraComponentEdgeAdditionPreservesPartition) {
+  Rng rng(GetParam());
+  const Digraph g = random_graph(rng);
+  const auto before = scc::tarjan(g);
+
+  // Add an edge between two vertices already in the same component.
+  vid a = graph::kInvalidVid, b = graph::kInvalidVid;
+  for (vid u = 0; u < g.num_vertices() && a == graph::kInvalidVid; ++u) {
+    for (vid v = 0; v < g.num_vertices(); ++v) {
+      if (u != v && before.labels[u] == before.labels[v] && !g.has_edge(u, v)) {
+        a = u;
+        b = v;
+        break;
+      }
+    }
+  }
+  if (a == graph::kInvalidVid) GTEST_SKIP() << "no non-trivial component in this draw";
+
+  auto edges = g.edges();
+  edges.add(a, b);
+  const Digraph g2(g.num_vertices(), edges);
+  const auto after = scc::tarjan(g2);
+  EXPECT_TRUE(scc::same_partition(before.labels, after.labels));
+}
+
+TEST_P(SccProperties, CrossEdgeAdditionOnlyCoarsensPartition) {
+  Rng rng(GetParam() ^ 0x9e37);
+  const Digraph g = random_graph(rng);
+  const auto before = scc::tarjan(g);
+
+  auto edges = g.edges();
+  const vid a = static_cast<vid>(rng.bounded(g.num_vertices()));
+  const vid b = static_cast<vid>(rng.bounded(g.num_vertices()));
+  edges.add(a, b);
+  const Digraph g2(g.num_vertices(), edges);
+  const auto after = scc::tarjan(g2);
+
+  // Adding any edge can merge components but never split one: vertices
+  // together before must stay together.
+  EXPECT_LE(after.num_components, before.num_components);
+  for (vid u = 0; u < g.num_vertices(); ++u) {
+    for (vid v = u + 1; v < g.num_vertices(); ++v) {
+      if (before.labels[u] == before.labels[v]) {
+        ASSERT_EQ(after.labels[u], after.labels[v]);
+      }
+    }
+  }
+}
+
+TEST_P(SccProperties, EclLabelsMapThroughPermutations) {
+  Rng rng(GetParam() ^ 0xabcd);
+  const Digraph g = random_graph(rng);
+  const auto base = scc::ecl_scc(g);
+  const auto permuted = graph::randomly_permute(g, rng);
+  const auto relabeled = scc::ecl_scc(permuted.graph);
+
+  // The partition must map through the permutation, and the max-ID label
+  // invariant must hold in the permuted ID space too.
+  EXPECT_TRUE(scc::verify_max_id_labels(relabeled.labels).ok);
+  for (vid u = 0; u < g.num_vertices(); ++u) {
+    for (vid v = u + 1; v < g.num_vertices(); ++v) {
+      const bool together = base.labels[u] == base.labels[v];
+      const bool together_permuted =
+          relabeled.labels[permuted.perm[u]] == relabeled.labels[permuted.perm[v]];
+      ASSERT_EQ(together, together_permuted);
+    }
+  }
+}
+
+TEST_P(SccProperties, SerialAndParallelEclAgreeExactly) {
+  Rng rng(GetParam() ^ 0x1111);
+  const Digraph g = random_graph(rng);
+  const auto serial = scc::ecl_serial(g);
+  const auto parallel = scc::ecl_scc(g);
+  EXPECT_EQ(serial.labels, parallel.labels)
+      << "both use max-member labels, so they must match exactly";
+}
+
+TEST_P(SccProperties, CondensationIsIdempotent) {
+  Rng rng(GetParam() ^ 0x2222);
+  const Digraph g = random_graph(rng);
+  auto labels = scc::tarjan(g).labels;
+  const vid k = graph::normalize_labels(labels);
+  const Digraph cond = graph::condensation(g, labels, k);
+  // The condensation is a DAG: condensing it again is the identity.
+  auto labels2 = scc::tarjan(cond).labels;
+  const vid k2 = graph::normalize_labels(labels2);
+  EXPECT_EQ(k2, k);
+  const Digraph cond2 = graph::condensation(cond, labels2, k2);
+  EXPECT_EQ(cond2.num_edges(), cond.num_edges());
+}
+
+TEST_P(SccProperties, ComponentCountBounds) {
+  Rng rng(GetParam() ^ 0x3333);
+  const Digraph g = random_graph(rng);
+  const auto r = scc::ecl_scc(g);
+  EXPECT_GE(r.num_components, 1u);
+  EXPECT_LE(r.num_components, g.num_vertices());
+  const auto sizes = graph::component_sizes(r.labels);
+  vid total = 0;
+  for (vid s : sizes) total += s;
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SccProperties,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/test_graphs.hpp"
+#include "core/registry.hpp"
+
+namespace ecl::test {
+namespace {
+
+TEST(Registry, ListsAllExpectedConfigurations) {
+  const auto names = scc::algorithm_names();
+  for (const char* expected : {"tarjan", "kosaraju", "ecl-serial", "ecl-a100", "ecl-titanv",
+                               "gpu-scc-a100", "gpu-scc-titanv", "ispan", "hong", "ecl-omp"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing " << expected;
+  }
+}
+
+TEST(Registry, UnknownNameThrowsWithValidList) {
+  try {
+    (void)scc::find_algorithm("quantum-scc");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("tarjan"), std::string::npos)
+        << "error message should list valid algorithms";
+  }
+}
+
+TEST(Registry, RunAlgorithmExecutes) {
+  const auto r = scc::run_algorithm("tarjan", fig3_graph());
+  EXPECT_EQ(r.num_components, 7u);
+}
+
+TEST(Registry, AllEntriesAreRunnable) {
+  const auto g = fig2_graph();
+  for (const auto& name : scc::algorithm_names()) {
+    const auto r = scc::run_algorithm(name, g);
+    EXPECT_EQ(r.num_components, 3u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ecl::test

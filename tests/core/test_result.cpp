@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "core/result.hpp"
+
+namespace ecl::test {
+namespace {
+
+using graph::vid;
+
+TEST(SamePartition, IdenticalLabels) {
+  const std::vector<vid> a{0, 1, 1, 2};
+  EXPECT_TRUE(scc::same_partition(a, a));
+}
+
+TEST(SamePartition, RenamedLabels) {
+  const std::vector<vid> a{0, 1, 1, 2};
+  const std::vector<vid> b{3, 0, 0, 1};
+  EXPECT_TRUE(scc::same_partition(a, b));
+}
+
+TEST(SamePartition, DifferentGrouping) {
+  const std::vector<vid> a{0, 0, 1, 1};
+  const std::vector<vid> b{0, 1, 1, 0};
+  EXPECT_FALSE(scc::same_partition(a, b));
+}
+
+TEST(SamePartition, RefinementIsNotEquality) {
+  const std::vector<vid> coarse{0, 0, 0};
+  const std::vector<vid> fine{0, 0, 1};
+  EXPECT_FALSE(scc::same_partition(coarse, fine));
+  EXPECT_FALSE(scc::same_partition(fine, coarse));
+}
+
+TEST(SamePartition, SizeMismatch) {
+  const std::vector<vid> a{0, 1};
+  const std::vector<vid> b{0, 1, 2};
+  EXPECT_FALSE(scc::same_partition(a, b));
+}
+
+TEST(SamePartition, Empty) {
+  EXPECT_TRUE(scc::same_partition(std::vector<vid>{}, std::vector<vid>{}));
+}
+
+TEST(CanonicalizeLabels, RewritesToSmallestMember) {
+  // Components {0,2} labeled 2 and {1,3} labeled 3 become labeled 0 and 1.
+  std::vector<vid> labels{2, 3, 2, 3};
+  scc::canonicalize_labels(labels);
+  EXPECT_EQ(labels, (std::vector<vid>{0, 1, 0, 1}));
+}
+
+TEST(CanonicalizeLabels, IdempotentAndPartitionPreserving) {
+  std::vector<vid> labels{5, 5, 2, 2, 5, 0};
+  const std::vector<vid> original = labels;
+  scc::canonicalize_labels(labels);
+  EXPECT_TRUE(scc::same_partition(original, labels));
+  std::vector<vid> again = labels;
+  scc::canonicalize_labels(again);
+  EXPECT_EQ(again, labels);
+}
+
+TEST(CanonicalizeLabels, MaxIdLabelsBecomeMinIdLabels) {
+  // ECL-SCC convention (max member) -> canonical (min member).
+  std::vector<vid> labels{4, 4, 4, 4, 4, 5};
+  scc::canonicalize_labels(labels);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(labels[i], 0u);
+  EXPECT_EQ(labels[5], 5u);
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/test_graphs.hpp"
+#include "core/tarjan.hpp"
+#include "graph/permute.hpp"
+
+namespace ecl::test {
+namespace {
+
+using scc::SccResult;
+
+TEST(Tarjan, EmptyGraph) {
+  const SccResult r = scc::tarjan(graph::Digraph(0, graph::EdgeList{}));
+  EXPECT_EQ(r.num_components, 0u);
+  EXPECT_TRUE(r.labels.empty());
+}
+
+TEST(Tarjan, SingleVertex) {
+  const SccResult r = scc::tarjan(graph::Digraph(1, graph::EdgeList{}));
+  EXPECT_EQ(r.num_components, 1u);
+}
+
+TEST(Tarjan, SelfLoopIsTrivialComponent) {
+  graph::EdgeList e;
+  e.add(0, 0);
+  const SccResult r = scc::tarjan(graph::Digraph(1, e));
+  EXPECT_EQ(r.num_components, 1u);
+}
+
+TEST(Tarjan, PathHasOneComponentPerVertex) {
+  const SccResult r = scc::tarjan(graph::path_graph(64));
+  EXPECT_EQ(r.num_components, 64u);
+}
+
+TEST(Tarjan, CycleIsOneComponent) {
+  const SccResult r = scc::tarjan(graph::cycle_graph(64));
+  EXPECT_EQ(r.num_components, 1u);
+  for (graph::vid v = 0; v < 64; ++v) EXPECT_EQ(r.labels[v], r.labels[0]);
+}
+
+TEST(Tarjan, CycleChainHasOneComponentPerCycle) {
+  const SccResult r = scc::tarjan(graph::cycle_chain(10, 7));
+  EXPECT_EQ(r.num_components, 10u);
+}
+
+TEST(Tarjan, Fig3Components) {
+  const SccResult r = scc::tarjan(fig3_graph());
+  EXPECT_EQ(r.num_components, 7u);
+  for (const auto& component : fig3_components()) {
+    for (graph::vid member : component) {
+      EXPECT_EQ(r.labels[member], r.labels[component[0]])
+          << "vertex " << member << " not grouped with " << component[0];
+    }
+  }
+  // Distinct components must carry distinct labels.
+  EXPECT_NE(r.labels[0], r.labels[2]);
+  EXPECT_NE(r.labels[9], r.labels[11]);
+  EXPECT_NE(r.labels[5], r.labels[10]);
+}
+
+TEST(Tarjan, DeepGraphDoesNotOverflowStack) {
+  // 2M-vertex path: a recursive DFS would crash here.
+  const SccResult r = scc::tarjan(graph::path_graph(2'000'000));
+  EXPECT_EQ(r.num_components, 2'000'000u);
+}
+
+TEST(Tarjan, ComponentCountInvariantUnderRelabeling) {
+  Rng rng(7);
+  const graph::Digraph g = graph::random_digraph(200, 400, rng);
+  const SccResult before = scc::tarjan(g);
+  const auto permuted = graph::randomly_permute(g, rng);
+  const SccResult after = scc::tarjan(permuted.graph);
+  EXPECT_EQ(before.num_components, after.num_components);
+
+  // The partition must map through the permutation.
+  for (graph::vid u = 0; u < g.num_vertices(); ++u) {
+    for (graph::vid v = u + 1; v < g.num_vertices(); ++v) {
+      const bool together_before = before.labels[u] == before.labels[v];
+      const bool together_after =
+          after.labels[permuted.perm[u]] == after.labels[permuted.perm[v]];
+      ASSERT_EQ(together_before, together_after);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecl::test

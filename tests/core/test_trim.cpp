@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/test_graphs.hpp"
+#include "core/tarjan.hpp"
+#include "core/trim.hpp"
+#include "graph/scc_stats.hpp"
+
+namespace ecl::test {
+namespace {
+
+using graph::Digraph;
+using graph::vid;
+using scc::TrimView;
+
+struct TrimFixture {
+  explicit TrimFixture(Digraph graph)
+      : g(std::move(graph)),
+        rev(g.reverse()),
+        active(g.num_vertices(), 1),
+        labels(g.num_vertices(), graph::kInvalidVid) {}
+
+  TrimView view() { return TrimView{g, rev, {}, active, labels}; }
+
+  Digraph g;
+  Digraph rev;
+  std::vector<std::uint8_t> active;
+  std::vector<vid> labels;
+};
+
+TEST(Trim1, RemovesEntirePath) {
+  TrimFixture f(graph::path_graph(32));
+  const vid removed = scc::trim1(f.view());
+  EXPECT_EQ(removed, 32u);
+  for (vid v = 0; v < 32; ++v) {
+    EXPECT_EQ(f.active[v], 0);
+    EXPECT_EQ(f.labels[v], v);  // trivial SCC labeled by itself
+  }
+}
+
+TEST(Trim1, RemovesEntireGridDag) {
+  TrimFixture f(graph::grid_dag(8, 8));
+  EXPECT_EQ(scc::trim1(f.view()), 64u);
+}
+
+TEST(Trim1, LeavesCycleUntouched) {
+  TrimFixture f(graph::cycle_graph(10));
+  EXPECT_EQ(scc::trim1(f.view()), 0u);
+  for (vid v = 0; v < 10; ++v) EXPECT_EQ(f.active[v], 1);
+}
+
+TEST(Trim1, PeelsAroundCycle) {
+  // path -> cycle -> path: only the cycle survives.
+  graph::EdgeList e;
+  for (vid v = 0; v + 1 < 5; ++v) e.add(v, v + 1);   // 0..4 chain
+  e.add(4, 5);
+  e.add(5, 6);
+  e.add(6, 4);                                        // cycle {4,5,6}
+  e.add(6, 7);
+  e.add(7, 8);                                        // tail
+  TrimFixture f(Digraph(9, e));
+  EXPECT_EQ(scc::trim1(f.view()), 6u);
+  EXPECT_EQ(f.active[4] + f.active[5] + f.active[6], 3);
+}
+
+TEST(Trim1, SinglePassIsOnlyOneSweep) {
+  // In a path, one pass removes at least the endpoints; iteration finishes.
+  TrimFixture f(graph::path_graph(8));
+  const vid first = scc::trim1_pass(f.view());
+  EXPECT_GT(first, 0u);
+}
+
+TEST(Trim1, SelfLoopVertexIsStillTrivial) {
+  graph::EdgeList e;
+  e.add(0, 0);
+  e.add(0, 1);
+  TrimFixture f(Digraph(2, e));
+  // Self loops do not make a vertex non-trivial; both are size-1 SCCs.
+  EXPECT_EQ(scc::trim1(f.view()), 2u);
+}
+
+TEST(Trim2, DetectsIsolatedPair) {
+  graph::EdgeList e;
+  e.add(0, 1);
+  e.add(1, 0);
+  TrimFixture f(Digraph(2, e));
+  EXPECT_EQ(scc::trim2_pass(f.view()), 2u);
+  EXPECT_EQ(f.labels[0], 1u);
+  EXPECT_EQ(f.labels[1], 1u);  // labeled by the max member
+}
+
+TEST(Trim2, DetectsPairWithOutgoingEdges) {
+  // 0 <-> 1 with extra outgoing edges (pattern (a): no external in-edges).
+  graph::EdgeList e;
+  e.add(0, 1);
+  e.add(1, 0);
+  e.add(0, 2);
+  e.add(1, 3);
+  TrimFixture f(Digraph(4, e));
+  EXPECT_EQ(scc::trim2_pass(f.view()), 2u);
+  EXPECT_EQ(f.labels[0], 1u);
+}
+
+TEST(Trim2, DetectsPairWithIncomingEdges) {
+  // pattern (b): external in-edges but no external out-edges.
+  graph::EdgeList e;
+  e.add(0, 1);
+  e.add(1, 0);
+  e.add(2, 0);
+  e.add(3, 1);
+  TrimFixture f(Digraph(4, e));
+  EXPECT_EQ(scc::trim2_pass(f.view()), 2u);
+}
+
+TEST(Trim2, IgnoresPairInsideLargerComponent) {
+  // 0 <-> 1 but both on a 4-cycle: SCC is {0,1,2,3}, trim must not fire.
+  graph::EdgeList e;
+  e.add(0, 1);
+  e.add(1, 0);
+  e.add(1, 2);
+  e.add(2, 3);
+  e.add(3, 0);
+  TrimFixture f(Digraph(4, e));
+  EXPECT_EQ(scc::trim2_pass(f.view()), 0u);
+}
+
+TEST(Trim3, DetectsTriangle) {
+  graph::EdgeList e;
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(2, 0);
+  TrimFixture f(Digraph(3, e));
+  EXPECT_EQ(scc::trim3_pass(f.view()), 3u);
+  EXPECT_EQ(f.labels[0], 2u);
+  EXPECT_EQ(f.labels[1], 2u);
+  EXPECT_EQ(f.labels[2], 2u);
+}
+
+TEST(Trim3, DetectsTriangleWithOnlyOutgoingExtras) {
+  graph::EdgeList e;
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(2, 0);
+  e.add(1, 3);  // external out-edge is allowed
+  TrimFixture f(Digraph(4, e));
+  EXPECT_EQ(scc::trim3_pass(f.view()), 3u);
+}
+
+TEST(Trim3, SkipsTriangleWithBothExternalDirections) {
+  // One external in-edge AND one external out-edge: not safely detectable
+  // by a local pattern (the triple could be part of a larger SCC).
+  graph::EdgeList e;
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(2, 0);
+  e.add(3, 0);  // external in
+  e.add(1, 4);  // external out
+  TrimFixture f(Digraph(5, e));
+  EXPECT_EQ(scc::trim3_pass(f.view()), 0u);
+}
+
+TEST(Trim3, SkipsNonStronglyConnectedTriple) {
+  graph::EdgeList e;
+  e.add(0, 1);
+  e.add(0, 2);
+  e.add(1, 2);  // DAG triple
+  TrimFixture f(Digraph(3, e));
+  EXPECT_EQ(scc::trim3_pass(f.view()), 0u);
+}
+
+TEST(TrimCombined, Fig2GraphFullyTrimmed) {
+  TrimFixture f(fig2_graph());
+  vid removed = scc::trim1(f.view());     // vertex 0
+  removed += scc::trim2_pass(f.view());   // pair {1,2}
+  removed += scc::trim3_pass(f.view());   // ring {3,4,5}
+  EXPECT_EQ(removed, 6u);
+  EXPECT_EQ(f.labels[0], 0u);
+  EXPECT_EQ(f.labels[1], 2u);
+  EXPECT_EQ(f.labels[2], 2u);
+  EXPECT_EQ(f.labels[3], 5u);
+  EXPECT_EQ(f.labels[5], 5u);
+}
+
+TEST(TrimCombined, NeverSplitsRealComponents) {
+  // Property: on random graphs, any vertex the trims label must form a
+  // complete SCC according to Tarjan.
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Digraph g = graph::random_digraph(120, 240, rng);
+    const auto oracle = scc::tarjan(g);
+    std::vector<vid> sizes(oracle.num_components, 0);
+    for (vid v = 0; v < g.num_vertices(); ++v) ++sizes[oracle.labels[v]];
+
+    TrimFixture f(g);
+    scc::trim1(f.view());
+    scc::trim2_pass(f.view());
+    scc::trim3_pass(f.view());
+
+    for (vid v = 0; v < g.num_vertices(); ++v) {
+      if (f.active[v]) continue;
+      // Every member of v's oracle component must be trimmed with the same
+      // label, and the component size must match the trim size class.
+      const vid oracle_comp = oracle.labels[v];
+      ASSERT_LE(sizes[oracle_comp], 3u) << "trimmed a large SCC member";
+      for (vid u = 0; u < g.num_vertices(); ++u) {
+        if (oracle.labels[u] == oracle_comp) {
+          ASSERT_EQ(f.active[u], 0) << "partially trimmed component";
+          ASSERT_EQ(f.labels[u], f.labels[v]);
+        }
+      }
+    }
+  }
+}
+
+TEST(TrimColors, RespectsColorPartition) {
+  // A 2-cycle whose endpoints are in different color classes cannot be an
+  // SCC under the FB invariant, so trim-2 must not fire, and trim-1 sees
+  // both vertices as having no same-color neighbors.
+  graph::EdgeList e;
+  e.add(0, 1);
+  e.add(1, 0);
+  const Digraph g(2, e);
+  const Digraph rev = g.reverse();
+  std::vector<std::uint64_t> color{1, 2};
+  std::vector<std::uint8_t> active(2, 1);
+  std::vector<vid> labels(2, graph::kInvalidVid);
+  TrimView view{g, rev, color, active, labels};
+  EXPECT_EQ(scc::trim2_pass(view), 0u);
+  EXPECT_EQ(scc::trim1_pass(view), 2u);  // both become trivial SCCs
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "common/test_graphs.hpp"
+#include "core/tarjan.hpp"
+#include "core/verify.hpp"
+
+namespace ecl::test {
+namespace {
+
+using graph::vid;
+
+TEST(Verify, AcceptsCorrectLabeling) {
+  const auto g = fig3_graph();
+  const auto oracle = scc::tarjan(g);
+  EXPECT_TRUE(scc::verify_scc(g, oracle.labels).ok);
+}
+
+TEST(Verify, RejectsSplitComponent) {
+  // Splitting the SCC {1,4,9} of fig3 into {1} and {4,9} violates
+  // maximality: the condensation gains a cycle.
+  const auto g = fig3_graph();
+  auto labels = scc::tarjan(g).labels;
+  const vid fresh = 11;  // unused label value (tarjan labels are dense 0..6)
+  labels[1] = fresh;
+  ASSERT_NE(labels[4], fresh);
+  const auto report = scc::verify_scc(g, labels);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(Verify, RejectsMergedComponents) {
+  // Merging {5} into {2,7} produces a class that is not strongly connected.
+  const auto g = fig3_graph();
+  auto labels = scc::tarjan(g).labels;
+  labels[5] = labels[2];
+  const auto report = scc::verify_scc(g, labels);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.message.find("not strongly connected"), std::string::npos);
+}
+
+TEST(Verify, RejectsWrongSizeLabelVector) {
+  const auto g = fig3_graph();
+  std::vector<vid> labels(5, 0);
+  EXPECT_FALSE(scc::verify_scc(g, labels).ok);
+}
+
+TEST(Verify, AgainstOracleDetectsMismatch) {
+  std::vector<vid> a{0, 0, 1};
+  std::vector<vid> b{0, 1, 1};
+  EXPECT_FALSE(scc::verify_against(a, b).ok);
+  EXPECT_TRUE(scc::verify_against(a, a).ok);
+}
+
+TEST(Verify, AgainstOracleAcceptsRenamedLabels) {
+  std::vector<vid> a{0, 0, 1, 2};
+  std::vector<vid> b{2, 2, 0, 1};  // same partition, different names
+  EXPECT_TRUE(scc::verify_against(a, b).ok);
+}
+
+TEST(Verify, MaxIdLabelsAccepted) {
+  // fig3 components labeled by their max member.
+  const auto g = fig3_graph();
+  std::vector<vid> labels(g.num_vertices());
+  for (const auto& component : fig3_components()) {
+    vid max_id = 0;
+    for (vid v : component) max_id = std::max(max_id, v);
+    for (vid v : component) labels[v] = max_id;
+  }
+  EXPECT_TRUE(scc::verify_max_id_labels(labels).ok);
+  EXPECT_TRUE(scc::verify_scc(g, labels).ok);
+}
+
+TEST(Verify, MaxIdLabelsRejectNonMaxRepresentative) {
+  std::vector<vid> labels{0, 0};  // component {0,1} labeled 0, not 1
+  const auto report = scc::verify_max_id_labels(labels);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(Verify, MaxIdLabelsRejectForeignRepresentative) {
+  std::vector<vid> labels{2, 2, 0};  // vertex 2's label (0) not in class {2}
+  EXPECT_FALSE(scc::verify_max_id_labels(labels).ok);
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "device/atomics.hpp"
+
+namespace ecl::test {
+namespace {
+
+using device::AtomicU32;
+
+TEST(Atomics, FetchMaxRaisesValue) {
+  AtomicU32 slot{5};
+  EXPECT_TRUE(device::atomic_fetch_max(slot, 9));
+  EXPECT_EQ(slot.load(), 9u);
+}
+
+TEST(Atomics, FetchMaxIgnoresSmaller) {
+  AtomicU32 slot{5};
+  EXPECT_FALSE(device::atomic_fetch_max(slot, 3));
+  EXPECT_FALSE(device::atomic_fetch_max(slot, 5));
+  EXPECT_EQ(slot.load(), 5u);
+}
+
+TEST(Atomics, RacyStoreMaxRaisesValue) {
+  AtomicU32 slot{5};
+  EXPECT_TRUE(device::racy_store_max(slot, 9));
+  EXPECT_EQ(slot.load(), 9u);
+  EXPECT_FALSE(device::racy_store_max(slot, 2));
+  EXPECT_EQ(slot.load(), 9u);
+}
+
+TEST(Atomics, ConcurrentFetchMaxConvergesToMaximum) {
+  // atomic_fetch_max is exact under contention: the maximum always wins.
+  AtomicU32 slot{0};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < 8; ++t) {
+    threads.emplace_back([&slot, t] {
+      for (std::uint32_t i = 0; i < 10'000; ++i)
+        device::atomic_fetch_max(slot, t * 10'000 + i);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(slot.load(), 7u * 10'000 + 9'999);
+}
+
+TEST(Atomics, RacyStoreMaxIsMonotonePerRoundWithRetry) {
+  // Model of the paper's benign race (§3.4): racing writers may lose an
+  // update, but retrying until no writer succeeds always ends at the true
+  // maximum — exactly how Phase 2 uses it.
+  AtomicU32 slot{0};
+  const std::vector<std::uint32_t> values{3, 17, 42, 8, 99, 56, 23, 77};
+  bool changed = true;
+  int rounds = 0;
+  while (changed) {
+    ++rounds;
+    changed = false;
+    std::vector<std::thread> threads;
+    std::atomic<bool> any{false};
+    for (std::uint32_t v : values) {
+      threads.emplace_back([&slot, &any, v] {
+        if (device::racy_store_max(slot, v)) any.store(true);
+      });
+    }
+    for (auto& th : threads) th.join();
+    changed = any.load();
+    ASSERT_LT(rounds, 100);
+  }
+  EXPECT_EQ(slot.load(), 99u);
+}
+
+}  // namespace
+}  // namespace ecl::test
+
+namespace ecl::test {
+namespace {
+
+TEST(Atomics, FetchMinLowersValue) {
+  device::AtomicU32 slot{10};
+  EXPECT_TRUE(device::atomic_fetch_min(slot, 3));
+  EXPECT_EQ(slot.load(), 3u);
+  EXPECT_FALSE(device::atomic_fetch_min(slot, 7));
+  EXPECT_EQ(slot.load(), 3u);
+}
+
+TEST(Atomics, RacyStoreMinLowersValue) {
+  device::AtomicU32 slot{10};
+  EXPECT_TRUE(device::racy_store_min(slot, 4));
+  EXPECT_FALSE(device::racy_store_min(slot, 9));
+  EXPECT_EQ(slot.load(), 4u);
+}
+
+}  // namespace
+}  // namespace ecl::test

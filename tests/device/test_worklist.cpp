@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "device/device.hpp"
+#include "device/worklist.hpp"
+#include "graph/generators.hpp"
+
+namespace ecl::test {
+namespace {
+
+using device::EdgeWorklist;
+using graph::Edge;
+
+TEST(Worklist, InitFromGraphHoldsAllEdges) {
+  const auto g = graph::cycle_graph(16);
+  EdgeWorklist wl(g);
+  EXPECT_EQ(wl.size(), 16u);
+  for (const Edge& e : wl.edges()) EXPECT_TRUE(g.has_edge(e.src, e.dst));
+}
+
+TEST(Worklist, PushAndSwap) {
+  const std::vector<Edge> init{{0, 1}, {1, 2}, {2, 0}};
+  EdgeWorklist wl{std::span<const Edge>(init)};
+  wl.push_next({0, 1});
+  wl.push_next({2, 0});
+  EXPECT_EQ(wl.size(), 3u);       // current buffer unchanged
+  EXPECT_EQ(wl.next_size(), 2u);  // survivors staged
+  wl.swap_buffers();
+  EXPECT_EQ(wl.size(), 2u);
+  EXPECT_EQ(wl.next_size(), 0u);
+}
+
+TEST(Worklist, RepeatedShrinkage) {
+  const auto g = graph::cycle_graph(64);
+  EdgeWorklist wl(g);
+  // Keep every other edge each round: size halves until empty.
+  std::size_t expected = 64;
+  while (expected > 0) {
+    const auto edges = wl.edges();
+    for (std::size_t i = 0; i < edges.size(); i += 2) wl.push_next(edges[i]);
+    wl.swap_buffers();
+    expected = (expected + 1) / 2;
+    if (expected == 1) {
+      EXPECT_EQ(wl.size(), 1u);
+      wl.swap_buffers();  // keep nothing
+      break;
+    }
+    EXPECT_EQ(wl.size(), expected);
+  }
+  EXPECT_TRUE(wl.empty());
+}
+
+TEST(Worklist, ConcurrentPushesFromDeviceBlocks) {
+  const std::size_t m = 10'000;
+  std::vector<Edge> init(m);
+  for (std::size_t i = 0; i < m; ++i)
+    init[i] = {static_cast<graph::vid>(i), static_cast<graph::vid>(i + 1)};
+  EdgeWorklist wl{std::span<const Edge>(init)};
+
+  device::Device dev(device::tiny_profile(), 4);
+  const auto edges = wl.edges();
+  dev.launch(8, [&](const device::BlockContext& ctx) {
+    ctx.for_each_chunk(m, [&](std::uint64_t lo, std::uint64_t hi) {
+      for (std::uint64_t i = lo; i < hi; ++i) wl.push_next(edges[i]);
+    });
+  });
+  wl.swap_buffers();
+  ASSERT_EQ(wl.size(), m);
+
+  // Every edge must appear exactly once (in some order).
+  std::vector<std::uint8_t> seen(m, 0);
+  for (const Edge& e : wl.edges()) {
+    ASSERT_LT(e.src, m);
+    ASSERT_EQ(seen[e.src], 0);
+    seen[e.src] = 1;
+  }
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "common/test_graphs.hpp"
+#include "core/tarjan.hpp"
+#include "graph/condensation.hpp"
+
+namespace ecl::test {
+namespace {
+
+using graph::vid;
+
+TEST(Condensation, NormalizeLabels) {
+  std::vector<vid> labels{5, 5, 2, 5, 2, 0};
+  const vid k = graph::normalize_labels(labels);
+  EXPECT_EQ(k, 3u);
+  EXPECT_EQ(labels, (std::vector<vid>{0, 0, 1, 0, 1, 2}));
+}
+
+TEST(Condensation, NormalizeRejectsOutOfRange) {
+  std::vector<vid> labels{0, 9};
+  EXPECT_THROW((void)graph::normalize_labels(labels), std::invalid_argument);
+}
+
+TEST(Condensation, CondensationOfCycleChain) {
+  const auto g = graph::cycle_chain(6, 4);
+  auto labels = scc::tarjan(g).labels;
+  const vid k = graph::normalize_labels(labels);
+  ASSERT_EQ(k, 6u);
+  const auto cond = graph::condensation(g, labels, k);
+  EXPECT_EQ(cond.num_vertices(), 6u);
+  EXPECT_EQ(cond.num_edges(), 5u);  // the bridges
+  EXPECT_TRUE(graph::is_dag(cond));
+  EXPECT_EQ(graph::dag_depth(cond), 6u);
+}
+
+TEST(Condensation, CondensationIsAlwaysADag) {
+  Rng rng(21);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto g = graph::random_digraph(100, 300, rng);
+    auto labels = scc::tarjan(g).labels;
+    const vid k = graph::normalize_labels(labels);
+    EXPECT_TRUE(graph::is_dag(graph::condensation(g, labels, k)));
+  }
+}
+
+TEST(Condensation, TopologicalOrderRespectsEdges) {
+  const auto g = graph::grid_dag(5, 5);
+  const auto order = graph::topological_order(g);
+  std::vector<vid> position(25);
+  for (vid i = 0; i < 25; ++i) position[order[i]] = i;
+  for (vid u = 0; u < 25; ++u)
+    for (vid v : g.out_neighbors(u)) EXPECT_LT(position[u], position[v]);
+}
+
+TEST(Condensation, TopologicalOrderThrowsOnCycle) {
+  EXPECT_THROW((void)graph::topological_order(graph::cycle_graph(4)), std::invalid_argument);
+}
+
+TEST(Condensation, DagDepthOfPath) { EXPECT_EQ(graph::dag_depth(graph::path_graph(17)), 17u); }
+
+TEST(Condensation, DagDepthOfGrid) {
+  EXPECT_EQ(graph::dag_depth(graph::grid_dag(3, 7)), 9u);  // rows + cols - 1
+}
+
+TEST(Condensation, DagDepthOfEdgelessGraph) {
+  EXPECT_EQ(graph::dag_depth(graph::Digraph(5, graph::EdgeList{})), 1u);
+  EXPECT_EQ(graph::dag_depth(graph::Digraph(0, graph::EdgeList{})), 0u);
+}
+
+TEST(Condensation, IsDagDetectsSelfLoop) {
+  graph::EdgeList e;
+  e.add(0, 1);
+  e.add(1, 1);
+  EXPECT_FALSE(graph::is_dag(graph::Digraph(2, e)));
+  EXPECT_TRUE(graph::is_dag(graph::path_graph(4)));
+}
+
+TEST(Condensation, Fig3CondensationShape) {
+  const auto g = fig3_graph();
+  auto labels = scc::tarjan(g).labels;
+  const vid k = graph::normalize_labels(labels);
+  const auto cond = graph::condensation(g, labels, k);
+  EXPECT_EQ(cond.num_vertices(), 7u);
+  // Cluster 1 chain has 4 SCCs, cluster 2 has 3: depth is max(4, 3).
+  EXPECT_EQ(graph::dag_depth(cond), 4u);
+}
+
+}  // namespace
+}  // namespace ecl::test

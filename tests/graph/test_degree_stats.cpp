@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "graph/degree_stats.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace ecl::test {
+namespace {
+
+TEST(DegreeStats, RegularCycle) {
+  const auto s = graph::compute_degree_stats(graph::cycle_graph(100));
+  EXPECT_EQ(s.min_out, 1u);
+  EXPECT_EQ(s.max_out, 1u);
+  EXPECT_EQ(s.max_in, 1u);
+  EXPECT_DOUBLE_EQ(s.avg, 1.0);
+  EXPECT_DOUBLE_EQ(s.stddev_out, 0.0);
+  EXPECT_DOUBLE_EQ(s.hub_ratio, 1.0);
+  EXPECT_FALSE(graph::looks_power_law(s));
+}
+
+TEST(DegreeStats, EmptyGraph) {
+  const auto s = graph::compute_degree_stats(graph::Digraph(0, graph::EdgeList{}));
+  EXPECT_DOUBLE_EQ(s.avg, 0.0);
+  EXPECT_TRUE(s.log2_histogram.empty());
+}
+
+TEST(DegreeStats, HistogramBuckets) {
+  // Star: one center with out-degree 8, eight leaves with 0.
+  graph::EdgeList e;
+  for (graph::vid v = 1; v <= 8; ++v) e.add(0, v);
+  const auto s = graph::compute_degree_stats(graph::Digraph(9, e));
+  ASSERT_GE(s.log2_histogram.size(), 4u);
+  EXPECT_EQ(s.log2_histogram[0], 8u);  // the degree-0 leaves
+  EXPECT_EQ(s.log2_histogram[3], 1u);  // degree 8 -> bucket 3
+  EXPECT_EQ(s.max_in, 1u);
+}
+
+TEST(DegreeStats, RmatLooksPowerLawMeshDoesNot) {
+  Rng rng(5);
+  const auto rmat = graph::compute_degree_stats(graph::rmat(12, 8.0, rng));
+  EXPECT_TRUE(graph::looks_power_law(rmat));
+  const auto grid = graph::compute_degree_stats(graph::grid_dag(40, 40));
+  EXPECT_FALSE(graph::looks_power_law(grid));
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "graph/digraph.hpp"
+
+namespace ecl::test {
+namespace {
+
+using graph::Digraph;
+using graph::EdgeList;
+using graph::vid;
+
+TEST(Digraph, EmptyGraph) {
+  const Digraph g(0, EdgeList{});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Digraph, VerticesWithoutEdges) {
+  const Digraph g(5, EdgeList{});
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (vid v = 0; v < 5; ++v) EXPECT_TRUE(g.out_neighbors(v).empty());
+}
+
+TEST(Digraph, BasicAdjacency) {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(0, 2);
+  e.add(2, 1);
+  const Digraph g(3, e);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+  EXPECT_EQ(g.out_degree(2), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(Digraph, AdjacencyRowsAreSorted) {
+  EdgeList e;
+  e.add(0, 3);
+  e.add(0, 1);
+  e.add(0, 2);
+  const Digraph g(4, e);
+  const auto row = g.out_neighbors(0);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], 1u);
+  EXPECT_EQ(row[1], 2u);
+  EXPECT_EQ(row[2], 3u);
+}
+
+TEST(Digraph, ParallelEdgesCollapse) {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(0, 1);
+  e.add(0, 1);
+  const Digraph g(2, e);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Digraph, SelfLoopsAreKept) {
+  EdgeList e;
+  e.add(1, 1);
+  const Digraph g(2, e);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(1, 1));
+}
+
+TEST(Digraph, ConstructionOrderIndependent) {
+  EdgeList a;
+  a.add(0, 1);
+  a.add(2, 0);
+  a.add(1, 2);
+  EdgeList b;
+  b.add(1, 2);
+  b.add(0, 1);
+  b.add(2, 0);
+  const Digraph ga(3, a);
+  const Digraph gb(3, b);
+  EXPECT_EQ(std::vector<graph::eid>(ga.offsets().begin(), ga.offsets().end()),
+            std::vector<graph::eid>(gb.offsets().begin(), gb.offsets().end()));
+  EXPECT_EQ(std::vector<vid>(ga.targets().begin(), ga.targets().end()),
+            std::vector<vid>(gb.targets().begin(), gb.targets().end()));
+}
+
+TEST(Digraph, EndpointOutOfRangeThrows) {
+  EdgeList e;
+  e.add(0, 5);
+  EXPECT_THROW(Digraph(3, e), std::out_of_range);
+}
+
+TEST(Digraph, ReverseSwapsAllEdges) {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(0, 2);
+  e.add(2, 1);
+  const Digraph g(3, e);
+  const Digraph rev = g.reverse();
+  EXPECT_EQ(rev.num_edges(), 3u);
+  EXPECT_TRUE(rev.has_edge(1, 0));
+  EXPECT_TRUE(rev.has_edge(2, 0));
+  EXPECT_TRUE(rev.has_edge(1, 2));
+  EXPECT_FALSE(rev.has_edge(0, 1));
+}
+
+TEST(Digraph, DoubleReverseIsIdentity) {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(3, 2);
+  e.add(2, 2);
+  e.add(1, 3);
+  const Digraph g(4, e);
+  const Digraph rr = g.reverse().reverse();
+  for (vid v = 0; v < 4; ++v) {
+    const auto a = g.out_neighbors(v);
+    const auto b = rr.out_neighbors(v);
+    ASSERT_EQ(std::vector<vid>(a.begin(), a.end()), std::vector<vid>(b.begin(), b.end()));
+  }
+}
+
+TEST(Digraph, InDegrees) {
+  EdgeList e;
+  e.add(0, 2);
+  e.add(1, 2);
+  e.add(2, 0);
+  const Digraph g(3, e);
+  const auto deg = g.in_degrees();
+  EXPECT_EQ(deg[0], 1u);
+  EXPECT_EQ(deg[1], 0u);
+  EXPECT_EQ(deg[2], 2u);
+}
+
+TEST(Digraph, EdgesRoundTrip) {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(2, 0);
+  const Digraph g(3, e);
+  const Digraph g2(3, g.edges());
+  EXPECT_EQ(g2.num_edges(), 3u);
+  EXPECT_TRUE(g2.has_edge(2, 0));
+}
+
+TEST(Digraph, CsrConstructorValidates) {
+  EXPECT_THROW(Digraph({0, 2}, {1}), std::invalid_argument);
+  const Digraph g({0, 1, 1}, {1});
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+}  // namespace
+}  // namespace ecl::test

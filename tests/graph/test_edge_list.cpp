@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "graph/edge_list.hpp"
+
+namespace ecl::test {
+namespace {
+
+using graph::EdgeList;
+
+TEST(EdgeList, AddAndSize) {
+  EdgeList e;
+  EXPECT_TRUE(e.empty());
+  e.add(0, 1);
+  e.add(1, 2);
+  EXPECT_EQ(e.size(), 2u);
+  EXPECT_EQ(e[0].src, 0u);
+  EXPECT_EQ(e[1].dst, 2u);
+}
+
+TEST(EdgeList, SortAndDedup) {
+  EdgeList e;
+  e.add(1, 2);
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(0, 1);
+  e.sort_and_dedup();
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e[0], (graph::Edge{0, 1}));
+  EXPECT_EQ(e[1], (graph::Edge{1, 2}));
+}
+
+TEST(EdgeList, RemoveSelfLoops) {
+  EdgeList e;
+  e.add(0, 0);
+  e.add(0, 1);
+  e.add(1, 1);
+  e.remove_self_loops();
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(e[0], (graph::Edge{0, 1}));
+}
+
+TEST(EdgeList, MinNumVertices) {
+  EdgeList e;
+  EXPECT_EQ(e.min_num_vertices(), 0u);
+  e.add(3, 7);
+  e.add(1, 2);
+  EXPECT_EQ(e.min_num_vertices(), 8u);
+}
+
+TEST(EdgeList, RangeIteration) {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(1, 0);
+  std::size_t count = 0;
+  for (const auto& edge : e) {
+    EXPECT_LT(edge.src, 2u);
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "core/tarjan.hpp"
+#include "graph/generators.hpp"
+#include "graph/scc_stats.hpp"
+
+namespace ecl::test {
+namespace {
+
+using graph::vid;
+
+TEST(Generators, PathGraph) {
+  const auto g = graph::path_graph(10);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_TRUE(g.has_edge(3, 4));
+  EXPECT_FALSE(g.has_edge(4, 3));
+}
+
+TEST(Generators, CycleGraph) {
+  const auto g = graph::cycle_graph(10);
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_TRUE(g.has_edge(9, 0));
+}
+
+TEST(Generators, CliqueHasAllPairs) {
+  const auto g = graph::bidirectional_clique(5);
+  EXPECT_EQ(g.num_edges(), 20u);
+  for (vid u = 0; u < 5; ++u) {
+    for (vid v = 0; v < 5; ++v) {
+      if (u != v) EXPECT_TRUE(g.has_edge(u, v));
+    }
+  }
+}
+
+TEST(Generators, GridDagEdgeCount) {
+  const auto g = graph::grid_dag(4, 6);
+  // (rows-1)*cols vertical + rows*(cols-1) horizontal
+  EXPECT_EQ(g.num_edges(), 3u * 6 + 4 * 5);
+}
+
+TEST(Generators, CycleChainStructure) {
+  const auto g = graph::cycle_chain(5, 4);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  const auto r = scc::tarjan(g);
+  EXPECT_EQ(r.num_components, 5u);
+}
+
+TEST(Generators, CycleChainDegenerateLength1) {
+  // cycle_len 1 yields a pure path of bridges.
+  const auto g = graph::cycle_chain(8, 1);
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.num_edges(), 7u);
+  EXPECT_EQ(scc::tarjan(g).num_components, 8u);
+}
+
+TEST(Generators, RandomDigraphRespectsBounds) {
+  Rng rng(1);
+  const auto g = graph::random_digraph(50, 200, rng);
+  EXPECT_EQ(g.num_vertices(), 50u);
+  EXPECT_LE(g.num_edges(), 200u);  // dedup/self-loop removal may shrink
+  for (vid u = 0; u < 50; ++u) EXPECT_FALSE(g.has_edge(u, u));
+}
+
+TEST(Generators, RandomDigraphIsDeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  const auto ga = graph::random_digraph(30, 90, a);
+  const auto gb = graph::random_digraph(30, 90, b);
+  EXPECT_EQ(std::vector<vid>(ga.targets().begin(), ga.targets().end()),
+            std::vector<vid>(gb.targets().begin(), gb.targets().end()));
+}
+
+TEST(Generators, RmatProducesSkewedDegrees) {
+  Rng rng(3);
+  const auto g = graph::rmat(12, 8.0, rng);
+  EXPECT_EQ(g.num_vertices(), 4096u);
+  graph::eid max_deg = 0;
+  for (vid v = 0; v < g.num_vertices(); ++v) max_deg = std::max(max_deg, g.out_degree(v));
+  const double avg = static_cast<double>(g.num_edges()) / g.num_vertices();
+  EXPECT_GT(static_cast<double>(max_deg), 8.0 * avg)
+      << "R-MAT should produce hub vertices far above the average degree";
+}
+
+TEST(Generators, SccProfilePlantsGiantComponent) {
+  Rng rng(4);
+  graph::SccProfile p;
+  p.num_vertices = 1000;
+  p.giant_fraction = 0.7;
+  p.dag_depth = 4;
+  const auto g = graph::scc_profile_graph(p, rng);
+  const auto stats = graph::compute_scc_stats(g, scc::tarjan(g).labels);
+  EXPECT_GE(stats.largest_scc, 700u);
+}
+
+TEST(Generators, SccProfilePlantsSize2Components) {
+  Rng rng(5);
+  graph::SccProfile p;
+  p.num_vertices = 500;
+  p.size2_sccs = 40;
+  p.dag_depth = 10;
+  p.avg_degree = 2.5;
+  const auto g = graph::scc_profile_graph(p, rng);
+  const auto stats = graph::compute_scc_stats(g, scc::tarjan(g).labels);
+  EXPECT_EQ(stats.size2_sccs, 40u);
+  EXPECT_EQ(stats.largest_scc, 2u);
+}
+
+TEST(Generators, SccProfileReachesRequestedDagDepth) {
+  Rng rng(6);
+  graph::SccProfile p;
+  p.num_vertices = 400;
+  p.dag_depth = 50;
+  p.avg_degree = 2.0;
+  const auto g = graph::scc_profile_graph(p, rng);
+  const auto stats = graph::compute_scc_stats(g, scc::tarjan(g).labels);
+  EXPECT_GE(stats.dag_depth, 50u);
+}
+
+TEST(Generators, SccProfileFillerNeverMergesPlantedComponents) {
+  // The giant fraction is exactly respected: filler edges flow downhill.
+  Rng rng(7);
+  graph::SccProfile p;
+  p.num_vertices = 800;
+  p.giant_fraction = 0.5;
+  p.mid_sccs = 10;
+  p.dag_depth = 6;
+  p.avg_degree = 6.0;
+  const auto g = graph::scc_profile_graph(p, rng);
+  const auto stats = graph::compute_scc_stats(g, scc::tarjan(g).labels);
+  EXPECT_EQ(stats.largest_scc, 400u) << "filler edges must not grow the giant SCC";
+}
+
+TEST(Generators, SccProfileTrivialEdgeCases) {
+  Rng rng(8);
+  graph::SccProfile p;
+  p.num_vertices = 0;
+  EXPECT_EQ(graph::scc_profile_graph(p, rng).num_vertices(), 0u);
+  p.num_vertices = 1;
+  EXPECT_EQ(graph::scc_profile_graph(p, rng).num_vertices(), 1u);
+}
+
+}  // namespace
+}  // namespace ecl::test

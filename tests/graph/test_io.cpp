@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace ecl::test {
+namespace {
+
+using graph::Digraph;
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  const auto g = graph::cycle_graph(10);
+  std::stringstream buffer;
+  graph::write_edge_list(buffer, g);
+  const Digraph h = graph::read_edge_list(buffer);
+  EXPECT_EQ(h.num_vertices(), 10u);
+  EXPECT_EQ(h.num_edges(), 10u);
+  EXPECT_TRUE(h.has_edge(9, 0));
+}
+
+TEST(GraphIo, EdgeListSkipsCommentsAndBlanks) {
+  std::stringstream in("# header\n\n% more\n0 1\n1 2\n");
+  const Digraph g = graph::read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphIo, EdgeListMalformedThrows) {
+  std::stringstream in("0 banana\n");
+  EXPECT_THROW((void)graph::read_edge_list(in), std::runtime_error);
+}
+
+TEST(GraphIo, DimacsRoundTrip) {
+  const auto g = graph::grid_dag(3, 3);
+  std::stringstream buffer;
+  graph::write_dimacs(buffer, g);
+  const Digraph h = graph::read_dimacs(buffer);
+  EXPECT_EQ(h.num_vertices(), 9u);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_TRUE(h.has_edge(0, 1));
+}
+
+TEST(GraphIo, DimacsRequiresHeader) {
+  std::stringstream in("a 1 2\n");
+  EXPECT_THROW((void)graph::read_dimacs(in), std::runtime_error);
+}
+
+TEST(GraphIo, DimacsIsOneBased) {
+  std::stringstream in("p sp 2 1\na 0 1\n");
+  EXPECT_THROW((void)graph::read_dimacs(in), std::runtime_error);
+}
+
+TEST(GraphIo, MatrixMarketRoundTrip) {
+  const auto g = graph::cycle_chain(3, 3);
+  std::stringstream buffer;
+  graph::write_matrix_market(buffer, g);
+  const Digraph h = graph::read_matrix_market(buffer);
+  EXPECT_EQ(h.num_vertices(), 9u);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+}
+
+TEST(GraphIo, MatrixMarketIgnoresWeights) {
+  std::stringstream in("%%MatrixMarket matrix coordinate real general\n3 3 2\n1 2 0.5\n2 3 1.5\n");
+  const Digraph g = graph::read_matrix_market(in);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW((void)graph::read_graph_file("/nonexistent/path.mtx"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ecl::test
+
+namespace ecl::test {
+namespace {
+
+TEST(GraphIo, BinaryRoundTrip) {
+  Rng rng(77);
+  const auto g = graph::random_digraph(500, 2000, rng);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  graph::write_binary(buffer, g);
+  const auto h = graph::read_binary(buffer);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(std::vector<graph::vid>(h.targets().begin(), h.targets().end()),
+            std::vector<graph::vid>(g.targets().begin(), g.targets().end()));
+}
+
+TEST(GraphIo, BinaryRejectsBadMagic) {
+  std::stringstream buffer("NOPE and some garbage");
+  EXPECT_THROW((void)graph::read_binary(buffer), std::runtime_error);
+}
+
+TEST(GraphIo, BinaryRejectsTruncation) {
+  const auto g = graph::cycle_graph(50);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  graph::write_binary(buffer, g);
+  const std::string full = buffer.str();
+  std::stringstream cut(full.substr(0, full.size() / 2),
+                        std::ios::in | std::ios::binary);
+  EXPECT_THROW((void)graph::read_binary(cut), std::runtime_error);
+}
+
+TEST(GraphIo, FileDispatchByExtension) {
+  const auto g = graph::cycle_chain(4, 3);
+  for (const char* name : {"/tmp/ecl_io_test.eclg", "/tmp/ecl_io_test.mtx",
+                           "/tmp/ecl_io_test.gr", "/tmp/ecl_io_test.txt"}) {
+    graph::write_graph_file(name, g);
+    const auto h = graph::read_graph_file(name);
+    EXPECT_EQ(h.num_vertices(), g.num_vertices()) << name;
+    EXPECT_EQ(h.num_edges(), g.num_edges()) << name;
+    std::remove(name);
+  }
+}
+
+}  // namespace
+}  // namespace ecl::test

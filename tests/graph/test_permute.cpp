@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "graph/permute.hpp"
+
+namespace ecl::test {
+namespace {
+
+using graph::vid;
+
+TEST(Permute, RandomPermutationIsAPermutation) {
+  Rng rng(1);
+  const auto perm = graph::random_permutation(100, rng);
+  std::vector<vid> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (vid i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Permute, ApplyPreservesEdges) {
+  Rng rng(2);
+  const auto g = graph::cycle_graph(20);
+  const auto perm = graph::random_permutation(20, rng);
+  const auto h = graph::apply_permutation(g, perm);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (vid u = 0; u < 20; ++u)
+    for (vid v : g.out_neighbors(u)) EXPECT_TRUE(h.has_edge(perm[u], perm[v]));
+}
+
+TEST(Permute, IdentityPermutationIsNoop) {
+  const auto g = graph::grid_dag(4, 4);
+  std::vector<vid> identity(16);
+  std::iota(identity.begin(), identity.end(), 0);
+  const auto h = graph::apply_permutation(g, identity);
+  EXPECT_EQ(std::vector<vid>(h.targets().begin(), h.targets().end()),
+            std::vector<vid>(g.targets().begin(), g.targets().end()));
+}
+
+TEST(Permute, SizeMismatchThrows) {
+  const auto g = graph::path_graph(5);
+  std::vector<vid> bad(3, 0);
+  EXPECT_THROW((void)graph::apply_permutation(g, bad), std::invalid_argument);
+}
+
+TEST(Permute, RandomlyPermuteReturnsConsistentPair) {
+  Rng rng(3);
+  const auto g = graph::path_graph(30);
+  const auto [h, perm] = graph::randomly_permute(g, rng);
+  for (vid v = 0; v + 1 < 30; ++v) EXPECT_TRUE(h.has_edge(perm[v], perm[v + 1]));
+}
+
+}  // namespace
+}  // namespace ecl::test

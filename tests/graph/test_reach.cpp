@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "common/test_graphs.hpp"
+#include "graph/reach.hpp"
+
+namespace ecl::test {
+namespace {
+
+using graph::vid;
+
+TEST(Reach, ReachableSetOnPath) {
+  const auto g = graph::path_graph(10);
+  const auto visited = graph::reachable_from(g, 4);
+  for (vid v = 0; v < 10; ++v) EXPECT_EQ(visited[v] != 0, v >= 4) << v;
+}
+
+TEST(Reach, ReachableSetOnCycleIsEverything) {
+  const auto g = graph::cycle_graph(8);
+  const auto visited = graph::reachable_from(g, 3);
+  for (vid v = 0; v < 8; ++v) EXPECT_TRUE(visited[v]);
+}
+
+TEST(Reach, MultiSource) {
+  const auto g = graph::path_graph(10);
+  const vid sources[] = {0, 7};
+  const auto visited = graph::reachable_from(g, std::span<const vid>(sources));
+  for (vid v = 0; v < 10; ++v) EXPECT_TRUE(visited[v]);
+}
+
+TEST(Reach, BfsLevels) {
+  const auto g = graph::path_graph(6);
+  const auto level = graph::bfs_levels(g, 2);
+  EXPECT_EQ(level[2], 0u);
+  EXPECT_EQ(level[5], 3u);
+  EXPECT_EQ(level[0], graph::kInvalidVid);
+}
+
+TEST(Reach, BfsLevelsOnGrid) {
+  const auto g = graph::grid_dag(4, 4);
+  const auto level = graph::bfs_levels(g, 0);
+  // Manhattan distance on the DAG grid.
+  EXPECT_EQ(level[5], 2u);   // (1,1)
+  EXPECT_EQ(level[15], 6u);  // (3,3)
+}
+
+TEST(Reach, IsReachable) {
+  const auto g = fig3_graph();
+  EXPECT_TRUE(graph::is_reachable(g, 0, 9));   // 0 -> 2 -> 5 -> 9
+  EXPECT_FALSE(graph::is_reachable(g, 9, 0));  // no back path
+  EXPECT_FALSE(graph::is_reachable(g, 0, 11));  // different cluster
+  EXPECT_TRUE(graph::is_reachable(g, 4, 4));   // self
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "common/test_graphs.hpp"
+#include "core/tarjan.hpp"
+#include "graph/scc_stats.hpp"
+
+namespace ecl::test {
+namespace {
+
+using graph::SccStats;
+using graph::vid;
+
+TEST(SccStats, Fig3Columns) {
+  const auto g = fig3_graph();
+  const auto s = graph::compute_scc_stats(g, scc::tarjan(g).labels);
+  EXPECT_EQ(s.num_vertices, 12u);
+  EXPECT_EQ(s.num_edges, 15u);
+  EXPECT_NEAR(s.avg_degree, 15.0 / 12.0, 1e-9);
+  EXPECT_EQ(s.num_sccs, 7u);
+  EXPECT_EQ(s.size1_sccs, 3u);   // {0}, {5}, {10}
+  EXPECT_EQ(s.size2_sccs, 3u);   // {2,7}, {3,6}, {8,11}
+  EXPECT_EQ(s.largest_scc, 3u);  // {1,4,9}
+  EXPECT_EQ(s.dag_depth, 4u);
+}
+
+TEST(SccStats, MaxDegrees) {
+  graph::EdgeList e;
+  e.add(0, 1);
+  e.add(0, 2);
+  e.add(0, 3);
+  e.add(1, 3);
+  e.add(2, 3);
+  const graph::Digraph g(4, e);
+  const auto s = graph::compute_scc_stats(g, scc::tarjan(g).labels);
+  EXPECT_EQ(s.max_out_degree, 3u);
+  EXPECT_EQ(s.max_in_degree, 3u);
+}
+
+TEST(SccStats, ComponentSizes) {
+  std::vector<vid> labels{3, 3, 1, 1, 1, 5};
+  const auto sizes = graph::component_sizes(labels);
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 2u);  // label 3 appears first
+  EXPECT_EQ(sizes[1], 3u);
+  EXPECT_EQ(sizes[2], 1u);  // label 5
+}
+
+TEST(SccStats, MismatchedLabelCountThrows) {
+  const auto g = graph::path_graph(4);
+  std::vector<vid> labels(2, 0);
+  EXPECT_THROW((void)graph::compute_scc_stats(g, labels), std::invalid_argument);
+}
+
+TEST(SccStats, AggregateRanges) {
+  SccStats a;
+  a.num_vertices = 100;
+  a.num_edges = 300;
+  a.avg_degree = 3.0;
+  a.num_sccs = 10;
+  a.size1_sccs = 5;
+  a.largest_scc = 50;
+  a.dag_depth = 4;
+  SccStats b = a;
+  b.num_sccs = 30;
+  b.size1_sccs = 25;
+  b.largest_scc = 20;
+  b.dag_depth = 9;
+  const SccStats stats[] = {a, b};
+  const auto r = graph::aggregate_stats(stats);
+  EXPECT_EQ(r.min_sccs, 10u);
+  EXPECT_EQ(r.max_sccs, 30u);
+  EXPECT_EQ(r.min_size1, 5u);
+  EXPECT_EQ(r.max_size1, 25u);
+  EXPECT_EQ(r.min_largest, 20u);
+  EXPECT_EQ(r.max_largest, 50u);
+  EXPECT_EQ(r.min_depth, 4u);
+  EXPECT_EQ(r.max_depth, 9u);
+  EXPECT_NEAR(r.avg_degree, 3.0, 1e-9);
+}
+
+TEST(SccStats, AggregateEmptyIsZero) {
+  const auto r = graph::aggregate_stats({});
+  EXPECT_EQ(r.max_sccs, 0u);
+  EXPECT_EQ(r.num_vertices, 0u);
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "common/test_graphs.hpp"
+#include "graph/subgraph.hpp"
+
+namespace ecl::test {
+namespace {
+
+using graph::vid;
+
+TEST(Subgraph, InducedKeepsInternalEdgesOnly) {
+  const auto g = fig3_graph();
+  const vid members[] = {2, 7, 5};  // {2,7} SCC plus its successor {5}
+  const auto sub = graph::induced_subgraph(g, members);
+  EXPECT_EQ(sub.graph.num_vertices(), 3u);
+  // Internal edges: 2->7, 7->2, 7->5, 2->5 (local ids 0,1,2).
+  EXPECT_EQ(sub.graph.num_edges(), 4u);
+  EXPECT_TRUE(sub.graph.has_edge(0, 1));
+  EXPECT_TRUE(sub.graph.has_edge(1, 0));
+  EXPECT_TRUE(sub.graph.has_edge(1, 2));
+  EXPECT_TRUE(sub.graph.has_edge(0, 2));
+  EXPECT_EQ(sub.to_parent[0], 2u);
+  EXPECT_EQ(sub.to_parent[2], 5u);
+}
+
+TEST(Subgraph, EmptyMemberList) {
+  const auto sub = graph::induced_subgraph(fig3_graph(), std::vector<vid>{});
+  EXPECT_EQ(sub.graph.num_vertices(), 0u);
+}
+
+TEST(Subgraph, FullMemberListIsIsomorphic) {
+  const auto g = graph::cycle_chain(5, 3);
+  std::vector<vid> all(g.num_vertices());
+  for (vid v = 0; v < g.num_vertices(); ++v) all[v] = v;
+  const auto sub = graph::induced_subgraph(g, all);
+  EXPECT_EQ(sub.graph.num_edges(), g.num_edges());
+}
+
+TEST(Subgraph, ActiveMaskOverload) {
+  const auto g = graph::path_graph(6);
+  std::vector<std::uint8_t> active{1, 1, 0, 0, 1, 1};
+  const auto sub = graph::induced_subgraph(g, active);
+  EXPECT_EQ(sub.graph.num_vertices(), 4u);
+  EXPECT_EQ(sub.graph.num_edges(), 2u);  // 0->1 and 4->5 survive
+  EXPECT_EQ(sub.to_parent[2], 4u);
+}
+
+TEST(Subgraph, RejectsBadMembers) {
+  const auto g = graph::path_graph(4);
+  EXPECT_THROW((void)graph::induced_subgraph(g, std::vector<vid>{9}), std::out_of_range);
+  EXPECT_THROW((void)graph::induced_subgraph(g, std::vector<vid>{1, 1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecl::test

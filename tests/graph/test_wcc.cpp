@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "common/test_graphs.hpp"
+#include "graph/wcc.hpp"
+
+namespace ecl::test {
+namespace {
+
+using graph::vid;
+
+TEST(Wcc, SingleComponentCycle) {
+  const auto r = graph::weakly_connected_components(graph::cycle_graph(12));
+  EXPECT_EQ(r.num_components, 1u);
+}
+
+TEST(Wcc, DirectionIsIgnored) {
+  // A path is weakly connected even though it is not strongly connected.
+  const auto r = graph::weakly_connected_components(graph::path_graph(10));
+  EXPECT_EQ(r.num_components, 1u);
+}
+
+TEST(Wcc, Fig3HasTwoClusters) {
+  const auto r = graph::weakly_connected_components(fig3_graph());
+  EXPECT_EQ(r.num_components, 2u);
+  // Vertices of cluster 1 share a label distinct from cluster 2.
+  EXPECT_EQ(r.labels[0], r.labels[9]);
+  EXPECT_EQ(r.labels[3], r.labels[11]);
+  EXPECT_NE(r.labels[0], r.labels[3]);
+}
+
+TEST(Wcc, IsolatedVerticesAreOwnComponents) {
+  const graph::Digraph g(5, graph::EdgeList{});
+  const auto r = graph::weakly_connected_components(g);
+  EXPECT_EQ(r.num_components, 5u);
+}
+
+TEST(Wcc, ActiveMaskRestrictsTraversal) {
+  // Deactivating the middle of a path splits it in two.
+  const auto g = graph::path_graph(7);
+  const auto rev = g.reverse();
+  std::vector<std::uint8_t> active(7, 1);
+  active[3] = 0;
+  const auto r = graph::weakly_connected_components(g, rev, active);
+  EXPECT_EQ(r.num_components, 2u);
+  EXPECT_EQ(r.labels[3], graph::kInvalidVid);
+  EXPECT_EQ(r.labels[0], r.labels[2]);
+  EXPECT_EQ(r.labels[4], r.labels[6]);
+  EXPECT_NE(r.labels[0], r.labels[4]);
+}
+
+TEST(Wcc, LabelsAreDense) {
+  Rng rng(3);
+  const auto g = graph::random_digraph(200, 150, rng);  // sparse: many pieces
+  const auto r = graph::weakly_connected_components(g);
+  for (vid v = 0; v < 200; ++v) EXPECT_LT(r.labels[v], r.num_components);
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,70 @@
+// Resolution-independence tests for the face-local curvature model: the
+// qualitative SCC structure of each mesh family must survive refinement
+// (the paper's meshes keep their SCC profiles from 196k to 8.4M elements).
+
+#include <gtest/gtest.h>
+
+#include "core/tarjan.hpp"
+#include "graph/scc_stats.hpp"
+#include "mesh/generators.hpp"
+#include "mesh/ordinates.hpp"
+#include "mesh/sweep_graph.hpp"
+
+namespace ecl::test {
+namespace {
+
+double giant_fraction(const mesh::Mesh& m, unsigned ordinates) {
+  double worst = 1.0;
+  for (const auto& omega : mesh::fibonacci_ordinates(ordinates)) {
+    const auto g = mesh::build_sweep_graph(m, omega);
+    const auto s = graph::compute_scc_stats(g, scc::tarjan(g).labels);
+    worst = std::min(worst, double(s.largest_scc) / double(s.num_vertices));
+  }
+  return worst;
+}
+
+TEST(CurvatureScaling, KleinGiantSccSurvivesRefinement) {
+  EXPECT_GT(giant_fraction(mesh::klein_bottle(1500), 5), 0.85);
+  EXPECT_GT(giant_fraction(mesh::klein_bottle(12000), 5), 0.85);
+}
+
+TEST(CurvatureScaling, TwistSingleSccSurvivesRefinement) {
+  EXPECT_DOUBLE_EQ(giant_fraction(mesh::twist_hex(1500), 5), 1.0);
+  EXPECT_DOUBLE_EQ(giant_fraction(mesh::twist_hex(12000), 5), 1.0);
+}
+
+TEST(CurvatureScaling, ToroidSmallSccsStaySmallUnderRefinement) {
+  for (std::size_t elems : {2000ull, 16000ull}) {
+    const auto m = mesh::toroid_hex(elems);
+    for (const auto& omega : mesh::fibonacci_ordinates(4)) {
+      const auto g = mesh::build_sweep_graph(m, omega);
+      const auto s = graph::compute_scc_stats(g, scc::tarjan(g).labels);
+      EXPECT_LT(s.largest_scc, s.num_vertices / 8) << elems;
+      EXPECT_GE(s.size1_sccs, s.num_vertices * 8 / 10) << elems;
+    }
+  }
+}
+
+TEST(CurvatureScaling, TorchSize2FractionIsStable) {
+  // The fraction of vertices in size-2 SCCs should be of the same order at
+  // both resolutions (not vanish, not explode).
+  auto size2_fraction = [](std::size_t elems) {
+    const auto m = mesh::torch_hex(elems);
+    double total = 0.0;
+    const auto ords = mesh::fibonacci_ordinates(4);
+    for (const auto& omega : ords) {
+      const auto g = mesh::build_sweep_graph(m, omega);
+      const auto s = graph::compute_scc_stats(g, scc::tarjan(g).labels);
+      total += double(2 * s.size2_sccs) / double(s.num_vertices);
+    }
+    return total / double(ords.size());
+  };
+  const double coarse = size2_fraction(2000);
+  const double fine = size2_fraction(16000);
+  EXPECT_GT(fine, 0.0);
+  EXPECT_LT(fine, 0.2);
+  EXPECT_LT(std::abs(coarse - fine), 0.1);
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/tarjan.hpp"
+#include "mesh/export.hpp"
+#include "mesh/generators.hpp"
+#include "mesh/ordinates.hpp"
+#include "mesh/sweep_graph.hpp"
+
+namespace ecl::test {
+namespace {
+
+TEST(MeshExport, VtkStructureIsWellFormed) {
+  const auto m = mesh::beam_hex(200);
+  const auto g = mesh::build_sweep_graph(m, mesh::fibonacci_ordinates(4)[0]);
+  const auto labels = scc::tarjan(g).labels;
+
+  std::ostringstream out;
+  mesh::write_vtk_sweep_graph(out, m, g, labels);
+  const std::string vtk = out.str();
+
+  EXPECT_NE(vtk.find("# vtk DataFile"), std::string::npos);
+  EXPECT_NE(vtk.find("DATASET POLYDATA"), std::string::npos);
+  EXPECT_NE(vtk.find("POINTS " + std::to_string(m.num_elements)), std::string::npos);
+  EXPECT_NE(vtk.find("LINES " + std::to_string(g.num_edges())), std::string::npos);
+  EXPECT_NE(vtk.find("SCALARS scc int 1"), std::string::npos);
+}
+
+TEST(MeshExport, LabelsAreOptional) {
+  const auto m = mesh::beam_hex(200);
+  const auto g = mesh::build_sweep_graph(m, mesh::fibonacci_ordinates(4)[0]);
+  std::ostringstream out;
+  mesh::write_vtk_sweep_graph(out, m, g);
+  EXPECT_EQ(out.str().find("POINT_DATA"), std::string::npos);
+}
+
+TEST(MeshExport, MismatchedSizesThrow) {
+  const auto m = mesh::beam_hex(200);
+  const auto g = graph::Digraph(3, graph::EdgeList{});
+  std::ostringstream out;
+  EXPECT_THROW(mesh::write_vtk_sweep_graph(out, m, g), std::invalid_argument);
+
+  const auto good = mesh::build_sweep_graph(m, mesh::fibonacci_ordinates(1)[0]);
+  const std::vector<graph::vid> short_labels(2, 0);
+  EXPECT_THROW(mesh::write_vtk_sweep_graph(out, m, good, short_labels),
+               std::invalid_argument);
+}
+
+TEST(MeshExport, FileWriteFailsOnBadPath) {
+  const auto m = mesh::beam_hex(200);
+  const auto g = mesh::build_sweep_graph(m, mesh::fibonacci_ordinates(1)[0]);
+  EXPECT_THROW(mesh::write_vtk_sweep_graph_file("/nonexistent-dir/x.vtk", m, g),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,161 @@
+// Table-shape tests: each mesh family's sweep graphs must reproduce the
+// qualitative SCC structure of the paper's Tables 1-2. These are the
+// contracts the benchmark workloads rely on.
+
+#include <gtest/gtest.h>
+
+#include "core/tarjan.hpp"
+#include "graph/scc_stats.hpp"
+#include "mesh/generators.hpp"
+#include "mesh/ordinates.hpp"
+#include "mesh/sweep_graph.hpp"
+
+namespace ecl::test {
+namespace {
+
+using graph::SccStats;
+using mesh::Mesh;
+
+std::vector<SccStats> stats_over_ordinates(const Mesh& m, unsigned n_ord) {
+  std::vector<SccStats> all;
+  for (const auto& omega : mesh::fibonacci_ordinates(n_ord)) {
+    const auto g = mesh::build_sweep_graph(m, omega);
+    all.push_back(graph::compute_scc_stats(g, scc::tarjan(g).labels));
+  }
+  return all;
+}
+
+constexpr std::size_t kElems = 4000;
+constexpr unsigned kOrds = 6;
+
+TEST(MeshFamilies, BeamHexAllTrivialDeepDag) {
+  const auto stats = stats_over_ordinates(mesh::beam_hex(kElems), kOrds);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.num_sccs, s.num_vertices) << "beam-hex sweep graphs must be acyclic";
+    EXPECT_EQ(s.largest_scc, 1u);
+    EXPECT_GT(s.dag_depth, 20u) << "beam-hex DAG should be deep";
+    EXPECT_LE(s.max_out_degree, 3u);
+  }
+}
+
+TEST(MeshFamilies, StarAllTrivialDeepestDag) {
+  const auto beam = stats_over_ordinates(mesh::beam_hex(kElems), kOrds);
+  const auto star = stats_over_ordinates(mesh::star(kElems), kOrds);
+  graph::vid beam_depth = 0;
+  graph::vid star_depth = 0;
+  for (const auto& s : beam) beam_depth = std::max(beam_depth, s.dag_depth);
+  for (const auto& s : star) {
+    EXPECT_EQ(s.num_sccs, s.num_vertices) << "star sweep graphs must be acyclic";
+    star_depth = std::max(star_depth, s.dag_depth);
+    EXPECT_NEAR(s.avg_degree, 2.0, 0.3);  // Table 1: star avg degree 2.00
+  }
+  EXPECT_GT(star_depth, 2 * beam_depth)
+      << "star's trivial-SCC DAG is the deepest of the small meshes";
+}
+
+TEST(MeshFamilies, TorchHexSprinkleOfSmallSccs) {
+  const auto stats = stats_over_ordinates(mesh::torch_hex(kElems), kOrds);
+  bool any_size2 = false;
+  for (const auto& s : stats) {
+    EXPECT_GE(s.size1_sccs, s.num_vertices * 9 / 10) << "torch-hex is mostly trivial";
+    EXPECT_LE(s.largest_scc, 16u) << "torch-hex SCCs stay small (Table 1: 5-8)";
+    any_size2 |= s.size2_sccs > 0;
+  }
+  EXPECT_TRUE(any_size2) << "some ordinates must see size-2 SCCs";
+}
+
+TEST(MeshFamilies, TorchTetSmallSccsOnly) {
+  const auto stats = stats_over_ordinates(mesh::torch_tet(2 * kElems), kOrds);
+  bool any_size2 = false;
+  for (const auto& s : stats) {
+    EXPECT_LE(s.largest_scc, 12u) << "torch-tet SCCs stay small (Table 1: 4-6)";
+    EXPECT_LE(s.max_out_degree, 3u);  // tets have at most 4 faces, <=3 interior
+    any_size2 |= s.size2_sccs > 0;
+  }
+  EXPECT_TRUE(any_size2);
+}
+
+TEST(MeshFamilies, ToroidHexClusteredSmallSccs) {
+  const auto stats = stats_over_ordinates(mesh::toroid_hex(kElems), kOrds);
+  graph::vid max_largest = 0;
+  for (const auto& s : stats) {
+    EXPECT_GE(s.size1_sccs, s.num_vertices * 8 / 10);
+    EXPECT_LE(s.largest_scc, s.num_vertices / 8)
+        << "toroid-hex clusters are small relative to the mesh";
+    max_largest = std::max(max_largest, s.largest_scc);
+  }
+  EXPECT_GE(max_largest, 8u)
+      << "toroid-hex's correlated curvature must produce clusters beyond 2-cycles";
+}
+
+TEST(MeshFamilies, ToroidWedgeManySize2) {
+  const auto stats = stats_over_ordinates(mesh::toroid_wedge(kElems), kOrds);
+  for (const auto& s : stats) {
+    EXPECT_GE(s.size2_sccs, s.num_vertices / 200)
+        << "toroid-wedge has thousands of size-2 SCCs at paper scale";
+    EXPECT_GE(s.size1_sccs, s.num_vertices / 2);
+  }
+}
+
+TEST(MeshFamilies, KleinBottleGiantScc) {
+  const auto stats = stats_over_ordinates(mesh::klein_bottle(kElems), kOrds);
+  for (const auto& s : stats) {
+    EXPECT_GE(s.largest_scc, s.num_vertices * 9 / 10)
+        << "klein-bottle: the giant SCC holds ~99% of all elements (Table 2)";
+    EXPECT_LE(s.dag_depth, 40u) << "klein-bottle DAG is shallow";
+  }
+}
+
+TEST(MeshFamilies, MobiusStripExtremeVariability) {
+  const auto stats = stats_over_ordinates(mesh::mobius_strip(2 * kElems), 12);
+  graph::vid min_largest = static_cast<graph::vid>(-1);
+  graph::vid max_largest = 0;
+  graph::vid max_depth = 0;
+  for (const auto& s : stats) {
+    min_largest = std::min(min_largest, s.largest_scc);
+    max_largest = std::max(max_largest, s.largest_scc);
+    max_depth = std::max(max_depth, s.dag_depth);
+  }
+  EXPECT_GE(max_largest, stats[0].num_vertices / 2)
+      << "some ordinate must produce a giant SCC (Table 2: up to 3.2M of 4.2M)";
+  EXPECT_LE(min_largest, 64u)
+      << "some ordinate must be nearly acyclic (Table 2: min largest SCC = 1)";
+  EXPECT_GT(max_depth, 50u) << "the nearly-acyclic ordinates have deep DAGs";
+}
+
+TEST(MeshFamilies, TwistHexSingleAllVertexScc) {
+  const auto stats = stats_over_ordinates(mesh::twist_hex(kElems), kOrds);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.num_sccs, 1u) << "twist-hex: one SCC for every ordinate (Table 2)";
+    EXPECT_EQ(s.largest_scc, s.num_vertices);
+    EXPECT_EQ(s.dag_depth, 1u);
+  }
+}
+
+TEST(MeshFamilies, ElementCountsNearTarget) {
+  for (std::size_t target : {1000ull, 6000ull}) {
+    EXPECT_NEAR(double(mesh::beam_hex(target).num_elements), double(target), 0.5 * target);
+    EXPECT_NEAR(double(mesh::star(target).num_elements), double(target), 0.5 * target);
+    EXPECT_NEAR(double(mesh::torch_hex(target).num_elements), double(target), 0.5 * target);
+    EXPECT_NEAR(double(mesh::toroid_hex(target).num_elements), double(target), 0.5 * target);
+    EXPECT_NEAR(double(mesh::klein_bottle(target).num_elements), double(target), 0.5 * target);
+    EXPECT_NEAR(double(mesh::twist_hex(target).num_elements), double(target), 0.5 * target);
+  }
+}
+
+TEST(MeshFamilies, DegreesAreMeshLike) {
+  // Table 1-2: mesh graphs have near-constant, tiny degrees (max 5).
+  for (const Mesh& m : {mesh::beam_hex(kElems), mesh::torch_hex(kElems),
+                        mesh::toroid_hex(kElems), mesh::twist_hex(kElems)}) {
+    for (const auto& omega : mesh::fibonacci_ordinates(4)) {
+      const auto g = mesh::build_sweep_graph(m, omega);
+      graph::eid max_deg = 0;
+      for (graph::vid v = 0; v < g.num_vertices(); ++v)
+        max_deg = std::max(max_deg, g.out_degree(v));
+      EXPECT_LE(max_deg, 6u) << m.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "mesh/geometry.hpp"
+
+namespace ecl::test {
+namespace {
+
+using mesh::Vec3;
+
+TEST(Geometry, VectorArithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  const Vec3 sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.x, 5);
+  EXPECT_DOUBLE_EQ(sum.y, 7);
+  EXPECT_DOUBLE_EQ(sum.z, 9);
+  const Vec3 diff = b - a;
+  EXPECT_DOUBLE_EQ(diff.x, 3);
+  const Vec3 scaled = 2.0 * a;
+  EXPECT_DOUBLE_EQ(scaled.z, 6);
+  EXPECT_DOUBLE_EQ((a * 2.0).y, 4);
+}
+
+TEST(Geometry, DotAndCross) {
+  const Vec3 x{1, 0, 0};
+  const Vec3 y{0, 1, 0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(dot(x, x), 1.0);
+  const Vec3 z = cross(x, y);
+  EXPECT_DOUBLE_EQ(z.z, 1.0);
+  EXPECT_DOUBLE_EQ(z.x, 0.0);
+  // Anti-commutativity.
+  const Vec3 mz = cross(y, x);
+  EXPECT_DOUBLE_EQ(mz.z, -1.0);
+}
+
+TEST(Geometry, NormAndNormalize) {
+  EXPECT_DOUBLE_EQ(mesh::norm(Vec3{3, 4, 0}), 5.0);
+  const Vec3 n = mesh::normalized(Vec3{0, 0, 7});
+  EXPECT_DOUBLE_EQ(n.z, 1.0);
+  // Zero vector is returned unchanged (no NaNs).
+  const Vec3 zero = mesh::normalized(Vec3{});
+  EXPECT_DOUBLE_EQ(zero.x, 0.0);
+  EXPECT_FALSE(std::isnan(zero.x));
+}
+
+TEST(Geometry, PlusEquals) {
+  Vec3 acc;
+  acc += Vec3{1, 1, 1};
+  acc += Vec3{2, 0, -1};
+  EXPECT_DOUBLE_EQ(acc.x, 3);
+  EXPECT_DOUBLE_EQ(acc.z, 0);
+}
+
+}  // namespace
+}  // namespace ecl::test

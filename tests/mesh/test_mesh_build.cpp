@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "mesh/generators/structured.hpp"
+#include "mesh/mesh.hpp"
+
+namespace ecl::test {
+namespace {
+
+using mesh::Cell;
+using mesh::Mesh;
+using mesh::Vec3;
+
+/// Two unit cubes side by side along x: one shared interior face.
+std::pair<std::vector<Vec3>, std::vector<Cell>> two_cubes() {
+  std::vector<Vec3> verts;
+  for (int k = 0; k <= 1; ++k)
+    for (int j = 0; j <= 1; ++j)
+      for (int i = 0; i <= 2; ++i) verts.push_back({double(i), double(j), double(k)});
+  auto node = [](int i, int j, int k) { return std::uint32_t(k * 6 + j * 3 + i); };
+  std::vector<Cell> cells;
+  for (int c = 0; c < 2; ++c) {
+    cells.push_back(Cell{{node(c, 0, 0), node(c + 1, 0, 0), node(c, 1, 0), node(c + 1, 1, 0),
+                          node(c, 0, 1), node(c + 1, 0, 1), node(c, 1, 1), node(c + 1, 1, 1)}});
+  }
+  return {verts, cells};
+}
+
+TEST(MeshBuild, TwoCubesShareOneFace) {
+  const auto [verts, cells] = two_cubes();
+  const Mesh m = mesh::build_mesh_from_cells("pair", mesh::ElementType::Hexahedron, 1, verts, cells);
+  EXPECT_EQ(m.num_elements, 2u);
+  ASSERT_EQ(m.faces.size(), 1u);
+  EXPECT_EQ(m.faces[0].e1, 0u);
+  EXPECT_EQ(m.faces[0].e2, 1u);
+  ASSERT_EQ(m.faces[0].normals.size(), 4u);  // 2x2 quadrature
+  for (const Vec3& n : m.faces[0].normals) {
+    // Planar face at x = 1, oriented from element 0 to element 1: +x.
+    EXPECT_NEAR(n.x, 1.0, 1e-12);
+    EXPECT_NEAR(n.y, 0.0, 1e-12);
+    EXPECT_NEAR(mesh::norm(n), 1.0, 1e-12);
+  }
+}
+
+TEST(MeshBuild, ElementCentersComputed) {
+  const auto [verts, cells] = two_cubes();
+  const Mesh m = mesh::build_mesh_from_cells("pair", mesh::ElementType::Hexahedron, 1, verts, cells);
+  ASSERT_EQ(m.element_centers.size(), 2u);
+  EXPECT_NEAR(m.element_centers[0].x, 0.5, 1e-12);
+  EXPECT_NEAR(m.element_centers[1].x, 1.5, 1e-12);
+}
+
+TEST(MeshBuild, CurvatureFieldPerturbsNormals) {
+  const auto [verts, cells] = two_cubes();
+  const mesh::CurvatureField tilt_y = [](const Vec3&, double s, double) -> Vec3 {
+    return {0.0, (s - 0.5) * 2.0, 0.0};
+  };
+  const Mesh m =
+      mesh::build_mesh_from_cells("pair", mesh::ElementType::Hexahedron, 3, verts, cells, tilt_y);
+  double min_y = 1.0;
+  double max_y = -1.0;
+  for (const Vec3& n : m.faces[0].normals) {
+    min_y = std::min(min_y, n.y);
+    max_y = std::max(max_y, n.y);
+    EXPECT_NEAR(mesh::norm(n), 1.0, 1e-12);  // still unit length
+  }
+  EXPECT_LT(min_y, -0.1);
+  EXPECT_GT(max_y, 0.1);  // fan straddles the n_y = 0 plane
+}
+
+TEST(MeshBuild, StructuredGridFaceCount) {
+  // A 3x3x3 box of hexes: interior faces = 3 directions * 2 * 3 * 3 = 54.
+  mesh::detail::HexGridSpec spec;
+  spec.ni = spec.nj = spec.nk = 3;
+  spec.map = [](double x, double y, double z) -> Vec3 { return {x, y, z}; };
+  const auto soup = mesh::detail::structured_hex_grid(spec);
+  EXPECT_EQ(soup.cells.size(), 27u);
+  const Mesh m =
+      mesh::build_mesh_from_cells("box", mesh::ElementType::Hexahedron, 1, soup.vertices, soup.cells);
+  EXPECT_EQ(m.faces.size(), 54u);
+}
+
+TEST(MeshBuild, PeriodicGridWrapsFaces) {
+  // Periodic in x: one extra layer of faces connecting last to first.
+  mesh::detail::HexGridSpec spec;
+  spec.ni = 4;
+  spec.nj = 1;
+  spec.nk = 1;
+  spec.periodic_i = true;
+  spec.map = [](double x, double y, double z) -> Vec3 {
+    // A ring in the xz-plane, so wrapped cells don't coincide.
+    const double a = 6.283185307179586 * x;
+    return {std::cos(a) * (2 + y), std::sin(a) * (2 + y), z};
+  };
+  const auto soup = mesh::detail::structured_hex_grid(spec);
+  const Mesh m =
+      mesh::build_mesh_from_cells("ring", mesh::ElementType::Hexahedron, 1, soup.vertices, soup.cells);
+  EXPECT_EQ(m.num_elements, 4u);
+  EXPECT_EQ(m.faces.size(), 4u);  // cycle of 4 faces
+}
+
+TEST(MeshBuild, TetSubdivisionIsConforming) {
+  // 2x2x2 box split into tets: every interior triangle must match exactly
+  // (no orphaned facets beyond the boundary).
+  mesh::detail::HexGridSpec spec;
+  spec.ni = spec.nj = spec.nk = 2;
+  spec.map = [](double x, double y, double z) -> Vec3 { return {x, y, z}; };
+  const auto hexes = mesh::detail::structured_hex_grid(spec);
+  const auto tets = mesh::detail::subdivide_hexes_to_tets(hexes);
+  EXPECT_EQ(tets.cells.size(), 48u);
+  const Mesh m =
+      mesh::build_mesh_from_cells("tets", mesh::ElementType::Tetrahedron, 1, tets.vertices, tets.cells);
+  // 6 tets/hex have 7 internal faces each (6 around the diagonal + pairs):
+  // count total = (4 faces * 48 cells - boundary) / 2; just check parity
+  // and that each tet has at least one interior neighbor.
+  std::vector<int> deg(m.num_elements, 0);
+  for (const auto& f : m.faces) {
+    ++deg[f.e1];
+    ++deg[f.e2];
+  }
+  for (int d : deg) EXPECT_GE(d, 1);
+  for (const auto& f : m.faces) EXPECT_EQ(f.normals.size(), 3u);
+}
+
+TEST(MeshBuild, WedgeSubdivisionIsConforming) {
+  mesh::detail::HexGridSpec spec;
+  spec.ni = spec.nj = spec.nk = 2;
+  spec.map = [](double x, double y, double z) -> Vec3 { return {x, y, z}; };
+  const auto hexes = mesh::detail::structured_hex_grid(spec);
+  const auto wedges = mesh::detail::subdivide_hexes_to_wedges(hexes);
+  EXPECT_EQ(wedges.cells.size(), 16u);
+  const Mesh m = mesh::build_mesh_from_cells("wedges", mesh::ElementType::Wedge, 1,
+                                             wedges.vertices, wedges.cells);
+  // Each hex's two wedges share the internal diagonal quad: >= 8 faces.
+  EXPECT_GE(m.faces.size(), 8u);
+  std::vector<int> deg(m.num_elements, 0);
+  for (const auto& f : m.faces) {
+    ++deg[f.e1];
+    ++deg[f.e2];
+  }
+  for (int d : deg) EXPECT_GE(d, 1);
+}
+
+TEST(MeshBuild, SurfaceMeshEdges) {
+  // A 2x2 flat patch of quads: 4 interior edges.
+  std::vector<Vec3> verts;
+  for (int j = 0; j <= 2; ++j)
+    for (int i = 0; i <= 2; ++i) verts.push_back({double(i), double(j), 0.0});
+  auto node = [](int i, int j) { return std::uint32_t(j * 3 + i); };
+  std::vector<Cell> quads;
+  for (int j = 0; j < 2; ++j)
+    for (int i = 0; i < 2; ++i)
+      quads.push_back(
+          Cell{{node(i, j), node(i + 1, j), node(i + 1, j + 1), node(i, j + 1)}});
+  const Mesh m = mesh::build_surface_mesh("patch", 1, verts, quads, 2);
+  EXPECT_EQ(m.num_elements, 4u);
+  EXPECT_EQ(m.faces.size(), 4u);
+  for (const auto& f : m.faces) {
+    ASSERT_EQ(f.normals.size(), 2u);
+    for (const Vec3& n : f.normals) {
+      EXPECT_NEAR(n.z, 0.0, 1e-12);  // in-plane normals on a flat patch
+      EXPECT_NEAR(mesh::norm(n), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(MeshBuild, DimsForTargetApproximatesCount) {
+  const auto d = mesh::detail::dims_for_target(4096, 4.0, 1.0, 1.0);
+  const std::size_t count = std::size_t(d.ni) * d.nj * d.nk;
+  EXPECT_GT(count, 4096u / 2);
+  EXPECT_LT(count, 4096u * 2);
+  EXPECT_NEAR(double(d.ni) / d.nj, 4.0, 1.2);
+}
+
+TEST(MeshBuild, ElementTypeNames) {
+  EXPECT_STREQ(mesh::to_string(mesh::ElementType::Hexahedron), "Hexahedral");
+  EXPECT_STREQ(mesh::to_string(mesh::ElementType::Wedge), "Wedge");
+}
+
+}  // namespace
+}  // namespace ecl::test

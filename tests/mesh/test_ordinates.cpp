@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "mesh/ordinates.hpp"
+
+namespace ecl::test {
+namespace {
+
+TEST(Ordinates, CountAndUnitNorm) {
+  for (unsigned n : {1u, 8u, 30u, 61u}) {
+    const auto dirs = mesh::fibonacci_ordinates(n);
+    ASSERT_EQ(dirs.size(), n);
+    for (const auto& d : dirs) EXPECT_NEAR(mesh::norm(d), 1.0, 1e-12);
+  }
+}
+
+TEST(Ordinates, Deterministic) {
+  const auto a = mesh::fibonacci_ordinates(16);
+  const auto b = mesh::fibonacci_ordinates(16);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+    EXPECT_DOUBLE_EQ(a[i].z, b[i].z);
+  }
+}
+
+TEST(Ordinates, CoversBothHemispheres) {
+  const auto dirs = mesh::fibonacci_ordinates(32);
+  int up = 0;
+  int down = 0;
+  for (const auto& d : dirs) (d.z > 0 ? up : down)++;
+  EXPECT_EQ(up, 16);
+  EXPECT_EQ(down, 16);
+}
+
+TEST(Ordinates, PairwiseDistinct) {
+  const auto dirs = mesh::fibonacci_ordinates(61);
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    for (std::size_t j = i + 1; j < dirs.size(); ++j) {
+      EXPECT_GT(mesh::norm(dirs[i] - dirs[j]), 1e-3);
+    }
+  }
+}
+
+TEST(Ordinates, AvoidsExactAxes) {
+  // Axis-aligned ordinates produce dot(omega, n) == 0 ties on axis-aligned
+  // meshes; the lattice must avoid them.
+  const auto dirs = mesh::fibonacci_ordinates(30);
+  for (const auto& d : dirs) {
+    EXPECT_GT(std::abs(d.x) + std::abs(d.y), 1e-6);
+    EXPECT_LT(std::abs(d.z), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "core/tarjan.hpp"
+#include "graph/generators.hpp"
+#include "mesh/replicate.hpp"
+
+namespace ecl::test {
+namespace {
+
+TEST(Replicate, SizeFollowsPaperFormula) {
+  // §5.1.4: the expanded meshes have exactly 10 |V| - 9 vertices.
+  const auto g = graph::cycle_graph(100);
+  const auto big = mesh::replicate_chain(g, 10);
+  EXPECT_EQ(big.num_vertices(), 10u * 100 - 9);
+  EXPECT_EQ(big.num_edges(), 10u * 100);
+}
+
+TEST(Replicate, SccCountScalesWithCopies) {
+  // A graph of all-trivial SCCs: copies share one vertex, so the count is
+  // copies * (n - 1) + 1.
+  const auto g = graph::path_graph(50);
+  const auto big = mesh::replicate_chain(g, 4);
+  const auto r = scc::tarjan(big);
+  EXPECT_EQ(r.num_components, big.num_vertices());
+}
+
+TEST(Replicate, GluedCyclesStayDistinct) {
+  // Chaining cycles merges one vertex but must NOT merge the SCCs, because
+  // the shared vertex belongs to both copies' edge sets... it does merge
+  // them into one SCC only if edges allow a round trip; for a directed
+  // cycle the shared vertex makes the two rings touch at a point, which
+  // creates mutual reachability through that point.
+  const auto g = graph::cycle_graph(10);
+  const auto big = mesh::replicate_chain(g, 3);
+  const auto r = scc::tarjan(big);
+  // Rings touch at single vertices: v reaches the next ring and back via
+  // the shared vertex, so everything merges into one SCC.
+  EXPECT_EQ(r.num_components, 1u);
+}
+
+TEST(Replicate, EdgeCases) {
+  EXPECT_EQ(mesh::replicate_chain(graph::Digraph(0, graph::EdgeList{}), 5).num_vertices(), 0u);
+  EXPECT_EQ(mesh::replicate_chain(graph::Digraph(1, graph::EdgeList{}), 5).num_vertices(), 1u);
+  const auto g = graph::path_graph(10);
+  EXPECT_EQ(mesh::replicate_chain(g, 1).num_vertices(), 10u);
+  EXPECT_EQ(mesh::replicate_chain(g, 0).num_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "mesh/suite.hpp"
+#include "support/env.hpp"
+
+namespace ecl::test {
+namespace {
+
+TEST(MeshSuite, SmallSuiteMatchesTable1) {
+  const auto suite = mesh::small_mesh_suite();
+  ASSERT_EQ(suite.size(), 6u);
+  const auto* beam = mesh::find_group(suite, "beam-hex");
+  ASSERT_NE(beam, nullptr);
+  EXPECT_EQ(beam->num_ordinates, 30u);
+  EXPECT_EQ(beam->paper_elements, 262'144u);
+  const auto* star = mesh::find_group(suite, "star");
+  ASSERT_NE(star, nullptr);
+  EXPECT_EQ(star->num_ordinates, 8u);
+}
+
+TEST(MeshSuite, LargeSuiteMatchesTable2) {
+  const auto suite = mesh::large_mesh_suite();
+  ASSERT_EQ(suite.size(), 7u);
+  const auto* twist = mesh::find_group(suite, "twist-hex");
+  ASSERT_NE(twist, nullptr);
+  EXPECT_EQ(twist->num_ordinates, 61u);
+  EXPECT_EQ(twist->paper_elements, 6'291'456u);
+  const auto* klein = mesh::find_group(suite, "klein-bottle");
+  ASSERT_NE(klein, nullptr);
+  EXPECT_EQ(klein->paper_elements, 8'388'608u);
+}
+
+TEST(MeshSuite, FindGroupReturnsNullForUnknown) {
+  EXPECT_EQ(mesh::find_group(mesh::small_mesh_suite(), "nonexistent"), nullptr);
+}
+
+TEST(MeshSuite, GenerateScaledRespectsScaleFactor) {
+  const auto suite = mesh::small_mesh_suite();
+  const auto& group = suite.front();
+  const auto m = group.generate_scaled();
+  const double expected = double(group.paper_elements) * ecl::scale_factor();
+  EXPECT_GT(m.num_elements, 0u);
+  EXPECT_LT(double(m.num_elements), std::max(expected * 2.5, 2000.0));
+}
+
+TEST(MeshSuite, EveryGeneratorRuns) {
+  for (const auto& suite : {mesh::small_mesh_suite(), mesh::large_mesh_suite()}) {
+    for (const auto& group : suite) {
+      const auto m = group.generate(500);
+      EXPECT_GT(m.num_elements, 100u) << group.name;
+      EXPECT_GT(m.faces.size(), 100u) << group.name;
+      EXPECT_EQ(m.name, group.name);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecl::test

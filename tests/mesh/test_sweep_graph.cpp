@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "mesh/sweep_graph.hpp"
+
+namespace ecl::test {
+namespace {
+
+using mesh::Face;
+using mesh::Mesh;
+using mesh::Vec3;
+
+Mesh tiny_mesh() {
+  Mesh m;
+  m.name = "tiny";
+  m.num_elements = 3;
+  // Face 0-1 with constant +x normal; face 1-2 with a re-entrant normal set.
+  Face f01;
+  f01.e1 = 0;
+  f01.e2 = 1;
+  f01.normals = {Vec3{1, 0, 0}, Vec3{1, 0, 0}};
+  Face f12;
+  f12.e1 = 1;
+  f12.e2 = 2;
+  f12.normals = {Vec3{0.9, 0.4, 0}, Vec3{0.9, -0.4, 0}};
+  m.faces = {f01, f12};
+  return m;
+}
+
+TEST(SweepGraph, DirectionFollowsOrdinateSign) {
+  const Mesh m = tiny_mesh();
+  const auto g = mesh::build_sweep_graph(m, Vec3{1, 0, 0});
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(1, 2));
+
+  const auto r = mesh::build_sweep_graph(m, Vec3{-1, 0, 0});
+  EXPECT_TRUE(r.has_edge(1, 0));
+  EXPECT_FALSE(r.has_edge(0, 1));
+  EXPECT_TRUE(r.has_edge(2, 1));
+}
+
+TEST(SweepGraph, ReentrantFaceProducesBothEdges) {
+  // With ordinate nearly orthogonal to face 1-2's mean normal, the two
+  // quadrature normals straddle the sign boundary: both edges appear.
+  const Mesh m = tiny_mesh();
+  const Vec3 omega{-0.1, 1.0, 0.0};  // dot with (0.9, +-0.4, 0): 0.31 / -0.49
+  const auto g = mesh::build_sweep_graph(m, omega);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_EQ(mesh::count_reentrant_faces(m, omega), 1u);
+  EXPECT_EQ(mesh::count_reentrant_faces(m, Vec3{1, 0, 0}), 0u);
+}
+
+TEST(SweepGraph, ZeroDotIsBackward) {
+  // The paper's rule: dot > 0 -> e1->e2, otherwise e2->e1.
+  Mesh m;
+  m.num_elements = 2;
+  Face f;
+  f.e1 = 0;
+  f.e2 = 1;
+  f.normals = {Vec3{1, 0, 0}};
+  m.faces = {f};
+  const auto g = mesh::build_sweep_graph(m, Vec3{0, 1, 0});  // dot == 0
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(SweepGraph, VertexCountMatchesElements) {
+  Mesh m;
+  m.num_elements = 7;  // isolated elements allowed
+  const auto g = mesh::build_sweep_graph(m, Vec3{1, 0, 0});
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(SweepGraph, BuildAllOrdinates) {
+  const Mesh m = tiny_mesh();
+  const std::vector<Vec3> ords{{1, 0, 0}, {0, 1, 0}, {-1, 0, 0}};
+  const auto graphs = mesh::build_sweep_graphs(m, ords);
+  ASSERT_EQ(graphs.size(), 3u);
+  EXPECT_TRUE(graphs[0].has_edge(0, 1));
+  EXPECT_TRUE(graphs[2].has_edge(1, 0));
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/env.hpp"
+
+namespace ecl::test {
+namespace {
+
+TEST(Env, DoubleFallbackWhenUnset) {
+  unsetenv("ECL_TEST_VAR");
+  EXPECT_DOUBLE_EQ(env_double("ECL_TEST_VAR", 1.5), 1.5);
+}
+
+TEST(Env, DoubleParsesValue) {
+  setenv("ECL_TEST_VAR", "0.25", 1);
+  EXPECT_DOUBLE_EQ(env_double("ECL_TEST_VAR", 1.5), 0.25);
+  unsetenv("ECL_TEST_VAR");
+}
+
+TEST(Env, DoubleFallbackOnGarbage) {
+  setenv("ECL_TEST_VAR", "not-a-number", 1);
+  EXPECT_DOUBLE_EQ(env_double("ECL_TEST_VAR", 2.0), 2.0);
+  unsetenv("ECL_TEST_VAR");
+}
+
+TEST(Env, IntParsesAndFallsBack) {
+  setenv("ECL_TEST_VAR", "42", 1);
+  EXPECT_EQ(env_int("ECL_TEST_VAR", 7), 42);
+  setenv("ECL_TEST_VAR", "", 1);
+  EXPECT_EQ(env_int("ECL_TEST_VAR", 7), 7);
+  unsetenv("ECL_TEST_VAR");
+}
+
+TEST(Env, StringFallback) {
+  unsetenv("ECL_TEST_VAR");
+  EXPECT_EQ(env_string("ECL_TEST_VAR", "dflt"), "dflt");
+  setenv("ECL_TEST_VAR", "abc", 1);
+  EXPECT_EQ(env_string("ECL_TEST_VAR", "dflt"), "abc");
+  unsetenv("ECL_TEST_VAR");
+}
+
+TEST(Env, ScaledAppliesFloor) {
+  // scale_factor() is cached, so only test the floor logic generically.
+  EXPECT_GE(scaled(1'000'000), 64u);
+  EXPECT_GE(scaled(10, 64), 64u);
+  EXPECT_LE(scaled(1'000, 1), 1'000u);
+}
+
+TEST(Env, BenchRunsPositive) { EXPECT_GE(bench_runs(), 1u); }
+
+TEST(Env, ScaleFactorInRange) {
+  EXPECT_GT(scale_factor(), 0.0);
+  EXPECT_LE(scale_factor(), 1.0);
+}
+
+}  // namespace
+}  // namespace ecl::test

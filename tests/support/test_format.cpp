@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "support/format.hpp"
+
+namespace ecl::test {
+namespace {
+
+TEST(Format, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1505785), "1,505,785");
+  EXPECT_EQ(with_commas(68993773), "68,993,773");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fixed(0.00456, 4), "0.0046");
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(7.0, 0), "7");
+}
+
+TEST(Format, TextTableAlignsColumns) {
+  TextTable t({"Graph", "Vertices", "Edges"});
+  t.add_row({"beam-hex", "262,144", "769k"});
+  t.add_row({"star", "327,680", "654k"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("beam-hex"), std::string::npos);
+  EXPECT_NE(out.find("Vertices"), std::string::npos);
+  // Each line has the same width.
+  std::size_t line_end = out.find('\n');
+  const std::size_t first_len = line_end;
+  std::size_t pos = line_end + 1;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(Format, TextTablePadsShortRows) {
+  TextTable t({"A", "B", "C"});
+  t.add_row({"x"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecl::test

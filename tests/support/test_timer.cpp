@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "support/timer.hpp"
+
+namespace ecl::test {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.milliseconds(), 15.0);
+  t.reset();
+  EXPECT_LT(t.milliseconds(), 15.0);
+}
+
+TEST(Stats, MedianOddCount) { EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0); }
+
+TEST(Stats, MedianEvenCount) { EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5); }
+
+TEST(Stats, MedianSingleAndEmpty) {
+  EXPECT_DOUBLE_EQ(median({7}), 7.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, MedianIsRobustToOutliers) {
+  EXPECT_DOUBLE_EQ(median({1, 1, 1, 1, 1000}), 1.0);
+}
+
+TEST(Stats, Mean) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, Geomean) {
+  EXPECT_NEAR(geomean({1, 100}), 10.0, 1e-9);
+  EXPECT_NEAR(geomean({2, 8}), 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, MedianSecondsRunsRequestedTimes) {
+  int runs = 0;
+  const double t = median_seconds(5, [&] { ++runs; });
+  EXPECT_EQ(runs, 5);
+  EXPECT_GE(t, 0.0);
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/test_graphs.hpp"
+#include "core/ecl_scc.hpp"
+#include "core/tarjan.hpp"
+#include "mesh/generators.hpp"
+#include "mesh/ordinates.hpp"
+#include "mesh/sweep_graph.hpp"
+#include "sweep/sweep_solver.hpp"
+
+namespace ecl::test {
+namespace {
+
+using graph::Digraph;
+using graph::vid;
+
+std::vector<double> unit_source(vid n) { return std::vector<double>(n, 1.0); }
+
+TEST(SweepSolver, AcyclicChainSweepsInOnePassPerVertex) {
+  const auto g = graph::path_graph(5);
+  const auto labels = scc::tarjan(g).labels;
+  const auto r = sweep::sweep(g, labels, unit_source(5));
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.wavefronts, 5u);
+  EXPECT_EQ(r.nontrivial_sccs, 0u);
+  EXPECT_EQ(r.scc_iterations, 0u);
+  // Closed form with absorption 1.5: I[0] = 1; I[k] = (1 + I[k-1]) / 2.5.
+  double expected = 1.0;
+  EXPECT_NEAR(r.intensity[0], expected, 1e-12);
+  for (vid v = 1; v < 5; ++v) {
+    expected = (1.0 + expected) / 2.5;
+    EXPECT_NEAR(r.intensity[v], expected, 1e-12);
+  }
+}
+
+TEST(SweepSolver, UpwindOrderIsRespected) {
+  // On a DAG, every vertex's intensity only depends on its ancestors; the
+  // sources (in-degree 0) must have intensity == source value.
+  const auto g = graph::grid_dag(6, 6);
+  const auto labels = scc::tarjan(g).labels;
+  const auto r = sweep::sweep(g, labels, unit_source(36));
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.intensity[0], 1.0, 1e-12);  // the corner source
+  // With absorption 1.5 the interior dims toward (1 + 2I)/4 < I for I > 1;
+  // the sink corner must still see strictly more than an isolated vertex
+  // with the same in-degree and zero inflow would: 1/(1 + 1.5*2) = 0.25.
+  EXPECT_GT(r.intensity[35], 0.25);
+}
+
+TEST(SweepSolver, CycleConvergesViaSourceIteration) {
+  const auto g = graph::cycle_graph(8);
+  const auto labels = scc::tarjan(g).labels;
+  const auto r = sweep::sweep(g, labels, unit_source(8));
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.nontrivial_sccs, 1u);
+  EXPECT_GT(r.scc_iterations, 1u);
+  // Symmetric fixed point: I = (1 + I) / 2.5 => I = 2/3.
+  for (vid v = 0; v < 8; ++v) EXPECT_NEAR(r.intensity[v], 2.0 / 3.0, 1e-8);
+}
+
+TEST(SweepSolver, MixedGraphMatchesFixedPointEquations) {
+  // fig3: chains of SCCs; verify the result satisfies the relaxation
+  // equation at every vertex.
+  const auto g = fig3_graph();
+  const auto labels = scc::tarjan(g).labels;
+  std::vector<double> source(12);
+  std::iota(source.begin(), source.end(), 1.0);  // distinct sources
+  const auto r = sweep::sweep(g, labels, source);
+  ASSERT_TRUE(r.converged);
+  const auto rev = g.reverse();
+  for (vid v = 0; v < 12; ++v) {
+    double incoming = 0.0;
+    double deg = 0.0;
+    for (vid u : rev.out_neighbors(v)) {
+      incoming += r.intensity[u];
+      deg += 1.0;
+    }
+    EXPECT_NEAR(r.intensity[v], (source[v] + incoming) / (1.0 + 1.5 * deg), 1e-7) << v;
+  }
+}
+
+TEST(SweepSolver, LabelsFromEclSccWorkUnmodified) {
+  const auto g = fig3_graph();
+  const auto labels = scc::ecl_scc(g).labels;  // max-ID labels, not dense
+  const auto r = sweep::sweep(g, labels, unit_source(12));
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(SweepSolver, WouldLivelockDetection) {
+  const auto dag = graph::grid_dag(3, 3);
+  EXPECT_FALSE(sweep::would_livelock(dag, scc::tarjan(dag).labels));
+  const auto cyc = graph::cycle_graph(3);
+  EXPECT_TRUE(sweep::would_livelock(cyc, scc::tarjan(cyc).labels));
+  graph::EdgeList e;
+  e.add(0, 0);
+  const graph::Digraph self(1, e);
+  EXPECT_TRUE(sweep::would_livelock(self, scc::tarjan(self).labels));
+}
+
+TEST(SweepSolver, InvalidArgumentsThrow) {
+  const auto g = graph::path_graph(3);
+  const auto labels = scc::tarjan(g).labels;
+  std::vector<double> short_source(2, 1.0);
+  EXPECT_THROW((void)sweep::sweep(g, labels, short_source), std::invalid_argument);
+  sweep::SweepOptions opts;
+  opts.absorption = 0.5;  // below the contraction threshold
+  EXPECT_THROW((void)sweep::sweep(g, labels, unit_source(3), opts), std::invalid_argument);
+}
+
+TEST(SweepSolver, RealMeshOrdinateEndToEnd) {
+  // The paper's full pipeline on a real mesh: build sweep graph, detect
+  // SCCs with ECL-SCC, sweep without livelock.
+  const auto m = mesh::toroid_hex(1200);
+  const auto ords = mesh::fibonacci_ordinates(4);
+  for (const auto& omega : ords) {
+    const auto g = mesh::build_sweep_graph(m, omega);
+    const auto labels = scc::ecl_scc(g).labels;
+    const auto r = sweep::sweep(g, labels, unit_source(g.num_vertices()));
+    EXPECT_TRUE(r.converged);
+    for (double i : r.intensity) {
+      EXPECT_GT(i, 0.0);
+      EXPECT_TRUE(std::isfinite(i));
+    }
+  }
+}
+
+TEST(SweepSolver, EmptyGraph) {
+  const graph::Digraph g(0, graph::EdgeList{});
+  const auto r = sweep::sweep(g, {}, {});
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.intensity.empty());
+}
+
+}  // namespace
+}  // namespace ecl::test
+
+// ---- SweepPlan reuse & multi-group sweeps ----------------------------------
+
+namespace ecl::test {
+namespace {
+
+TEST(SweepPlan, ReuseAcrossSourcesMatchesOneShot) {
+  const auto g = fig3_graph();
+  const auto labels = scc::tarjan(g).labels;
+  const sweep::SweepPlan plan(g, labels);
+  EXPECT_EQ(plan.num_vertices(), 12u);
+  EXPECT_EQ(plan.num_components(), 7u);
+  EXPECT_TRUE(plan.has_cycles());
+
+  std::vector<double> s1(12, 1.0);
+  std::vector<double> s2(12, 2.0);
+  const auto a = plan.run(s1);
+  const auto b = plan.run(s2);
+  const auto one_shot = sweep::sweep(g, labels, s2);
+  for (graph::vid v = 0; v < 12; ++v) {
+    EXPECT_NEAR(b.intensity[v], one_shot.intensity[v], 1e-12);
+    // The model is linear in the source: doubling it doubles intensities.
+    EXPECT_NEAR(b.intensity[v], 2.0 * a.intensity[v], 1e-8);
+  }
+}
+
+TEST(SweepPlan, MultiGroupSweepsAreIndependent) {
+  const auto g = graph::cycle_chain(6, 4);
+  const auto labels = scc::tarjan(g).labels;
+  const sweep::SweepPlan plan(g, labels);
+
+  constexpr unsigned kGroups = 3;
+  const graph::vid n = g.num_vertices();
+  std::vector<double> sources(static_cast<std::size_t>(n) * kGroups);
+  for (unsigned grp = 0; grp < kGroups; ++grp)
+    for (graph::vid v = 0; v < n; ++v) sources[std::size_t(grp) * n + v] = grp + 1.0;
+
+  const auto results = plan.run_groups(sources, kGroups);
+  ASSERT_EQ(results.size(), kGroups);
+  for (unsigned grp = 0; grp < kGroups; ++grp) {
+    ASSERT_TRUE(results[grp].converged);
+    // Each group equals a standalone sweep with its own source.
+    const std::vector<double> alone(n, grp + 1.0);
+    const auto expected = plan.run(alone);
+    for (graph::vid v = 0; v < n; ++v)
+      EXPECT_NEAR(results[grp].intensity[v], expected.intensity[v], 1e-12);
+  }
+}
+
+TEST(SweepPlan, RunGroupsValidatesSourceSize) {
+  const auto g = graph::path_graph(4);
+  const sweep::SweepPlan plan(g, scc::tarjan(g).labels);
+  const std::vector<double> bad(7, 1.0);
+  EXPECT_THROW((void)plan.run_groups(bad, 2), std::invalid_argument);
+}
+
+TEST(SweepPlan, RejectsInvalidLabelingViaCondensationCycle) {
+  // Labeling that splits a cycle is not an SCC partition: the condensation
+  // has a cycle and the plan must refuse it.
+  const auto g = graph::cycle_graph(4);
+  const std::vector<graph::vid> bogus{0, 1, 0, 1};
+  EXPECT_THROW(sweep::SweepPlan(g, bogus), std::invalid_argument);
+}
+
+TEST(SweepPlan, AcyclicPlanReportsNoCycles) {
+  const auto g = graph::grid_dag(4, 4);
+  const sweep::SweepPlan plan(g, scc::tarjan(g).labels);
+  EXPECT_FALSE(plan.has_cycles());
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,42 @@
+// Dev probe: print Table 1/2-style stats for generated meshes.
+#include <cstdio>
+#include <cstdlib>
+#include "mesh/generators.hpp"
+#include "mesh/ordinates.hpp"
+#include "mesh/sweep_graph.hpp"
+#include "core/tarjan.hpp"
+#include "graph/scc_stats.hpp"
+
+using namespace ecl;
+
+static void probe(const mesh::Mesh& m, unsigned nord) {
+  auto ords = mesh::fibonacci_ordinates(nord);
+  std::vector<graph::SccStats> all;
+  for (auto& o : ords) {
+    auto g = mesh::build_sweep_graph(m, o);
+    auto r = scc::tarjan(g);
+    all.push_back(graph::compute_scc_stats(g, r.labels));
+  }
+  auto a = graph::aggregate_stats(all);
+  std::printf("%-14s V=%8u E=%9llu deg=%.2f din=%llu dout=%llu SCCs=[%u,%u] s1=[%u,%u] s2=[%u,%u] largest=[%u,%u] depth=[%u,%u]\n",
+    m.name.c_str(), a.num_vertices, (unsigned long long)a.num_edges, a.avg_degree,
+    (unsigned long long)a.max_in_degree, (unsigned long long)a.max_out_degree,
+    a.min_sccs, a.max_sccs, a.min_size1, a.max_size1, a.min_size2, a.max_size2,
+    a.min_largest, a.max_largest, a.min_depth, a.max_depth);
+}
+
+int main(int argc, char** argv) {
+  std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 6000;
+  unsigned nord = argc > 2 ? (unsigned)std::atoi(argv[2]) : 8;
+  probe(mesh::beam_hex(n), nord);
+  probe(mesh::star(n), nord);
+  probe(mesh::torch_hex(n), nord);
+  probe(mesh::torch_tet(2*n), nord);
+  probe(mesh::toroid_hex(n), nord);
+  probe(mesh::toroid_wedge(n), nord);
+  probe(mesh::klein_bottle(n), nord);
+  probe(mesh::mobius_strip(n), nord);
+  probe(mesh::twist_hex(n, 3), nord);
+  probe(mesh::twist_hex(n, 8), nord);
+  return 0;
+}
