@@ -1,11 +1,12 @@
 #include "core/ecl_scc.hpp"
 
 #include <memory>
-#include <stdexcept>
 
+#include "core/tarjan.hpp"
 #include "device/atomics.hpp"
 #include "device/worklist.hpp"
 #include "graph/condensation.hpp"
+#include "graph/subgraph.hpp"
 #include "support/timer.hpp"
 
 namespace ecl::scc {
@@ -33,6 +34,8 @@ struct EclState {
   std::unique_ptr<AtomicU32[]> min_out;  ///< 4-signature variant only
   std::vector<vid> labels;
   EdgeWorklist worklist;
+  /// Delayed-visibility fault hook; null unless the device injects it.
+  device::FaultInjector* fault = nullptr;
 
   std::atomic<std::uint32_t> changed{0};
   std::atomic<std::uint64_t> labeled{0};
@@ -41,13 +44,22 @@ struct EclState {
 };
 
 /// Signature store dispatch: the paper's atomic-free monotonic store or a
-/// CAS atomic max (§3.4).
-bool store_max(AtomicU32& slot, std::uint32_t value, bool use_atomic_max) noexcept {
+/// CAS atomic max (§3.4). Under the delayed-visibility fault a store may be
+/// deferred: dropped this round but reported as movement when it would have
+/// changed the slot, so the propagation loop retries until it lands —
+/// exactly the lost-update tolerance the monotonic store relies on.
+bool store_max(EclState& st, AtomicU32& slot, std::uint32_t value,
+               bool use_atomic_max) noexcept {
+  if (st.fault && st.fault->defer_store())
+    return value > slot.load(std::memory_order_relaxed);
   return use_atomic_max ? device::atomic_fetch_max(slot, value)
                         : device::racy_store_max(slot, value);
 }
 
-bool store_min(AtomicU32& slot, std::uint32_t value, bool use_atomic_max) noexcept {
+bool store_min(EclState& st, AtomicU32& slot, std::uint32_t value,
+               bool use_atomic_max) noexcept {
+  if (st.fault && st.fault->defer_store())
+    return value < slot.load(std::memory_order_relaxed);
   return use_atomic_max ? device::atomic_fetch_min(slot, value)
                         : device::racy_store_min(slot, value);
 }
@@ -66,9 +78,9 @@ bool propagate_edge_min(EclState& st, graph::Edge e, const EclOptions& opts) noe
   if (ov < ou) {
     if (opts.path_compression && ou != u) {
       const std::uint32_t iu = st.min_in[u].load(std::memory_order_relaxed);
-      any |= store_min(st.min_in[ou], iu, opts.use_atomic_max);
+      any |= store_min(st, st.min_in[ou], iu, opts.use_atomic_max);
     }
-    any |= store_min(st.min_out[u], ov, opts.use_atomic_max);
+    any |= store_min(st, st.min_out[u], ov, opts.use_atomic_max);
   }
 
   std::uint32_t iu = st.min_in[u].load(std::memory_order_relaxed);
@@ -77,9 +89,9 @@ bool propagate_edge_min(EclState& st, graph::Edge e, const EclOptions& opts) noe
   if (iu < iv) {
     if (opts.path_compression && iv != v) {
       const std::uint32_t ovv = st.min_out[v].load(std::memory_order_relaxed);
-      any |= store_min(st.min_out[iv], ovv, opts.use_atomic_max);
+      any |= store_min(st, st.min_out[iv], ovv, opts.use_atomic_max);
     }
-    any |= store_min(st.min_in[v], iu, opts.use_atomic_max);
+    any |= store_min(st, st.min_in[v], iu, opts.use_atomic_max);
   }
   return any;
 }
@@ -98,9 +110,9 @@ bool propagate_edge(EclState& st, graph::Edge e, const EclOptions& opts) noexcep
     if (opts.path_compression && ou != u) {
       // Lift: ou is a descendant of u, so u's ancestors are ou's ancestors.
       const std::uint32_t iu = st.vin[u].load(std::memory_order_relaxed);
-      any |= store_max(st.vin[ou], iu, opts.use_atomic_max);
+      any |= store_max(st, st.vin[ou], iu, opts.use_atomic_max);
     }
-    any |= store_max(st.vout[u], ov, opts.use_atomic_max);
+    any |= store_max(st, st.vout[u], ov, opts.use_atomic_max);
   }
 
   // in[v] <- max(in[v], in[u])   (compressed: in[in[u]])
@@ -111,9 +123,9 @@ bool propagate_edge(EclState& st, graph::Edge e, const EclOptions& opts) noexcep
     if (opts.path_compression && iv != v) {
       // Lift: iv is an ancestor of v, so v's descendants are iv's descendants.
       const std::uint32_t ovv = st.vout[v].load(std::memory_order_relaxed);
-      any |= store_max(st.vout[iv], ovv, opts.use_atomic_max);
+      any |= store_max(st, st.vout[iv], ovv, opts.use_atomic_max);
     }
-    any |= store_max(st.vin[v], iu, opts.use_atomic_max);
+    any |= store_max(st, st.vin[v], iu, opts.use_atomic_max);
   }
   return any;
 }
@@ -127,89 +139,113 @@ unsigned grid_size(device::Device& dev, std::uint64_t items, bool persistent) {
 
 void phase1_init(EclState& st, device::Device& dev, const EclOptions& opts) {
   const std::uint64_t n = st.n;
-  dev.launch(grid_size(dev, n, opts.persistent_threads), [&](const BlockContext& ctx) {
-    ctx.for_each_chunk(n, [&](std::uint64_t lo, std::uint64_t hi) {
-      for (std::uint64_t v = lo; v < hi; ++v) {
-        if (st.labels[v] == graph::kInvalidVid) {
-          st.vin[v].store(static_cast<std::uint32_t>(v), std::memory_order_relaxed);
-          st.vout[v].store(static_cast<std::uint32_t>(v), std::memory_order_relaxed);
-          if (opts.min_max_signatures) {
-            st.min_in[v].store(static_cast<std::uint32_t>(v), std::memory_order_relaxed);
-            st.min_out[v].store(static_cast<std::uint32_t>(v), std::memory_order_relaxed);
+  dev.launch(
+      grid_size(dev, n, opts.persistent_threads),
+      [&](const BlockContext& ctx) {
+        ctx.for_each_chunk(n, [&](std::uint64_t lo, std::uint64_t hi) {
+          for (std::uint64_t v = lo; v < hi; ++v) {
+            if (st.labels[v] == graph::kInvalidVid) {
+              st.vin[v].store(static_cast<std::uint32_t>(v), std::memory_order_relaxed);
+              st.vout[v].store(static_cast<std::uint32_t>(v), std::memory_order_relaxed);
+              if (opts.min_max_signatures) {
+                st.min_in[v].store(static_cast<std::uint32_t>(v), std::memory_order_relaxed);
+                st.min_out[v].store(static_cast<std::uint32_t>(v), std::memory_order_relaxed);
+              }
+            }
           }
-        }
-      }
-    });
-  });
+        });
+      },
+      {.idempotent = true});
 }
 
-void phase2_propagate(EclState& st, device::Device& dev, const EclOptions& opts,
-                      SccMetrics& metrics) {
+/// Runs the Phase-2 fixpoint. Returns false if the watchdog aborted it
+/// (sweep budget exhausted or wall-clock expiry): signatures are then
+/// unreliable and the caller must not label from them.
+bool phase2_propagate(EclState& st, device::Device& dev, const EclOptions& opts,
+                      SccMetrics& metrics, FixpointWatchdog& watchdog) {
   const auto edges = st.worklist.edges();
   const std::uint64_t m = edges.size();
-  if (m == 0) return;
+  if (m == 0) return true;
   const unsigned blocks = grid_size(dev, m, opts.persistent_threads);
+  const std::uint64_t budget = watchdog.phase2_round_budget();
+  std::uint64_t rounds = 0;
 
   for (;;) {
+    if (++rounds > budget || watchdog.expired()) {
+      watchdog.mark_stalled();
+      return false;
+    }
     st.changed.store(0, std::memory_order_relaxed);
     ++metrics.propagation_rounds;
 
-    dev.launch(blocks, [&](const BlockContext& ctx) {
-      std::uint64_t local_processed = 0;
-      bool local_changed;
-      std::uint64_t local_iters = 0;
-      do {
-        local_changed = false;
-        ++local_iters;
-        ctx.for_each_chunk(m, [&](std::uint64_t lo, std::uint64_t hi) {
-          for (std::uint64_t i = lo; i < hi; ++i) {
-            local_changed |= propagate_edge(st, edges[i], opts);
-            if (opts.min_max_signatures)
-              local_changed |= propagate_edge_min(st, edges[i], opts);
-          }
-          local_processed += hi - lo;
-        });
-        // async_phase2: the block re-iterates its edges to a local fixed
-        // point inside one launch (§3.3); sync mode does a single sweep.
-      } while (opts.async_phase2 && local_changed);
-      if (local_changed || (opts.async_phase2 && local_iters > 1))
-        st.changed.store(1, std::memory_order_relaxed);
-      st.block_iterations.fetch_add(local_iters, std::memory_order_relaxed);
-      st.edges_processed.fetch_add(local_processed, std::memory_order_relaxed);
-    });
+    dev.launch(
+        blocks,
+        [&](const BlockContext& ctx) {
+          std::uint64_t local_processed = 0;
+          bool local_changed;
+          std::uint64_t local_iters = 0;
+          do {
+            local_changed = false;
+            ++local_iters;
+            ctx.for_each_chunk(m, [&](std::uint64_t lo, std::uint64_t hi) {
+              for (std::uint64_t i = lo; i < hi; ++i) {
+                local_changed |= propagate_edge(st, edges[i], opts);
+                if (opts.min_max_signatures)
+                  local_changed |= propagate_edge_min(st, edges[i], opts);
+              }
+              local_processed += hi - lo;
+            });
+            // async_phase2: the block re-iterates its edges to a local fixed
+            // point inside one launch (§3.3); sync mode does a single sweep.
+            // The per-block sweep budget and the wall-clock check keep a
+            // fault-suppressed fixpoint from spinning forever in-kernel.
+          } while (opts.async_phase2 && local_changed && local_iters < budget &&
+                   !watchdog.expired());
+          if (local_changed || (opts.async_phase2 && local_iters > 1))
+            st.changed.store(1, std::memory_order_relaxed);
+          st.block_iterations.fetch_add(local_iters, std::memory_order_relaxed);
+          st.edges_processed.fetch_add(local_processed, std::memory_order_relaxed);
+        },
+        {.idempotent = true});
 
     if (st.changed.load(std::memory_order_relaxed) == 0) break;
   }
+  return true;
 }
 
 void detect_components(EclState& st, device::Device& dev, const EclOptions& opts) {
   const std::uint64_t n = st.n;
-  dev.launch(grid_size(dev, n, opts.persistent_threads), [&](const BlockContext& ctx) {
-    std::uint64_t local = 0;
-    ctx.for_each_chunk(n, [&](std::uint64_t lo, std::uint64_t hi) {
-      for (std::uint64_t v = lo; v < hi; ++v) {
-        if (st.labels[v] != graph::kInvalidVid) continue;
-        const std::uint32_t i = st.vin[v].load(std::memory_order_relaxed);
-        const std::uint32_t o = st.vout[v].load(std::memory_order_relaxed);
-        if (i == o) {
-          st.labels[v] = i;
-          ++local;
-          continue;
-        }
-        if (opts.min_max_signatures) {
-          // A vertex whose min signatures agree is in the MIN SCC of its
-          // cluster; label it by that (minimum) member.
-          const std::uint32_t mi = st.min_in[v].load(std::memory_order_relaxed);
-          const std::uint32_t mo = st.min_out[v].load(std::memory_order_relaxed);
-          if (mi == mo) {
-            st.labels[v] = mi;
-            ++local;
+  // Idempotent: already-labeled vertices are skipped, so a spurious replay
+  // finds nothing new to label and adds 0 to the labeled counter.
+  dev.launch(
+      grid_size(dev, n, opts.persistent_threads),
+      [&](const BlockContext& ctx) {
+        std::uint64_t local = 0;
+        ctx.for_each_chunk(n, [&](std::uint64_t lo, std::uint64_t hi) {
+          for (std::uint64_t v = lo; v < hi; ++v) {
+            if (st.labels[v] != graph::kInvalidVid) continue;
+            const std::uint32_t i = st.vin[v].load(std::memory_order_relaxed);
+            const std::uint32_t o = st.vout[v].load(std::memory_order_relaxed);
+            if (i == o) {
+              st.labels[v] = i;
+              ++local;
+              continue;
+            }
+            if (opts.min_max_signatures) {
+              // A vertex whose min signatures agree is in the MIN SCC of its
+              // cluster; label it by that (minimum) member.
+              const std::uint32_t mi = st.min_in[v].load(std::memory_order_relaxed);
+              const std::uint32_t mo = st.min_out[v].load(std::memory_order_relaxed);
+              if (mi == mo) {
+                st.labels[v] = mi;
+                ++local;
+              }
+            }
           }
-        }
-      }
-    });
-    st.labeled.fetch_add(local, std::memory_order_relaxed);
-  });
+        });
+        st.labeled.fetch_add(local, std::memory_order_relaxed);
+      },
+      {.idempotent = true});
 }
 
 void phase3_remove_edges(EclState& st, device::Device& dev, const EclOptions& opts,
@@ -244,6 +280,37 @@ void phase3_remove_edges(EclState& st, device::Device& dev, const EclOptions& op
   metrics.edges_removed += before - st.worklist.size();
 }
 
+/// Completes a partial labeling by running Tarjan on the residual subgraph
+/// of still-unlabeled vertices. The labeled set at any break point is a
+/// union of complete SCCs (detect_components only labels from converged
+/// signatures, and a stalled Phase 2 breaks before detection), so the
+/// residual is closed under strong connectivity and can be solved
+/// independently. Each residual component is labeled by its maximum
+/// parent-graph member, preserving the max-ID labeling invariant (§3.2.1).
+void serial_fallback(const Digraph& g, SccResult& result) {
+  const vid n = g.num_vertices();
+  std::vector<std::uint8_t> active(n, 0);
+  std::uint64_t residual = 0;
+  for (vid v = 0; v < n; ++v) {
+    if (result.labels[v] == graph::kInvalidVid) {
+      active[v] = 1;
+      ++residual;
+    }
+  }
+  result.metrics.serial_fallback = true;
+  result.metrics.fallback_vertices = residual;
+  if (residual == 0) return;
+  const graph::Subgraph sub = graph::induced_subgraph(g, active);
+  const SccResult serial = tarjan(sub.graph);
+  std::vector<vid> comp_max(serial.num_components, 0);
+  for (std::size_t i = 0; i < sub.to_parent.size(); ++i) {
+    vid& top = comp_max[serial.labels[i]];
+    top = std::max(top, sub.to_parent[i]);
+  }
+  for (std::size_t i = 0; i < sub.to_parent.size(); ++i)
+    result.labels[sub.to_parent[i]] = comp_max[serial.labels[i]];
+}
+
 }  // namespace
 
 EclOptions ecl_all_optimizations_off() {
@@ -261,29 +328,53 @@ SccResult ecl_scc(const Digraph& g, device::Device& dev, const EclOptions& opts)
   if (n == 0) return result;
 
   EclState st(g, opts.min_max_signatures);
+  if (dev.fault_active() && dev.fault().plan().delayed_visibility) st.fault = &dev.fault();
   const std::uint64_t launches_before = dev.stats().kernel_launches;
 
   const std::uint64_t guard =
       opts.max_outer_iterations ? opts.max_outer_iterations : static_cast<std::uint64_t>(n) + 2;
+  FixpointWatchdog watchdog(opts.watchdog, n);
 
   while (st.labeled.load(std::memory_order_relaxed) < n) {
-    if (++result.metrics.outer_iterations > guard)
-      throw std::logic_error("ecl_scc: outer loop exceeded iteration guard (internal bug)");
-    const std::uint64_t labeled_before = st.labeled.load(std::memory_order_relaxed);
+    if (++result.metrics.outer_iterations > guard) {
+      result.error = {SccStatus::kIterationGuard,
+                      "ecl_scc: outer loop exceeded iteration guard"};
+      break;
+    }
 
     Timer phase_timer;
     phase1_init(st, dev, opts);
     result.metrics.phase1_seconds += phase_timer.seconds();
     phase_timer.reset();
-    phase2_propagate(st, dev, opts, result.metrics);
+    const bool converged = phase2_propagate(st, dev, opts, result.metrics, watchdog);
     result.metrics.phase2_seconds += phase_timer.seconds();
+    if (!converged) {
+      ++result.metrics.watchdog_trips;
+      result.error = {SccStatus::kStalled,
+                      "ecl_scc: phase-2 propagation exceeded its sweep budget"};
+      break;
+    }
     phase_timer.reset();
     detect_components(st, dev, opts);
     phase3_remove_edges(st, dev, opts, result.metrics);
     result.metrics.phase3_seconds += phase_timer.seconds();
 
-    if (st.labeled.load(std::memory_order_relaxed) == labeled_before)
-      throw std::logic_error("ecl_scc: iteration made no progress (internal bug)");
+    if (st.worklist.overflowed()) {
+      // The next-iteration worklist dropped edges; labels assigned so far
+      // came from the intact pre-overflow worklist and remain sound, but
+      // further propagation over the truncated edge set would not be.
+      result.error = {SccStatus::kWorklistOverflow,
+                      "ecl_scc: edge worklist overflowed during phase 3"};
+      break;
+    }
+    if (watchdog.observe_iteration(st.labeled.load(std::memory_order_relaxed),
+                                   st.worklist.size())) {
+      ++result.metrics.watchdog_trips;
+      result.error = {SccStatus::kStalled,
+                      "ecl_scc: no new labels and no worklist shrinkage for " +
+                          std::to_string(opts.watchdog.stall_rounds) + " iterations"};
+      break;
+    }
   }
 
   result.metrics.edges_processed = st.edges_processed.load(std::memory_order_relaxed);
@@ -292,8 +383,12 @@ SccResult ecl_scc(const Digraph& g, device::Device& dev, const EclOptions& opts)
   dev.stats().block_iterations += result.metrics.block_iterations;
 
   result.labels = std::move(st.labels);
-  std::vector<vid> dense(result.labels.begin(), result.labels.end());
-  result.num_components = graph::normalize_labels(dense);
+  if (result.error && opts.stall_policy == StallPolicy::kSerialFallback)
+    serial_fallback(g, result);
+  if (!result.error || result.metrics.serial_fallback) {
+    std::vector<vid> dense(result.labels.begin(), result.labels.end());
+    result.num_components = graph::normalize_labels(dense);
+  }
   return result;
 }
 

@@ -28,9 +28,23 @@
 // Algorithm 1's exactly (see DESIGN.md).
 
 #include "core/result.hpp"
+#include "core/watchdog.hpp"
 #include "device/device.hpp"
 
 namespace ecl::scc {
+
+/// What ecl_scc does when the fixpoint watchdog trips, the worklist
+/// overflows, or the iteration guard fires.
+enum class StallPolicy : std::uint8_t {
+  /// Complete the labeling with Tarjan on the unlabeled residual subgraph
+  /// and return it (the error is still recorded, and the fallback is noted
+  /// in SccMetrics). This is the graceful-degradation default: callers
+  /// always receive a full, verifiable labeling.
+  kSerialFallback,
+  /// Return immediately with partial labels (unlabeled vertices hold
+  /// graph::kInvalidVid) and the structured error. num_components is 0.
+  kReturnError,
+};
 
 struct EclOptions {
   bool async_phase2 = true;
@@ -45,8 +59,13 @@ struct EclOptions {
   /// Off by default, like the paper's shipped configuration.
   bool min_max_signatures = false;
   /// Safety guard on outer iterations; 0 means |V| + 2 (the theoretical
-  /// bound is the number of SCCs).
+  /// bound is the number of SCCs). A trip is reported as
+  /// SccStatus::kIterationGuard, subject to stall_policy — never thrown.
   std::uint64_t max_outer_iterations = 0;
+  /// Stall detection around the outer and Phase-2 fixpoint loops.
+  WatchdogConfig watchdog = WatchdogConfig::defaults();
+  /// Degradation behavior on watchdog trip / overflow / guard.
+  StallPolicy stall_policy = StallPolicy::kSerialFallback;
 };
 
 /// All-off configuration (the "disable all 4" bar of Fig. 14).

@@ -42,24 +42,30 @@ struct Bfs {
     while (frontier_size > 0) {
       ++levels;
       std::atomic<std::size_t> next_size{0};
-      dev.launch(dev.blocks_for(frontier_size), [&](const BlockContext& ctx) {
-        std::uint64_t local_edges = 0;
-        ctx.for_each_chunk(frontier_size, [&](std::uint64_t lo, std::uint64_t hi) {
-          for (std::uint64_t i = lo; i < hi; ++i) {
-            const vid u = frontier[i];
-            for (vid w : dir.out_neighbors(u)) {
-              ++local_edges;
-              if (!active[w] || color[w] != color[u]) continue;
-              std::uint64_t expected = tag[w].load(std::memory_order_relaxed);
-              if (expected == round) continue;
-              if (tag[w].compare_exchange_strong(expected, round, std::memory_order_relaxed)) {
-                next[next_size.fetch_add(1, std::memory_order_relaxed)] = w;
+      // Idempotent: the tag CAS admits each vertex to `next` exactly once,
+      // so a spurious replay of a block finds every neighbor already tagged.
+      dev.launch(
+          dev.blocks_for(frontier_size),
+          [&](const BlockContext& ctx) {
+            std::uint64_t local_edges = 0;
+            ctx.for_each_chunk(frontier_size, [&](std::uint64_t lo, std::uint64_t hi) {
+              for (std::uint64_t i = lo; i < hi; ++i) {
+                const vid u = frontier[i];
+                for (vid w : dir.out_neighbors(u)) {
+                  ++local_edges;
+                  if (!active[w] || color[w] != color[u]) continue;
+                  std::uint64_t expected = tag[w].load(std::memory_order_relaxed);
+                  if (expected == round) continue;
+                  if (tag[w].compare_exchange_strong(expected, round,
+                                                     std::memory_order_relaxed)) {
+                    next[next_size.fetch_add(1, std::memory_order_relaxed)] = w;
+                  }
+                }
               }
-            }
-          }
-        });
-        edges_processed.fetch_add(local_edges, std::memory_order_relaxed);
-      });
+            });
+            edges_processed.fetch_add(local_edges, std::memory_order_relaxed);
+          },
+          {.idempotent = true});
       frontier.swap(next);
       frontier_size = next_size.load(std::memory_order_relaxed);
     }

@@ -1,5 +1,6 @@
 #include "core/registry.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -12,6 +13,7 @@
 #include "core/ispan.hpp"
 #include "core/kosaraju.hpp"
 #include "core/tarjan.hpp"
+#include "core/verify.hpp"
 
 namespace ecl::scc {
 namespace {
@@ -37,6 +39,21 @@ const std::vector<std::pair<std::string, SccAlgorithm>>& table() {
   return algorithms;
 }
 
+/// Device-parameterized variants of the configurations that run on the
+/// virtual device substrate. The a100/titanv split lives in the device
+/// profile, so both map to the same solver here.
+using DeviceAlgorithm = std::function<SccResult(const Digraph&, device::Device&)>;
+
+const std::vector<std::pair<std::string, DeviceAlgorithm>>& device_table() {
+  static const std::vector<std::pair<std::string, DeviceAlgorithm>> algorithms = {
+      {"ecl-a100", [](const Digraph& g, device::Device& dev) { return ecl_scc(g, dev); }},
+      {"ecl-titanv", [](const Digraph& g, device::Device& dev) { return ecl_scc(g, dev); }},
+      {"gpu-scc-a100", [](const Digraph& g, device::Device& dev) { return fb_trim(g, dev); }},
+      {"gpu-scc-titanv", [](const Digraph& g, device::Device& dev) { return fb_trim(g, dev); }},
+  };
+  return algorithms;
+}
+
 }  // namespace
 
 std::vector<std::string> algorithm_names() {
@@ -58,6 +75,45 @@ SccAlgorithm find_algorithm(const std::string& name) {
 
 SccResult run_algorithm(const std::string& name, const Digraph& g) {
   return find_algorithm(name)(g);
+}
+
+bool algorithm_uses_device(const std::string& name) {
+  for (const auto& [candidate, fn] : device_table()) {
+    if (candidate == name) return true;
+  }
+  return false;
+}
+
+SccResult run_algorithm_on(const std::string& name, const Digraph& g, device::Device& dev) {
+  for (const auto& [candidate, fn] : device_table()) {
+    if (candidate == name) return fn(g, dev);
+  }
+  return run_algorithm(name, g);
+}
+
+SccResult run_resilient(const std::string& name, const Digraph& g) {
+  const SccAlgorithm algorithm = find_algorithm(name);  // unknown name: throws
+  SccResult result;
+  try {
+    result = algorithm(g);
+  } catch (const std::exception& e) {
+    result = SccResult{};
+    result.error = {SccStatus::kException, e.what()};
+  }
+
+  const bool complete = result.labels.size() == g.num_vertices() &&
+                        std::none_of(result.labels.begin(), result.labels.end(),
+                                     [](vid l) { return l == graph::kInvalidVid; });
+  if (complete && verify_scc(g, result.labels).ok) return result;
+
+  if (result.ok())
+    result.error = {SccStatus::kVerifyFailed, "labeling failed intrinsic verification"};
+  SccResult serial = tarjan(g);
+  result.labels = std::move(serial.labels);
+  result.num_components = serial.num_components;
+  result.metrics.serial_fallback = true;
+  result.metrics.fallback_vertices = g.num_vertices();
+  return result;
 }
 
 }  // namespace ecl::scc

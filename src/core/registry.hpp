@@ -11,6 +11,10 @@
 
 #include "core/result.hpp"
 
+namespace ecl::device {
+class Device;
+}
+
 namespace ecl::scc {
 
 using SccAlgorithm = std::function<SccResult(const Digraph&)>;
@@ -24,6 +28,24 @@ SccAlgorithm find_algorithm(const std::string& name);
 
 /// Convenience: look up and run.
 SccResult run_algorithm(const std::string& name, const Digraph& g);
+
+/// True if the named configuration runs on the virtual device substrate
+/// (and therefore honors a device's fault plan / block-schedule knobs).
+bool algorithm_uses_device(const std::string& name);
+
+/// Runs the named configuration on the caller's device instead of the
+/// registry's process-wide one — the hook the chaos harness uses to sweep
+/// fault plans. CPU configurations ignore `dev` and run normally.
+SccResult run_algorithm_on(const std::string& name, const Digraph& g, device::Device& dev);
+
+/// Resilient entry point: runs the named configuration, converts any thrown
+/// exception into SccStatus::kException, intrinsically verifies the
+/// labeling (verify_scc), and — whenever the labels are missing, partial,
+/// or fail verification — recomputes them with serial Tarjan, recording the
+/// fallback in SccMetrics. Always returns a complete, verified labeling;
+/// `error` still reports what went wrong with the primary run. Unknown
+/// names still throw std::invalid_argument (a caller bug, not a fault).
+SccResult run_resilient(const std::string& name, const Digraph& g);
 
 }  // namespace ecl::scc
 

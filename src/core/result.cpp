@@ -6,6 +6,18 @@
 
 namespace ecl::scc {
 
+const char* status_name(SccStatus status) {
+  switch (status) {
+    case SccStatus::kOk: return "ok";
+    case SccStatus::kStalled: return "stalled";
+    case SccStatus::kWorklistOverflow: return "worklist-overflow";
+    case SccStatus::kIterationGuard: return "iteration-guard";
+    case SccStatus::kException: return "exception";
+    case SccStatus::kVerifyFailed: return "verify-failed";
+  }
+  return "unknown";
+}
+
 bool same_partition(std::span<const vid> a, std::span<const vid> b) {
   if (a.size() != b.size()) return false;
   // Two labelings agree iff the dense renumberings (in first-appearance

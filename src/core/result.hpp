@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "graph/digraph.hpp"
@@ -14,6 +15,28 @@ namespace ecl::scc {
 using graph::Digraph;
 using graph::eid;
 using graph::vid;
+
+/// Structured failure status carried in SccResult instead of a thrown
+/// exception, so callers (bench harness, examples, services) can degrade
+/// gracefully rather than terminate.
+enum class SccStatus : std::uint8_t {
+  kOk = 0,
+  kStalled,           ///< fixpoint watchdog: no progress within its budget
+  kWorklistOverflow,  ///< EdgeWorklist append ran past capacity
+  kIterationGuard,    ///< outer loop exceeded its iteration budget
+  kException,         ///< the algorithm threw (caught by run_resilient)
+  kVerifyFailed,      ///< labeling rejected by verify_scc (run_resilient)
+};
+
+/// Stable short name ("ok", "stalled", ...) for logs and tables.
+const char* status_name(SccStatus status);
+
+struct SccError {
+  SccStatus code = SccStatus::kOk;
+  std::string message;  ///< empty when ok
+
+  explicit operator bool() const noexcept { return code != SccStatus::kOk; }
+};
 
 /// Instrumentation counters filled in by the algorithms; the quantities the
 /// paper's optimization study (Fig. 14) reasons about.
@@ -31,6 +54,12 @@ struct SccMetrics {
   double phase1_seconds = 0.0;
   double phase2_seconds = 0.0;
   double phase3_seconds = 0.0;
+
+  /// Resilience accounting: set when a watchdog trip / overflow / guard was
+  /// recovered by completing the labeling with the serial fallback.
+  bool serial_fallback = false;
+  std::uint64_t fallback_vertices = 0;  ///< residual size handed to the fallback
+  std::uint64_t watchdog_trips = 0;     ///< stalls detected by the watchdog
 };
 
 /// An SCC decomposition: labels[v] identifies v's component. Label values
@@ -40,6 +69,14 @@ struct SccResult {
   std::vector<vid> labels;
   vid num_components = 0;
   SccMetrics metrics;
+  /// Non-ok when the run hit a detected failure. When the algorithm
+  /// recovered via the serial fallback (metrics.serial_fallback), the
+  /// labels are still a complete, verified-shape decomposition and the
+  /// error records what was survived; without recovery the labels may be
+  /// partial (unlabeled vertices hold graph::kInvalidVid).
+  SccError error;
+
+  bool ok() const noexcept { return error.code == SccStatus::kOk; }
 };
 
 /// True iff two labelings induce the same partition of [0, n).

@@ -1,0 +1,55 @@
+#include "core/watchdog.hpp"
+
+#include "support/env.hpp"
+
+namespace ecl::scc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+WatchdogConfig WatchdogConfig::defaults() {
+  WatchdogConfig config;
+  config.stall_seconds = env_double("ECL_WATCHDOG_SECONDS", 0.0);
+  return config;
+}
+
+FixpointWatchdog::FixpointWatchdog(WatchdogConfig config, std::uint64_t n) : config_(config) {
+  phase2_budget_ = config_.max_phase2_rounds ? config_.max_phase2_rounds : 4 * n + 64;
+  anchor_ns_.store(now_ns(), std::memory_order_relaxed);
+}
+
+void FixpointWatchdog::note_progress() noexcept {
+  no_progress_rounds_ = 0;
+  anchor_ns_.store(now_ns(), std::memory_order_relaxed);
+}
+
+bool FixpointWatchdog::observe_iteration(std::uint64_t labeled,
+                                         std::uint64_t worklist_size) noexcept {
+  const bool progress = labeled > last_labeled_ || worklist_size < last_worklist_;
+  last_labeled_ = labeled;
+  last_worklist_ = worklist_size;
+  if (progress) {
+    note_progress();
+    return false;
+  }
+  if (++no_progress_rounds_ >= config_.stall_rounds) {
+    mark_stalled();
+    return true;
+  }
+  return false;
+}
+
+bool FixpointWatchdog::expired() const noexcept {
+  if (config_.stall_seconds <= 0.0) return false;
+  const auto elapsed_ns = now_ns() - anchor_ns_.load(std::memory_order_relaxed);
+  return static_cast<double>(elapsed_ns) > config_.stall_seconds * 1e9;
+}
+
+}  // namespace ecl::scc

@@ -1,0 +1,90 @@
+#ifndef ECL_CORE_WATCHDOG_HPP
+#define ECL_CORE_WATCHDOG_HPP
+
+// Fixpoint watchdog.
+//
+// ECL-SCC's outer loop and its Phase-2 propagation loop are fixpoint
+// iterations whose termination argument assumes every reported signature
+// movement is real. Under fault injection (delayed-visibility stores that
+// defer writes but report movement) — or under a genuine implementation bug
+// — that assumption breaks and the loops spin forever. The watchdog bounds
+// both loops and converts a detected stall into a structured SccError
+// (core/result.hpp) instead of a hang or a thrown std::logic_error:
+//
+//  * outer loop: no new labels AND no worklist shrinkage for `stall_rounds`
+//    consecutive iterations => stalled;
+//  * Phase 2: more than `phase2_round_budget()` propagation sweeps in one
+//    fixpoint (counting async in-block re-iterations) => stalled. The
+//    default budget, 4n + 64, is a safety multiple of the n-round
+//    worst-case of synchronous max-propagation, with headroom for rounds
+//    lost to benign races;
+//  * wall clock: optionally, more than `stall_seconds` without progress
+//    (label growth or worklist shrinkage) => stalled. Disabled by default
+//    so legitimately long fault-free runs never trip it; enable it (or set
+//    ECL_WATCHDOG_SECONDS) for latency-sensitive deployments.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace ecl::scc {
+
+struct WatchdogConfig {
+  /// K: consecutive outer iterations without progress before a stall is
+  /// declared. The theoretical minimum progress is one SCC per iteration,
+  /// so 2 already tolerates one anomalous round.
+  std::uint64_t stall_rounds = 2;
+  /// Budget on Phase-2 propagation sweeps per fixpoint; 0 = auto (4n + 64).
+  std::uint64_t max_phase2_rounds = 0;
+  /// T: wall-clock seconds without progress before a stall is declared;
+  /// 0 disables the wall-clock monitor.
+  double stall_seconds = 0.0;
+
+  /// Default config with stall_seconds taken from ECL_WATCHDOG_SECONDS.
+  static WatchdogConfig defaults();
+};
+
+/// Stall detector around one solver run. The expired() check is safe to
+/// call concurrently from device blocks (async Phase-2 inner loops).
+class FixpointWatchdog {
+ public:
+  /// `n` is the vertex count, used to resolve the automatic Phase-2 budget.
+  explicit FixpointWatchdog(WatchdogConfig config, std::uint64_t n);
+
+  const WatchdogConfig& config() const noexcept { return config_; }
+
+  /// Resolved Phase-2 sweep budget for this run.
+  std::uint64_t phase2_round_budget() const noexcept { return phase2_budget_; }
+
+  /// Records forward progress: resets the no-progress round counter and
+  /// the wall-clock anchor.
+  void note_progress() noexcept;
+
+  /// Observes the end of one outer iteration. Progress means the labeled
+  /// count grew or the worklist shrank. Returns true when the configured
+  /// number of consecutive no-progress iterations has been reached.
+  bool observe_iteration(std::uint64_t labeled, std::uint64_t worklist_size) noexcept;
+
+  /// Wall-clock monitor: true when stall_seconds > 0 and that much time has
+  /// passed since the last recorded progress. Thread-safe and cheap (one
+  /// steady_clock read).
+  bool expired() const noexcept;
+
+  /// True once observe_iteration or a phase-2 budget caller declared a
+  /// stall via mark_stalled().
+  bool stalled() const noexcept { return stalled_.load(std::memory_order_relaxed); }
+  void mark_stalled() noexcept { stalled_.store(true, std::memory_order_relaxed); }
+
+ private:
+  WatchdogConfig config_;
+  std::uint64_t phase2_budget_ = 0;
+  std::uint64_t last_labeled_ = 0;
+  std::uint64_t last_worklist_ = ~std::uint64_t{0};
+  std::uint64_t no_progress_rounds_ = 0;
+  std::atomic<std::int64_t> anchor_ns_{0};
+  std::atomic<bool> stalled_{false};
+};
+
+}  // namespace ecl::scc
+
+#endif  // ECL_CORE_WATCHDOG_HPP

@@ -9,12 +9,12 @@ namespace ecl::device {
 // The paper's two evaluation GPUs. The launch overheads keep the Titan V
 // slightly more latency-bound than the A100, mirroring the generational
 // gap the paper measures on launch-dominated inputs.
-DeviceProfile titan_v_profile() { return {"titanv", 80, 512, 2048, 30.0}; }
-DeviceProfile a100_profile() { return {"a100", 108, 512, 2048, 20.0}; }
-DeviceProfile tiny_profile() { return {"tiny", 2, 32, 64, 0.0}; }
+DeviceProfile titan_v_profile() { return {"titanv", 80, 512, 2048, 30.0, false, {}}; }
+DeviceProfile a100_profile() { return {"a100", 108, 512, 2048, 20.0, false, {}}; }
+DeviceProfile tiny_profile() { return {"tiny", 2, 32, 64, 0.0, false, {}}; }
 
 Device::Device(DeviceProfile profile, unsigned host_workers)
-    : profile_(std::move(profile)), pool_(host_workers) {
+    : profile_(std::move(profile)), fault_(profile_.fault_plan), pool_(host_workers) {
   effective_overhead_us_ =
       profile_.launch_overhead_us * env_double("ECL_LAUNCH_OVERHEAD", 1.0);
 }

@@ -24,7 +24,9 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
+#include "device/fault.hpp"
 #include "device/thread_pool.hpp"
 
 namespace ecl::device {
@@ -49,6 +51,9 @@ struct DeviceProfile {
   /// order. Correct kernels must not depend on block scheduling order, so
   /// every algorithm must produce identical results under this profile.
   bool reverse_block_order = false;
+  /// Seeded chaos-injection plan (see fault.hpp). Disabled by default; a
+  /// disabled plan must cost nothing beyond one branch per launch.
+  FaultPlan fault_plan;
 
   /// Number of thread blocks the device can keep resident at once; this is
   /// the grid size of persistent-thread launches.
@@ -91,8 +96,18 @@ struct LaunchStats {
   std::uint64_t kernel_launches = 0;
   std::uint64_t blocks_executed = 0;
   std::uint64_t block_iterations = 0;  ///< async-kernel internal repeats (§3.3)
+  std::uint64_t spurious_replays = 0;  ///< fault-injected block re-executions
 
   void reset() { *this = LaunchStats{}; }
+};
+
+/// Per-launch attributes a kernel call site can declare.
+struct LaunchOptions {
+  /// The kernel tolerates a whole block being re-executed after the grid
+  /// completed (monotonic propagation, tag-CAS BFS expansion, init).
+  /// Non-idempotent launches (e.g. worklist appends) are never replayed by
+  /// the spurious-reexecution fault.
+  bool idempotent = false;
 };
 
 /// A simulated GPU device.
@@ -105,27 +120,50 @@ class Device {
   LaunchStats& stats() noexcept { return stats_; }
   const LaunchStats& stats() const noexcept { return stats_; }
 
+  /// The device's fault injector (inactive unless the profile carries an
+  /// enabled FaultPlan). Kernels that route signature stores through the
+  /// delayed-visibility fault query this.
+  FaultInjector& fault() noexcept { return fault_; }
+  const FaultInjector& fault() const noexcept { return fault_; }
+  bool fault_active() const noexcept { return fault_.active(); }
+
   /// Launches `num_blocks` blocks of `kernel`; returns after all blocks
-  /// complete (grid-wide barrier).
+  /// complete (grid-wide barrier). Under an active fault plan the block IDs
+  /// may be permuted, blocks may be delayed, and — for launches declared
+  /// idempotent — a bounded random subset of blocks is replayed after the
+  /// grid barrier (a re-executed straggler).
   template <typename Kernel>
-  void launch(unsigned num_blocks, Kernel&& kernel) {
-    ++stats_.kernel_launches;
+  void launch(unsigned num_blocks, Kernel&& kernel, LaunchOptions attrs = {}) {
+    const std::uint64_t launch_id = ++stats_.kernel_launches;
     stats_.blocks_executed += num_blocks;
     charge_launch_overhead();
     const bool reverse = profile_.reverse_block_order;
+    FaultInjector* fi = fault_.active() ? &fault_ : nullptr;
+    const std::vector<unsigned> perm =
+        fi ? fi->block_permutation(launch_id, num_blocks) : std::vector<unsigned>{};
     const std::function<void(std::size_t)> task = [&, reverse](std::size_t b) {
-      const auto block_id =
-          static_cast<unsigned>(reverse ? (num_blocks - 1 - b) : b);
+      auto block_id = static_cast<unsigned>(reverse ? (num_blocks - 1 - b) : b);
+      if (!perm.empty()) block_id = perm[block_id];
+      if (fi) fi->schedule_delay(launch_id, block_id);
       BlockContext ctx{block_id, num_blocks, profile_.threads_per_block};
       kernel(ctx);
     };
     pool_.parallel_for(num_blocks, task);
+    if (fi && attrs.idempotent) {
+      const unsigned replays = fi->replay_count(launch_id, num_blocks);
+      for (unsigned r = 0; r < replays; ++r) {
+        BlockContext ctx{fi->replay_block(launch_id, r, num_blocks), num_blocks,
+                         profile_.threads_per_block};
+        kernel(ctx);
+        ++stats_.spurious_replays;
+      }
+    }
   }
 
   /// Persistent-thread launch: grid size = resident_blocks() (§3.4).
   template <typename Kernel>
-  void launch_persistent(Kernel&& kernel) {
-    launch(profile_.resident_blocks(), std::forward<Kernel>(kernel));
+  void launch_persistent(Kernel&& kernel, LaunchOptions attrs = {}) {
+    launch(profile_.resident_blocks(), std::forward<Kernel>(kernel), attrs);
   }
 
   /// Grid size for a one-item-per-thread launch over `total` items.
@@ -141,6 +179,7 @@ class Device {
 
   DeviceProfile profile_;
   double effective_overhead_us_ = 0.0;
+  FaultInjector fault_;
   ThreadPool pool_;
   LaunchStats stats_;
 };

@@ -1,0 +1,179 @@
+#include "device/fault.hpp"
+
+#include <chrono>
+#include <numeric>
+#include <sstream>
+
+#include "support/rng.hpp"
+
+namespace ecl::device {
+namespace {
+
+/// Stateless mix of (plan seed, salt) into a well-distributed 64-bit value.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t salt) noexcept {
+  std::uint64_t state = seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(state);
+}
+
+double unit_double(std::uint64_t bits) noexcept {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::from_seed(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  std::uint64_t state = seed;
+  const std::uint64_t toggles = splitmix64(state);
+  plan.permute_blocks = toggles & 1;
+  plan.scheduling_jitter = toggles & 2;
+  plan.spurious_reexecution = toggles & 4;
+  plan.delayed_visibility = toggles & 8;
+  if (!plan.any()) plan.permute_blocks = true;  // never a vacuous plan
+  plan.max_jitter_us = 1.0 + unit_double(splitmix64(state)) * 30.0;
+  plan.max_replays = 1 + static_cast<unsigned>(splitmix64(state) % 3);
+  plan.store_defer_probability = 0.1 + unit_double(splitmix64(state)) * 0.4;
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream out;
+  out << "seed=" << seed << " [";
+  bool first = true;
+  auto item = [&](const std::string& s) {
+    if (!first) out << ' ';
+    out << s;
+    first = false;
+  };
+  if (permute_blocks) item("permute");
+  if (scheduling_jitter) {
+    std::ostringstream j;
+    j << "jitter<=" << max_jitter_us << "us";
+    item(j.str());
+  }
+  if (spurious_reexecution) {
+    std::ostringstream r;
+    r << "replays<=" << max_replays;
+    item(r.str());
+  }
+  if (delayed_visibility) {
+    std::ostringstream d;
+    d << "defer=" << store_defer_probability;
+    item(d.str());
+  }
+  if (first) item("disabled");
+  out << ']';
+  return out.str();
+}
+
+std::vector<FaultPlan> chaos_suite() {
+  std::vector<FaultPlan> plans;
+  auto base = [&](std::uint64_t seed) {
+    FaultPlan p;
+    p.seed = seed;
+    return p;
+  };
+  {  // each axis alone
+    FaultPlan p = base(101);
+    p.permute_blocks = true;
+    plans.push_back(p);
+  }
+  {
+    FaultPlan p = base(102);
+    p.scheduling_jitter = true;
+    p.max_jitter_us = 15.0;
+    plans.push_back(p);
+  }
+  {
+    FaultPlan p = base(103);
+    p.spurious_reexecution = true;
+    p.max_replays = 3;
+    plans.push_back(p);
+  }
+  {
+    FaultPlan p = base(104);
+    p.delayed_visibility = true;
+    p.store_defer_probability = 0.3;
+    plans.push_back(p);
+  }
+  {  // pairwise and full combinations
+    FaultPlan p = base(105);
+    p.permute_blocks = true;
+    p.scheduling_jitter = true;
+    p.max_jitter_us = 8.0;
+    plans.push_back(p);
+  }
+  {
+    FaultPlan p = base(106);
+    p.spurious_reexecution = true;
+    p.delayed_visibility = true;
+    p.store_defer_probability = 0.5;
+    plans.push_back(p);
+  }
+  {
+    FaultPlan p = base(107);
+    p.permute_blocks = true;
+    p.scheduling_jitter = true;
+    p.spurious_reexecution = true;
+    p.delayed_visibility = true;
+    plans.push_back(p);
+  }
+  // randomized tail: distinct seeds, axes drawn from the seed
+  for (std::uint64_t seed : {0xfeedULL, 0xbeefULL, 0xc0ffeeULL}) plans.push_back(FaultPlan::from_seed(seed));
+  return plans;
+}
+
+std::vector<unsigned> FaultInjector::block_permutation(std::uint64_t launch_id,
+                                                       unsigned num_blocks) const {
+  if (!plan_.permute_blocks) return {};
+  std::vector<unsigned> perm(num_blocks);
+  std::iota(perm.begin(), perm.end(), 0u);
+  // Fisher-Yates driven by a per-launch stream, so every launch sees a
+  // fresh (but seed-reproducible) permutation.
+  Rng rng(mix(plan_.seed, launch_id));
+  for (unsigned i = num_blocks; i > 1; --i) {
+    const auto j = static_cast<unsigned>(rng.bounded(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+void FaultInjector::schedule_delay(std::uint64_t launch_id, unsigned block_id) const {
+  if (!plan_.scheduling_jitter || plan_.max_jitter_us <= 0.0) return;
+  const double fraction =
+      unit_double(mix(plan_.seed, launch_id * 0x10001ULL + block_id));
+  const double delay_us = fraction * plan_.max_jitter_us;
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::nanoseconds(static_cast<long>(delay_us * 1e3));
+  // Spin, like the launch-overhead model: sleep granularity is far coarser
+  // than the sub-launch delays being injected.
+  while (Clock::now() < deadline) {
+  }
+}
+
+unsigned FaultInjector::replay_count(std::uint64_t launch_id, unsigned num_blocks) const {
+  if (!plan_.spurious_reexecution || num_blocks == 0) return 0;
+  const std::uint64_t draw = mix(plan_.seed, launch_id ^ 0x5e17ULL);
+  return static_cast<unsigned>(draw % (plan_.max_replays + 1));
+}
+
+unsigned FaultInjector::replay_block(std::uint64_t launch_id, unsigned index,
+                                     unsigned num_blocks) const {
+  const std::uint64_t draw = mix(plan_.seed, (launch_id << 8) ^ index ^ 0xab1eULL);
+  return static_cast<unsigned>(draw % num_blocks);
+}
+
+bool FaultInjector::defer_store() noexcept {
+  if (!plan_.delayed_visibility) return false;
+  if (plan_.store_defer_probability >= 1.0) {
+    deferred_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  const std::uint64_t draw = draws_.fetch_add(1, std::memory_order_relaxed);
+  const bool defer = unit_double(mix(plan_.seed, draw)) < plan_.store_defer_probability;
+  if (defer) deferred_.fetch_add(1, std::memory_order_relaxed);
+  return defer;
+}
+
+}  // namespace ecl::device

@@ -1,0 +1,131 @@
+#ifndef ECL_DEVICE_FAULT_HPP
+#define ECL_DEVICE_FAULT_HPP
+
+// Chaos-device fault injection.
+//
+// The correctness argument of ECL-SCC rests on two properties the paper
+// asserts but a single schedule cannot probe (§3.2-3.4): the benign-race
+// monotonic signature stores tolerate lost updates, and no kernel depends on
+// block scheduling order. A FaultPlan makes those assumptions testable by
+// perturbing the virtual device along four independent axes:
+//
+//  * permute_blocks        — hand out block IDs in a seeded random
+//                            permutation per launch (generalizes the older
+//                            reverse_block_order profile flag);
+//  * scheduling_jitter     — spin-delay each block by a seeded pseudo-random
+//                            amount before it runs, so blocks interleave in
+//                            schedules a quiet host never produces;
+//  * spurious_reexecution  — after a launch completes, replay a bounded
+//                            random subset of its blocks (models a replayed
+//                            straggler). Only launches the caller marks
+//                            idempotent are replayed;
+//  * delayed_visibility    — defer a fraction of monotonic signature stores
+//                            (the store is dropped this round but reported
+//                            as movement, so the propagation loop retries
+//                            until it lands) — an aggressive form of the
+//                            lost-update race of Nasre et al. [17].
+//
+// Every plan is derived from a 64-bit seed, so a failing sweep entry is
+// reproducible from its seed alone. `store_defer_probability = 1.0` is the
+// adversarial limit: no store ever lands, progress is suppressed, and the
+// core's fixpoint watchdog must trip (see core/watchdog.hpp).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ecl::device {
+
+/// One seeded fault-injection configuration. All axes default to off; a
+/// default-constructed plan makes the device behave exactly like the
+/// fault-free substrate.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  /// Randomized block-execution permutation per launch.
+  bool permute_blocks = false;
+
+  /// Per-block scheduling delay, uniform in [0, max_jitter_us].
+  bool scheduling_jitter = false;
+  double max_jitter_us = 20.0;
+
+  /// Replay up to max_replays random blocks after each idempotent launch.
+  bool spurious_reexecution = false;
+  unsigned max_replays = 2;
+
+  /// Defer monotonic signature stores with the given probability.
+  bool delayed_visibility = false;
+  double store_defer_probability = 0.25;
+
+  /// True if any fault axis is enabled.
+  bool any() const noexcept {
+    return permute_blocks || scheduling_jitter || spurious_reexecution || delayed_visibility;
+  }
+
+  /// Derives a randomized plan from a seed: which axes are on and their
+  /// magnitudes are all functions of `seed`, and at least one axis is
+  /// always enabled. Identical seeds yield identical plans.
+  static FaultPlan from_seed(std::uint64_t seed);
+
+  /// Human-readable one-liner ("seed=7 [permute jitter=12.5us]") for test
+  /// failure messages and bench tables.
+  std::string describe() const;
+};
+
+/// The deterministic chaos sweep used by tests/core/test_chaos.cpp and
+/// bench/bench_chaos_overhead.cpp: every axis alone, plus combined plans,
+/// each with a distinct seed. Always at least 8 plans and covers all four
+/// fault classes.
+std::vector<FaultPlan> chaos_suite();
+
+/// Per-device fault state: owns the plan plus the draw counters that make
+/// injection decisions reproducible-in-distribution from the plan seed.
+/// All methods are safe to call concurrently from device blocks.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan) : plan_(plan), active_(plan.any()) {}
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Fast-path guard: false for the default plan, in which case the device
+  /// must behave exactly as if the injector did not exist.
+  bool active() const noexcept { return active_; }
+
+  /// Seeded permutation of [0, num_blocks) for one launch (empty when the
+  /// permutation axis is off).
+  std::vector<unsigned> block_permutation(std::uint64_t launch_id, unsigned num_blocks) const;
+
+  /// Spin-delays the calling thread by the seeded jitter for this block
+  /// (no-op when the jitter axis is off).
+  void schedule_delay(std::uint64_t launch_id, unsigned block_id) const;
+
+  /// Number of spurious block replays for one idempotent launch, in
+  /// [0, max_replays].
+  unsigned replay_count(std::uint64_t launch_id, unsigned num_blocks) const;
+
+  /// Block ID of the index-th replay of one launch.
+  unsigned replay_block(std::uint64_t launch_id, unsigned index, unsigned num_blocks) const;
+
+  /// Delayed-visibility draw: true when the caller's monotonic store should
+  /// be deferred to a later retry. The caller must report the store as
+  /// movement so its fixpoint loop runs again (monotonicity then guarantees
+  /// eventual convergence for probabilities < 1).
+  bool defer_store() noexcept;
+
+  /// Total stores deferred so far (test observability).
+  std::uint64_t deferred_stores() const noexcept {
+    return deferred_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultPlan plan_;
+  bool active_ = false;
+  std::atomic<std::uint64_t> draws_{0};
+  std::atomic<std::uint64_t> deferred_{0};
+};
+
+}  // namespace ecl::device
+
+#endif  // ECL_DEVICE_FAULT_HPP

@@ -7,7 +7,9 @@
 // surviving edges to a second worklist via an atomic cursor and then swaps
 // the two buffer pointers. This class is that data structure.
 
+#include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -35,20 +37,43 @@ class EdgeWorklist {
   std::size_t size() const noexcept { return size_.load(std::memory_order_acquire); }
   bool empty() const noexcept { return size() == 0; }
 
-  /// Thread-safe append into the *next* buffer (Phase-3 survivors).
+  /// Capacity of the spare buffer (fixed at construction: Phase 3 only
+  /// shrinks the edge set, so a correct kernel can never exceed it).
+  std::size_t capacity() const noexcept { return buffers_[1 - cur_].size(); }
+
+  /// Thread-safe append into the *next* buffer (Phase-3 survivors). A push
+  /// past capacity — a kernel double-appending, e.g. under a spurious
+  /// re-execution fault — asserts in debug builds; in release builds the
+  /// edge is dropped and a saturating overflow flag is raised for the
+  /// fixpoint watchdog to read.
   void push_next(graph::Edge e) noexcept {
     const std::size_t slot = next_size_.fetch_add(1, std::memory_order_relaxed);
-    buffers_[1 - cur_][slot] = e;
+    auto& next = buffers_[1 - cur_];
+    if (slot >= next.size()) {
+      assert(!"EdgeWorklist::push_next: append past capacity (double-append?)");
+      overflow_.store(true, std::memory_order_relaxed);
+      return;
+    }
+    next[slot] = e;
   }
 
-  /// Number of edges appended to the next buffer so far.
+  /// Number of edges appended to the next buffer so far (may exceed
+  /// capacity after an overflow; see overflowed()).
   std::size_t next_size() const noexcept { return next_size_.load(std::memory_order_acquire); }
+
+  /// Saturating overflow flag: set once a push_next ran past capacity and
+  /// sticky until clear_overflow(). The edges dropped by those pushes make
+  /// the worklist contents unreliable, so the solver should abandon the
+  /// fixpoint and fall back.
+  bool overflowed() const noexcept { return overflow_.load(std::memory_order_acquire); }
+  void clear_overflow() noexcept { overflow_.store(false, std::memory_order_relaxed); }
 
   /// Pointer swap: the next buffer becomes current; the old current buffer
   /// becomes the (logically empty) next buffer. Not thread-safe; call at a
   /// grid barrier only.
   void swap_buffers() noexcept {
-    size_.store(next_size_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    const std::size_t pushed = next_size_.load(std::memory_order_relaxed);
+    size_.store(std::min(pushed, capacity()), std::memory_order_relaxed);
     next_size_.store(0, std::memory_order_relaxed);
     cur_ = 1 - cur_;
   }
@@ -59,6 +84,7 @@ class EdgeWorklist {
   std::vector<graph::Edge> buffers_[2];
   std::atomic<std::size_t> size_{0};
   std::atomic<std::size_t> next_size_{0};
+  std::atomic<bool> overflow_{false};
   int cur_ = 0;
 };
 

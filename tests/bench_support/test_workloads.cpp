@@ -26,7 +26,9 @@ TEST(Workloads, PowerLawGraphsMatchTheirProfiles) {
     const double giant = double(stats.largest_scc) / double(stats.num_vertices);
     EXPECT_NEAR(giant, spec.giant_fraction, 0.1) << spec.name;
     EXPECT_NEAR(stats.avg_degree, spec.avg_degree, spec.avg_degree * 0.5) << spec.name;
-    if (spec.dag_depth > 1) EXPECT_GT(stats.dag_depth, 1u) << spec.name;
+    if (spec.dag_depth > 1) {
+      EXPECT_GT(stats.dag_depth, 1u) << spec.name;
+    }
   }
 }
 

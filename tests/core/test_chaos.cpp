@@ -1,0 +1,221 @@
+// Chaos sweep: every registry algorithm must produce Tarjan's partition and
+// pass intrinsic verification under every seeded fault plan of the chaos
+// suite. Device-backed configurations run on a dedicated chaos device
+// carrying the plan; CPU configurations are swept for schedule sensitivity
+// via thread-count variation (ecl-omp) and plain reruns. The suite also
+// exercises the deliberate-stall limit (store_defer_probability = 1.0) that
+// the fixpoint watchdog plus serial fallback must absorb.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/test_graphs.hpp"
+#include "core/ecl_omp.hpp"
+#include "core/ecl_scc.hpp"
+#include "core/registry.hpp"
+#include "core/tarjan.hpp"
+#include "core/verify.hpp"
+#include "device/device.hpp"
+#include "device/fault.hpp"
+
+namespace ecl::test {
+namespace {
+
+using device::FaultPlan;
+using scc::SccResult;
+using scc::SccStatus;
+
+/// Small-but-varied graph set: the paper figures, a chain of cycles, one
+/// big single SCC, and a random digraph. Kept modest so the full
+/// plans x algorithms x graphs sweep stays fast.
+const std::vector<NamedGraph>& chaos_graphs() {
+  static const std::vector<NamedGraph> graphs = [] {
+    std::vector<NamedGraph> gs;
+    gs.push_back({"fig1", fig1_graph()});
+    gs.push_back({"fig3", fig3_graph()});
+    gs.push_back({"cycle_64", graph::cycle_graph(64)});
+    gs.push_back({"cycle_chain_20x5", graph::cycle_chain(20, 5)});
+    Rng rng(0xc4a05);
+    gs.push_back({"er_n120_m360", graph::random_digraph(120, 360, rng)});
+    return gs;
+  }();
+  return graphs;
+}
+
+/// A fault-free device sharing the chaos devices' profile, so comparisons
+/// are not confounded by profile differences.
+device::DeviceProfile chaos_profile(FaultPlan plan) {
+  device::DeviceProfile profile = device::tiny_profile();  // zero launch overhead
+  profile.fault_plan = plan;
+  return profile;
+}
+
+void expect_matches_oracle(const SccResult& result, const graph::Digraph& g,
+                           const std::string& context) {
+  const SccResult oracle = scc::tarjan(g);
+  ASSERT_EQ(result.labels.size(), g.num_vertices()) << context;
+  EXPECT_TRUE(scc::same_partition(result.labels, oracle.labels)) << context;
+  EXPECT_EQ(result.num_components, oracle.num_components) << context;
+  const auto report = scc::verify_scc(g, result.labels);
+  EXPECT_TRUE(report.ok) << context << ": " << report.message;
+}
+
+struct ChaosCase {
+  std::string algorithm;
+  std::size_t plan_index;
+};
+
+class ChaosSweep : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ChaosSweep, MatchesTarjanUnderFaultPlan) {
+  const auto& [algorithm, plan_index] = GetParam();
+  const auto plans = device::chaos_suite();
+  ASSERT_GE(plans.size(), 8u) << "chaos suite shrank below the contract";
+  const FaultPlan plan = plans[plan_index];
+  for (const auto& [graph_name, g] : chaos_graphs()) {
+    device::Device dev(chaos_profile(plan));
+    const SccResult result = scc::run_algorithm_on(algorithm, g, dev);
+    const std::string context =
+        algorithm + " on " + graph_name + " under " + plan.describe();
+    EXPECT_TRUE(result.ok()) << context << ": " << result.error.message;
+    expect_matches_oracle(result, g, context);
+  }
+}
+
+std::vector<ChaosCase> make_chaos_cases() {
+  std::vector<ChaosCase> cases;
+  const std::size_t num_plans = device::chaos_suite().size();
+  for (const auto& algorithm : scc::algorithm_names()) {
+    if (!scc::algorithm_uses_device(algorithm)) continue;
+    for (std::size_t i = 0; i < num_plans; ++i) cases.push_back({algorithm, i});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(DeviceAlgorithmsAllPlans, ChaosSweep,
+                         ::testing::ValuesIn(make_chaos_cases()),
+                         [](const ::testing::TestParamInfo<ChaosCase>& info) {
+                           std::string name = info.param.algorithm + "_plan" +
+                                              std::to_string(info.param.plan_index);
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+// CPU configurations have no device to perturb; their adversarial-schedule
+// axis is the OpenMP thread count (ecl-omp) and repetition for the rest.
+// Every registry name is covered so a future device-backed addition cannot
+// silently skip the sweep.
+TEST(ChaosSweep, EveryRegistryAlgorithmCoveredAdversarially) {
+  FaultPlan adversarial;
+  adversarial.seed = 0xadba'd5eed;
+  adversarial.permute_blocks = true;
+  adversarial.spurious_reexecution = true;
+  adversarial.max_replays = 2;
+  for (const auto& algorithm : scc::algorithm_names()) {
+    for (const auto& [graph_name, g] : chaos_graphs()) {
+      device::Device dev(chaos_profile(adversarial));
+      const SccResult result = scc::run_algorithm_on(algorithm, g, dev);
+      expect_matches_oracle(result, g, algorithm + " on " + graph_name);
+    }
+  }
+}
+
+TEST(ChaosSweep, EclOmpUnderThreadCountVariation) {
+  for (unsigned threads : {1u, 2u, 5u}) {
+    scc::EclOmpOptions opts;
+    opts.num_threads = threads;
+    for (const auto& [graph_name, g] : chaos_graphs()) {
+      const SccResult result = scc::ecl_omp(g, opts);
+      expect_matches_oracle(result, g,
+                            "ecl-omp(" + std::to_string(threads) + ") on " + graph_name);
+    }
+  }
+}
+
+// ---- Deliberate stall: the watchdog + fallback acceptance path. ----------
+
+device::DeviceProfile stall_profile() {
+  FaultPlan plan;
+  plan.seed = 1;
+  plan.delayed_visibility = true;
+  plan.store_defer_probability = 1.0;  // no signature store ever lands
+  return chaos_profile(plan);
+}
+
+TEST(ChaosStall, WatchdogTripsAndSerialFallbackRecovers) {
+  const graph::Digraph g = graph::cycle_graph(64);
+  device::Device dev(stall_profile());
+  const SccResult result = scc::ecl_scc(g, dev);
+
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error.code, SccStatus::kStalled) << result.error.message;
+  EXPECT_GE(result.metrics.watchdog_trips, 1u);
+  EXPECT_TRUE(result.metrics.serial_fallback);
+  EXPECT_EQ(result.metrics.fallback_vertices, 64u) << "nothing was labeled before the stall";
+  expect_matches_oracle(result, g, "stalled ecl_scc with serial fallback");
+  // The fallback preserves the max-ID labeling contract.
+  EXPECT_TRUE(scc::verify_max_id_labels(result.labels).ok);
+}
+
+TEST(ChaosStall, FallbackLabelsResidualOfPartialRun) {
+  // Mixed graph: singletons + cycles. Even if early iterations labeled
+  // nothing (full store suppression), the fallback must label everything.
+  const graph::Digraph g = graph::cycle_chain(10, 8);
+  device::Device dev(stall_profile());
+  const SccResult result = scc::ecl_scc(g, dev);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.metrics.serial_fallback);
+  expect_matches_oracle(result, g, "stalled ecl_scc on cycle_chain");
+  EXPECT_TRUE(scc::verify_max_id_labels(result.labels).ok);
+}
+
+TEST(ChaosStall, ReturnErrorPolicySkipsFallback) {
+  const graph::Digraph g = graph::cycle_graph(32);
+  device::Device dev(stall_profile());
+  scc::EclOptions opts;
+  opts.stall_policy = scc::StallPolicy::kReturnError;
+  const SccResult result = scc::ecl_scc(g, dev, opts);
+
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error.code, SccStatus::kStalled);
+  EXPECT_FALSE(result.metrics.serial_fallback);
+  EXPECT_EQ(result.num_components, 0u);
+  // Partial labels: the stalled run never labeled the cycle.
+  EXPECT_NE(std::count(result.labels.begin(), result.labels.end(), graph::kInvalidVid), 0);
+}
+
+TEST(ChaosStall, RunResilientAbsorbsTheStall) {
+  // Through the resilient registry entry the same stall is invisible to the
+  // caller except for the recorded error + fallback metrics.
+  const graph::Digraph g = graph::cycle_graph(48);
+  // The registry's shared device is fault-free, so drive ecl_scc through
+  // run_algorithm_on semantics by checking the direct ecl path here and the
+  // registry path in test_registry.cpp; this test pins the contract that a
+  // stalled result still carries complete verified labels.
+  device::Device dev(stall_profile());
+  const SccResult result = scc::ecl_scc(g, dev);
+  ASSERT_TRUE(result.metrics.serial_fallback);
+  const auto report = scc::verify_scc(g, result.labels);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+TEST(ChaosStall, WallClockWatchdogAlsoTrips) {
+  // Same stall, detected by the wall-clock monitor with a huge sweep budget:
+  // proves the time-based path works independently of the round budget.
+  const graph::Digraph g = graph::cycle_graph(64);
+  device::Device dev(stall_profile());
+  scc::EclOptions opts;
+  opts.watchdog.max_phase2_rounds = ~std::uint64_t{0};
+  opts.watchdog.stall_seconds = 0.05;
+  const SccResult result = scc::ecl_scc(g, dev, opts);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error.code, SccStatus::kStalled);
+  EXPECT_TRUE(result.metrics.serial_fallback);
+  expect_matches_oracle(result, g, "wall-clock stalled ecl_scc");
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -155,8 +155,27 @@ TEST(EclScc, MetricsAreConsistent) {
 TEST(EclScc, GuardTriggersOnImpossibleBudget) {
   scc::EclOptions opts;
   opts.max_outer_iterations = 1;
-  // fig3 needs >= 2 outer iterations, so the guard must fire.
-  EXPECT_THROW((void)scc::ecl_scc(fig3_graph(), opts), std::logic_error);
+  // fig3 needs >= 2 outer iterations, so the guard must fire — reported as
+  // a structured error, with the serial fallback completing the labeling.
+  const auto r = scc::ecl_scc(fig3_graph(), opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error.code, scc::SccStatus::kIterationGuard);
+  EXPECT_TRUE(r.metrics.serial_fallback);
+  EXPECT_GT(r.metrics.fallback_vertices, 0u);
+  const auto oracle = scc::tarjan(fig3_graph());
+  EXPECT_TRUE(scc::same_partition(r.labels, oracle.labels));
+  EXPECT_EQ(r.num_components, oracle.num_components);
+}
+
+TEST(EclScc, GuardWithReturnErrorPolicyLeavesPartialLabels) {
+  scc::EclOptions opts;
+  opts.max_outer_iterations = 1;
+  opts.stall_policy = scc::StallPolicy::kReturnError;
+  const auto r = scc::ecl_scc(fig3_graph(), opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error.code, scc::SccStatus::kIterationGuard);
+  EXPECT_FALSE(r.metrics.serial_fallback);
+  EXPECT_EQ(r.num_components, 0u);
 }
 
 TEST(EclScc, EmptyAndTinyGraphs) {

@@ -4,6 +4,9 @@
 
 #include "common/test_graphs.hpp"
 #include "core/registry.hpp"
+#include "core/tarjan.hpp"
+#include "core/verify.hpp"
+#include "device/device.hpp"
 
 namespace ecl::test {
 namespace {
@@ -37,6 +40,50 @@ TEST(Registry, AllEntriesAreRunnable) {
   for (const auto& name : scc::algorithm_names()) {
     const auto r = scc::run_algorithm(name, g);
     EXPECT_EQ(r.num_components, 3u) << name;
+  }
+}
+
+TEST(Registry, DeviceFlagMatchesConfigurations) {
+  for (const char* name : {"ecl-a100", "ecl-titanv", "gpu-scc-a100", "gpu-scc-titanv"})
+    EXPECT_TRUE(scc::algorithm_uses_device(name)) << name;
+  for (const char* name : {"tarjan", "kosaraju", "ecl-serial", "ispan", "hong", "ecl-omp"})
+    EXPECT_FALSE(scc::algorithm_uses_device(name)) << name;
+}
+
+TEST(Registry, RunAlgorithmOnUsesCallerDevice) {
+  const auto g = fig3_graph();
+  device::Device dev(device::tiny_profile());
+  const auto before = dev.stats().kernel_launches;
+  const auto r = scc::run_algorithm_on("ecl-a100", g, dev);
+  EXPECT_EQ(r.num_components, 7u);
+  EXPECT_GT(dev.stats().kernel_launches, before) << "must run on the supplied device";
+  // CPU entries ignore the device but still run.
+  const auto serial = scc::run_algorithm_on("tarjan", g, dev);
+  EXPECT_EQ(serial.num_components, 7u);
+}
+
+TEST(Registry, RunResilientPassesThroughCleanRuns) {
+  const auto g = fig3_graph();
+  for (const auto& name : scc::algorithm_names()) {
+    const auto r = scc::run_resilient(name, g);
+    EXPECT_TRUE(r.ok()) << name << ": " << r.error.message;
+    EXPECT_FALSE(r.metrics.serial_fallback) << name;
+    EXPECT_EQ(r.num_components, 7u) << name;
+    EXPECT_TRUE(scc::verify_scc(g, r.labels).ok) << name;
+  }
+}
+
+TEST(Registry, RunResilientStillThrowsOnUnknownName) {
+  EXPECT_THROW((void)scc::run_resilient("quantum-scc", fig3_graph()),
+               std::invalid_argument);
+}
+
+TEST(Registry, RunResilientMatchesTarjanOnAllGraphs) {
+  for (const auto& [name, g] : structured_graphs()) {
+    const auto oracle = scc::tarjan(g);
+    const auto r = scc::run_resilient("ecl-a100", g);
+    EXPECT_TRUE(scc::same_partition(r.labels, oracle.labels)) << name;
+    EXPECT_EQ(r.num_components, oracle.num_components) << name;
   }
 }
 

@@ -80,5 +80,60 @@ TEST(Verify, MaxIdLabelsRejectForeignRepresentative) {
   EXPECT_FALSE(scc::verify_max_id_labels(labels).ok);
 }
 
+// ---- Adversarial labelings: what a faulty parallel run could produce. ----
+
+TEST(Verify, RejectsMergeAllOnDisconnectedGraph) {
+  // Collapsing two mutually unreachable clusters of fig3 into one label is
+  // the canonical "lost update produced a giant component" failure.
+  const auto g = fig3_graph();
+  std::vector<vid> labels(g.num_vertices(), 0);
+  const auto report = scc::verify_scc(g, labels);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.message.find("not strongly connected"), std::string::npos);
+}
+
+TEST(Verify, RejectsSingletonSplitOfCycle) {
+  // A cycle split into all-singletons passes the strong-connectivity check
+  // per class but makes the condensation cyclic — maximality must catch it.
+  const auto g = graph::cycle_graph(8);
+  std::vector<vid> labels(8);
+  for (vid v = 0; v < 8; ++v) labels[v] = v;
+  const auto report = scc::verify_scc(g, labels);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(Verify, RejectsNonMemberLabelValues) {
+  // A labeling that names each component after a vertex OUTSIDE it: valid
+  // as a partition, but violates the max-ID representative contract that
+  // ECL-SCC's fallback must preserve.
+  const auto g = fig3_graph();
+  auto labels = scc::tarjan(g).labels;  // dense ids: a valid partition
+  EXPECT_TRUE(scc::verify_scc(g, labels).ok) << "partition itself is fine";
+  EXPECT_FALSE(scc::verify_max_id_labels(labels).ok)
+      << "dense component indices are not max-member labels";
+}
+
+TEST(Verify, RandomizedCorruptionSweepIsAlwaysCaught) {
+  // Flip one vertex's label to another class's label across several graphs
+  // and seeds: verify_scc must reject every corrupted labeling (the flip
+  // either splits, merges, or breaks maximality).
+  Rng rng(0xbad1abe1);
+  for (const auto& [name, g] : structured_graphs()) {
+    if (g.num_vertices() < 2) continue;
+    const auto oracle = scc::tarjan(g);
+    if (oracle.num_components < 2) continue;  // single class: flips are no-ops
+    for (int trial = 0; trial < 8; ++trial) {
+      auto labels = oracle.labels;
+      const vid victim = static_cast<vid>(rng.bounded(g.num_vertices()));
+      vid donor = victim;
+      while (labels[donor] == labels[victim])
+        donor = static_cast<vid>(rng.bounded(g.num_vertices()));
+      labels[victim] = labels[donor];
+      EXPECT_FALSE(scc::verify_scc(g, labels).ok)
+          << name << ": moved vertex " << victim << " into class of " << donor;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ecl::test

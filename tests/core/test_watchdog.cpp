@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/watchdog.hpp"
+
+namespace ecl::test {
+namespace {
+
+using scc::FixpointWatchdog;
+using scc::WatchdogConfig;
+
+TEST(Watchdog, ProgressResetsStallCounter) {
+  FixpointWatchdog wd(WatchdogConfig{.stall_rounds = 2}, 100);
+  // Labels grow: progress every round, never stalls.
+  EXPECT_FALSE(wd.observe_iteration(1, 50));
+  EXPECT_FALSE(wd.observe_iteration(2, 50));
+  EXPECT_FALSE(wd.observe_iteration(3, 50));
+  EXPECT_FALSE(wd.stalled());
+}
+
+TEST(Watchdog, WorklistShrinkageCountsAsProgress) {
+  FixpointWatchdog wd(WatchdogConfig{.stall_rounds = 2}, 100);
+  EXPECT_FALSE(wd.observe_iteration(5, 90));
+  EXPECT_FALSE(wd.observe_iteration(5, 80));  // labels flat, worklist shrank
+  EXPECT_FALSE(wd.observe_iteration(5, 70));
+  EXPECT_FALSE(wd.stalled());
+}
+
+TEST(Watchdog, TripsAfterStallRoundsWithoutProgress) {
+  FixpointWatchdog wd(WatchdogConfig{.stall_rounds = 2}, 100);
+  EXPECT_FALSE(wd.observe_iteration(5, 90));  // first observation: baseline
+  EXPECT_FALSE(wd.observe_iteration(5, 90));  // 1 flat round
+  EXPECT_TRUE(wd.observe_iteration(5, 90));   // 2 flat rounds: stalled
+  EXPECT_TRUE(wd.stalled());
+}
+
+TEST(Watchdog, OneAnomalousRoundIsTolerated) {
+  FixpointWatchdog wd(WatchdogConfig{.stall_rounds = 2}, 100);
+  EXPECT_FALSE(wd.observe_iteration(5, 90));
+  EXPECT_FALSE(wd.observe_iteration(5, 90));  // flat...
+  EXPECT_FALSE(wd.observe_iteration(6, 90));  // ...then progress: counter resets
+  EXPECT_FALSE(wd.observe_iteration(6, 90));
+  EXPECT_TRUE(wd.observe_iteration(6, 90));
+  EXPECT_TRUE(wd.stalled());
+}
+
+TEST(Watchdog, Phase2BudgetAutoScalesWithVertices) {
+  FixpointWatchdog small(WatchdogConfig{}, 10);
+  FixpointWatchdog large(WatchdogConfig{}, 1000);
+  EXPECT_EQ(small.phase2_round_budget(), 4u * 10 + 64);
+  EXPECT_EQ(large.phase2_round_budget(), 4u * 1000 + 64);
+  FixpointWatchdog fixed(WatchdogConfig{.max_phase2_rounds = 7}, 1000);
+  EXPECT_EQ(fixed.phase2_round_budget(), 7u);
+}
+
+TEST(Watchdog, WallClockDisabledByDefault) {
+  FixpointWatchdog wd(WatchdogConfig{}, 10);
+  EXPECT_FALSE(wd.expired());
+}
+
+TEST(Watchdog, WallClockExpiresWithoutProgress) {
+  FixpointWatchdog wd(WatchdogConfig{.stall_seconds = 0.02}, 10);
+  EXPECT_FALSE(wd.expired());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(wd.expired());
+  wd.note_progress();  // progress re-anchors the clock
+  EXPECT_FALSE(wd.expired());
+}
+
+TEST(Watchdog, MarkStalledIsSticky) {
+  FixpointWatchdog wd(WatchdogConfig{}, 10);
+  EXPECT_FALSE(wd.stalled());
+  wd.mark_stalled();
+  EXPECT_TRUE(wd.stalled());
+  wd.note_progress();
+  EXPECT_TRUE(wd.stalled()) << "progress must not clear a declared stall";
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "device/device.hpp"
+#include "device/fault.hpp"
+
+namespace ecl::test {
+namespace {
+
+using device::BlockContext;
+using device::Device;
+using device::FaultInjector;
+using device::FaultPlan;
+
+TEST(Fault, DefaultPlanIsInert) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.any());
+  FaultInjector injector(plan);
+  EXPECT_FALSE(injector.active());
+  EXPECT_TRUE(injector.block_permutation(1, 8).empty());
+  EXPECT_EQ(injector.replay_count(1, 8), 0u);
+  EXPECT_FALSE(injector.defer_store());
+  EXPECT_EQ(injector.deferred_stores(), 0u);
+}
+
+TEST(Fault, FromSeedIsReproducible) {
+  for (std::uint64_t seed : {0ULL, 1ULL, 42ULL, 0xdeadbeefULL}) {
+    const FaultPlan a = FaultPlan::from_seed(seed);
+    const FaultPlan b = FaultPlan::from_seed(seed);
+    EXPECT_EQ(a.permute_blocks, b.permute_blocks);
+    EXPECT_EQ(a.scheduling_jitter, b.scheduling_jitter);
+    EXPECT_EQ(a.spurious_reexecution, b.spurious_reexecution);
+    EXPECT_EQ(a.delayed_visibility, b.delayed_visibility);
+    EXPECT_DOUBLE_EQ(a.max_jitter_us, b.max_jitter_us);
+    EXPECT_EQ(a.max_replays, b.max_replays);
+    EXPECT_DOUBLE_EQ(a.store_defer_probability, b.store_defer_probability);
+    EXPECT_TRUE(a.any()) << "from_seed must never produce a vacuous plan";
+  }
+}
+
+TEST(Fault, PermutationIsAValidReproduciblePermutation) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.permute_blocks = true;
+  FaultInjector injector(plan);
+  FaultInjector twin(plan);
+  for (unsigned n : {1u, 2u, 9u, 64u}) {
+    const auto perm = injector.block_permutation(3, n);
+    ASSERT_EQ(perm.size(), n);
+    std::set<unsigned> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), n) << "not a permutation of [0, " << n << ")";
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), n - 1);
+    EXPECT_EQ(perm, twin.block_permutation(3, n)) << "same seed+launch must agree";
+  }
+  // Different launches draw different permutations (overwhelmingly likely
+  // for 64 blocks).
+  EXPECT_NE(injector.block_permutation(3, 64), injector.block_permutation(4, 64));
+}
+
+TEST(Fault, PermutedLaunchStillCoversAllBlocks) {
+  device::DeviceProfile profile = device::tiny_profile();
+  profile.fault_plan.seed = 11;
+  profile.fault_plan.permute_blocks = true;
+  Device dev(profile);
+  ASSERT_TRUE(dev.fault_active());
+  std::vector<std::atomic<int>> hits(13);
+  dev.launch(13, [&](const BlockContext& ctx) {
+    ASSERT_LT(ctx.block_id, 13u);
+    hits[ctx.block_id].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Fault, ReplaysOnlyIdempotentLaunches) {
+  device::DeviceProfile profile = device::tiny_profile();
+  profile.fault_plan.seed = 5;
+  profile.fault_plan.spurious_reexecution = true;
+  profile.fault_plan.max_replays = 3;
+  Device dev(profile);
+
+  std::atomic<unsigned> executions{0};
+  auto count_kernel = [&](const BlockContext&) { executions.fetch_add(1); };
+
+  for (int i = 0; i < 20; ++i) dev.launch(4, count_kernel);
+  EXPECT_EQ(executions.load(), 20u * 4u) << "non-idempotent launches must never replay";
+  EXPECT_EQ(dev.stats().spurious_replays, 0u);
+
+  executions.store(0);
+  for (int i = 0; i < 20; ++i) dev.launch(4, count_kernel, {.idempotent = true});
+  const std::uint64_t replays = dev.stats().spurious_replays;
+  EXPECT_EQ(executions.load(), 20u * 4u + replays);
+  EXPECT_GT(replays, 0u) << "20 idempotent launches with max_replays=3 should replay";
+  EXPECT_LE(replays, 20u * 3u);
+}
+
+TEST(Fault, ReplayCountIsBoundedAndReproducible) {
+  FaultPlan plan;
+  plan.seed = 21;
+  plan.spurious_reexecution = true;
+  plan.max_replays = 2;
+  FaultInjector injector(plan);
+  FaultInjector twin(plan);
+  for (std::uint64_t launch = 1; launch <= 100; ++launch) {
+    const unsigned count = injector.replay_count(launch, 8);
+    EXPECT_LE(count, 2u);
+    EXPECT_EQ(count, twin.replay_count(launch, 8));
+    for (unsigned r = 0; r < count; ++r) EXPECT_LT(injector.replay_block(launch, r, 8), 8u);
+  }
+  EXPECT_EQ(injector.replay_count(1, 0), 0u) << "empty grid: nothing to replay";
+}
+
+TEST(Fault, DeferStoreTracksProbability) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.delayed_visibility = true;
+  plan.store_defer_probability = 0.25;
+  FaultInjector injector(plan);
+  const int draws = 10000;
+  int deferred = 0;
+  for (int i = 0; i < draws; ++i) deferred += injector.defer_store() ? 1 : 0;
+  EXPECT_EQ(injector.deferred_stores(), static_cast<std::uint64_t>(deferred));
+  EXPECT_GT(deferred, draws / 8);      // ~2500 expected; loose two-sided band
+  EXPECT_LT(deferred, draws * 3 / 8);
+}
+
+TEST(Fault, DeferProbabilityOneSuppressesEveryStore) {
+  FaultPlan plan;
+  plan.delayed_visibility = true;
+  plan.store_defer_probability = 1.0;
+  FaultInjector injector(plan);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(injector.defer_store());
+  EXPECT_EQ(injector.deferred_stores(), 100u);
+}
+
+TEST(Fault, DescribeNamesActiveAxes) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.permute_blocks = true;
+  plan.delayed_visibility = true;
+  const std::string text = plan.describe();
+  EXPECT_NE(text.find("seed=3"), std::string::npos) << text;
+  EXPECT_NE(text.find("permute"), std::string::npos) << text;
+  EXPECT_NE(text.find("defer"), std::string::npos) << text;
+  EXPECT_EQ(text.find("jitter"), std::string::npos) << text;
+  EXPECT_NE(FaultPlan{}.describe().find("disabled"), std::string::npos);
+}
+
+TEST(Fault, ChaosSuiteCoversAllFourClasses) {
+  const auto plans = device::chaos_suite();
+  EXPECT_GE(plans.size(), 8u);
+  unsigned permute = 0, jitter = 0, reexec = 0, defer = 0;
+  std::set<std::uint64_t> seeds;
+  for (const auto& plan : plans) {
+    EXPECT_TRUE(plan.any()) << plan.describe();
+    seeds.insert(plan.seed);
+    permute += plan.permute_blocks;
+    jitter += plan.scheduling_jitter;
+    reexec += plan.spurious_reexecution;
+    defer += plan.delayed_visibility;
+  }
+  EXPECT_EQ(seeds.size(), plans.size()) << "every plan needs a distinct seed";
+  EXPECT_GT(permute, 0u);
+  EXPECT_GT(jitter, 0u);
+  EXPECT_GT(reexec, 0u);
+  EXPECT_GT(defer, 0u);
+}
+
+TEST(Fault, JitteredLaunchProducesCorrectResults) {
+  device::DeviceProfile profile = device::tiny_profile();
+  profile.fault_plan.seed = 17;
+  profile.fault_plan.scheduling_jitter = true;
+  profile.fault_plan.max_jitter_us = 5.0;
+  Device dev(profile);
+  const std::uint64_t total = 1000;
+  std::vector<std::atomic<int>> hits(total);
+  dev.launch(5, [&](const BlockContext& ctx) {
+    ctx.for_each_chunk(total, [&](std::uint64_t lo, std::uint64_t hi) {
+      for (std::uint64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+    });
+  });
+  for (std::uint64_t i = 0; i < total; ++i) ASSERT_EQ(hits[i].load(), 1) << "item " << i;
+}
+
+}  // namespace
+}  // namespace ecl::test

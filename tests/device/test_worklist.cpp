@@ -75,5 +75,44 @@ TEST(Worklist, ConcurrentPushesFromDeviceBlocks) {
   }
 }
 
+TEST(Worklist, OverflowAssertsInDebugBuilds) {
+  const std::vector<Edge> init{{0, 1}, {1, 2}};
+  auto overflow = [&] {
+    EdgeWorklist wl{std::span<const Edge>(init)};
+    wl.push_next({0, 1});
+    wl.push_next({1, 2});
+    wl.push_next({2, 0});  // past capacity
+  };
+  EXPECT_DEBUG_DEATH(overflow(), "push_next");
+}
+
+#ifdef NDEBUG
+TEST(Worklist, OverflowRaisesStickyFlagAndDropsEdge) {
+  const std::vector<Edge> init{{0, 1}, {1, 2}};
+  EdgeWorklist wl{std::span<const Edge>(init)};
+  EXPECT_FALSE(wl.overflowed());
+  wl.push_next({0, 1});
+  wl.push_next({1, 2});
+  EXPECT_FALSE(wl.overflowed());
+  wl.push_next({2, 0});  // past capacity: dropped, flag raised
+  EXPECT_TRUE(wl.overflowed());
+  EXPECT_EQ(wl.next_size(), 3u) << "the cursor records the attempted append";
+  wl.swap_buffers();
+  EXPECT_EQ(wl.size(), 2u) << "swap clamps to the edges actually stored";
+  EXPECT_TRUE(wl.overflowed()) << "the flag is sticky across swaps";
+  wl.clear_overflow();
+  EXPECT_FALSE(wl.overflowed());
+}
+#endif
+
+TEST(Worklist, CapacityIsFixedAtConstruction) {
+  const auto g = graph::cycle_graph(16);
+  EdgeWorklist wl(g);
+  EXPECT_EQ(wl.capacity(), 16u);
+  wl.push_next({0, 1});
+  wl.swap_buffers();
+  EXPECT_EQ(wl.capacity(), 16u) << "shrinking contents must not shrink capacity";
+}
+
 }  // namespace
 }  // namespace ecl::test

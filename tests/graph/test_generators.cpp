@@ -28,7 +28,9 @@ TEST(Generators, CliqueHasAllPairs) {
   EXPECT_EQ(g.num_edges(), 20u);
   for (vid u = 0; u < 5; ++u) {
     for (vid v = 0; v < 5; ++v) {
-      if (u != v) EXPECT_TRUE(g.has_edge(u, v));
+      if (u != v) {
+        EXPECT_TRUE(g.has_edge(u, v));
+      }
     }
   }
 }
