@@ -91,8 +91,12 @@ SccResult run_algorithm_on(const std::string& name, const Digraph& g, device::De
   return run_algorithm(name, g);
 }
 
-SccResult run_resilient(const std::string& name, const Digraph& g) {
-  const SccAlgorithm algorithm = find_algorithm(name);  // unknown name: throws
+namespace {
+
+/// Shared tail of the resilient entry points: catch, verify, and recover
+/// with serial Tarjan when the primary labeling is missing, partial, or
+/// rejected.
+SccResult run_resilient_impl(const SccAlgorithm& algorithm, const Digraph& g) {
   SccResult result;
   try {
     result = algorithm(g);
@@ -114,6 +118,19 @@ SccResult run_resilient(const std::string& name, const Digraph& g) {
   result.metrics.serial_fallback = true;
   result.metrics.fallback_vertices = g.num_vertices();
   return result;
+}
+
+}  // namespace
+
+SccResult run_resilient(const std::string& name, const Digraph& g) {
+  const SccAlgorithm algorithm = find_algorithm(name);  // unknown name: throws
+  return run_resilient_impl(algorithm, g);
+}
+
+SccResult run_resilient_on(const std::string& name, const Digraph& g, device::Device& dev) {
+  (void)find_algorithm(name);  // unknown name: throws before we touch the device
+  return run_resilient_impl(
+      [&name, &dev](const Digraph& graph) { return run_algorithm_on(name, graph, dev); }, g);
 }
 
 }  // namespace ecl::scc

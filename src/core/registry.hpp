@@ -47,6 +47,12 @@ SccResult run_algorithm_on(const std::string& name, const Digraph& g, device::De
 /// names still throw std::invalid_argument (a caller bug, not a fault).
 SccResult run_resilient(const std::string& name, const Digraph& g);
 
+/// run_resilient with the caller's device: device-backed configurations run
+/// on `dev` (honoring its fault plan — the hook the dynamic subsystem's
+/// chaos tests use to perturb full rebuilds), CPU configurations ignore it.
+/// The same always-complete, always-verified contract as run_resilient.
+SccResult run_resilient_on(const std::string& name, const Digraph& g, device::Device& dev);
+
 }  // namespace ecl::scc
 
 #endif  // ECL_CORE_REGISTRY_HPP

@@ -1,0 +1,453 @@
+#include "dynamic/dynamic_scc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/registry.hpp"
+#include "graph/condensation.hpp"
+#include "graph/subgraph.hpp"
+
+namespace ecl::dynamic {
+namespace {
+
+/// Inserts v into a sorted vector; returns false when already present.
+bool sorted_insert(std::vector<vid>& vec, vid v) {
+  const auto it = std::lower_bound(vec.begin(), vec.end(), v);
+  if (it != vec.end() && *it == v) return false;
+  vec.insert(it, v);
+  return true;
+}
+
+/// Removes v from a sorted vector; returns false when absent.
+bool sorted_erase(std::vector<vid>& vec, vid v) {
+  const auto it = std::lower_bound(vec.begin(), vec.end(), v);
+  if (it == vec.end() || *it != v) return false;
+  vec.erase(it);
+  return true;
+}
+
+bool sorted_contains(const std::vector<vid>& vec, vid v) {
+  return std::binary_search(vec.begin(), vec.end(), v);
+}
+
+}  // namespace
+
+DynamicScc::DynamicScc(const Digraph& g, DynamicOptions options)
+    : options_(std::move(options)), n_(g.num_vertices()) {
+  out_.resize(n_);
+  in_.resize(n_);
+  for (vid u = 0; u < n_; ++u) {
+    const auto nbrs = g.out_neighbors(u);
+    out_[u].assign(nbrs.begin(), nbrs.end());  // CSR neighbors are sorted + deduped
+    for (vid v : nbrs) in_[v].push_back(u);
+  }
+  for (auto& nbrs : in_) std::sort(nbrs.begin(), nbrs.end());
+  num_edges_ = g.num_edges();
+  vmark_.assign(n_, 0);
+  rebuild_from_scratch();
+  stats_ = DynamicStats{};  // the initial decomposition is not a rebuild event
+}
+
+// ---- Public updates -------------------------------------------------------
+
+bool DynamicScc::insert_edge(vid u, vid v) {
+  std::unique_lock lock(mutex_);
+  return insert_edge_locked(u, v);
+}
+
+bool DynamicScc::erase_edge(vid u, vid v) {
+  std::unique_lock lock(mutex_);
+  return erase_edge_locked(u, v);
+}
+
+bool DynamicScc::apply(const EdgeUpdate& update) {
+  std::unique_lock lock(mutex_);
+  return update.kind == EdgeUpdate::Kind::kInsert
+             ? insert_edge_locked(update.src, update.dst)
+             : erase_edge_locked(update.src, update.dst);
+}
+
+std::size_t DynamicScc::apply_batch(std::span<const EdgeUpdate> updates) {
+  std::unique_lock lock(mutex_);
+  std::size_t applied = 0;
+  for (const EdgeUpdate& update : updates) {
+    const bool changed = update.kind == EdgeUpdate::Kind::kInsert
+                             ? insert_edge_locked(update.src, update.dst)
+                             : erase_edge_locked(update.src, update.dst);
+    applied += changed ? 1 : 0;
+  }
+  return applied;
+}
+
+// ---- Public queries -------------------------------------------------------
+
+eid DynamicScc::num_edges() const {
+  std::shared_lock lock(mutex_);
+  return num_edges_;
+}
+
+vid DynamicScc::num_components() const {
+  std::shared_lock lock(mutex_);
+  return num_components_;
+}
+
+std::uint64_t DynamicScc::epoch() const {
+  std::shared_lock lock(mutex_);
+  return epoch_;
+}
+
+bool DynamicScc::has_edge(vid u, vid v) const {
+  check_vertex(u);
+  check_vertex(v);
+  std::shared_lock lock(mutex_);
+  return sorted_contains(out_[u], v);
+}
+
+bool DynamicScc::same_scc(vid u, vid v) const {
+  check_vertex(u);
+  check_vertex(v);
+  std::shared_lock lock(mutex_);
+  return labels_[u] == labels_[v];
+}
+
+vid DynamicScc::component_of(vid v) const {
+  check_vertex(v);
+  std::shared_lock lock(mutex_);
+  return labels_[v];
+}
+
+vid DynamicScc::component_size(vid v) const {
+  check_vertex(v);
+  std::shared_lock lock(mutex_);
+  return static_cast<vid>(members_[labels_[v]].size());
+}
+
+DynamicStats DynamicScc::stats() const {
+  std::shared_lock lock(mutex_);
+  return stats_;
+}
+
+std::shared_ptr<const LabelSnapshot> DynamicScc::snapshot() const {
+  std::shared_lock lock(mutex_);
+  std::lock_guard cache_lock(snapshot_mutex_);
+  if (!snapshot_cache_ || snapshot_cache_->epoch != epoch_) {
+    auto snap = std::make_shared<LabelSnapshot>();
+    snap->epoch = epoch_;
+    snap->num_components = num_components_;
+    snap->labels = labels_;
+    snapshot_cache_ = std::move(snap);
+  }
+  return snapshot_cache_;
+}
+
+Digraph DynamicScc::graph() const {
+  std::shared_lock lock(mutex_);
+  return materialize_graph();
+}
+
+Digraph DynamicScc::condensation_graph() const {
+  std::shared_lock lock(mutex_);
+  // Dense IDs in first-appearance order over the vertex array, matching
+  // normalize_labels on a from-scratch labeling of the same partition.
+  std::vector<vid> remap(members_.size(), graph::kInvalidVid);
+  std::vector<vid> order;  // slot IDs in dense order
+  order.reserve(num_components_);
+  for (vid v = 0; v < n_; ++v) {
+    if (remap[labels_[v]] == graph::kInvalidVid) {
+      remap[labels_[v]] = static_cast<vid>(order.size());
+      order.push_back(labels_[v]);
+    }
+  }
+  graph::EdgeList edges;
+  for (vid slot : order) {
+    for (const auto& [target, count] : comp_out_[slot]) {
+      edges.add(remap[slot], remap[target]);
+    }
+  }
+  return Digraph(static_cast<vid>(order.size()), edges);
+}
+
+// ---- Internals ------------------------------------------------------------
+
+void DynamicScc::check_vertex(vid v) const {
+  if (v >= n_) throw std::out_of_range("DynamicScc: vertex ID out of range");
+}
+
+bool DynamicScc::insert_edge_locked(vid u, vid v) {
+  check_vertex(u);
+  check_vertex(v);
+  if (!sorted_insert(out_[u], v)) return false;
+  sorted_insert(in_[v], u);
+  ++num_edges_;
+  ++stats_.inserts;
+  ++epoch_;
+  const vid cu = labels_[u];
+  const vid cv = labels_[v];
+  if (cu == cv) {
+    ++stats_.intra_component_inserts;
+    return true;
+  }
+  ++comp_out_[cu][cv];
+  ++comp_in_[cv][cu];
+  // The new condensation edge cu -> cv closes a cycle iff cu was already
+  // reachable from cv; every component on a path cv ->* cu merges.
+  if (backward_reach(cu, cv)) merge_cycle(cv, cu);
+  return true;
+}
+
+bool DynamicScc::erase_edge_locked(vid u, vid v) {
+  check_vertex(u);
+  check_vertex(v);
+  if (!sorted_erase(out_[u], v)) return false;
+  sorted_erase(in_[v], u);
+  --num_edges_;
+  ++stats_.erases;
+  ++epoch_;
+  const vid cu = labels_[u];
+  const vid cv = labels_[v];
+  if (cu != cv) {
+    // Removing an inter-component edge never changes the partition; it can
+    // only drop one condensation edge.
+    auto& fwd = comp_out_[cu];
+    const auto it = fwd.find(cv);
+    if (it != fwd.end() && --it->second == 0) fwd.erase(it);
+    auto& bwd = comp_in_[cv];
+    const auto jt = bwd.find(cu);
+    if (jt != bwd.end() && --jt->second == 0) bwd.erase(jt);
+    return true;
+  }
+  if (u == v) return true;  // dropping a self loop never splits anything
+  // The component stays strongly connected iff u still reaches v inside it:
+  // any former x ->* y walk rerouted its uses of (u, v) through that path.
+  if (reaches_within_component(u, v)) {
+    ++stats_.delete_fast_checks;
+    return true;
+  }
+  if (should_escalate(members_[cu].size())) {
+    ++stats_.full_rebuilds;
+    rebuild_from_scratch();
+    return true;
+  }
+  local_recompute(cu);
+  return true;
+}
+
+bool DynamicScc::backward_reach(vid from, vid to) {
+  ++comp_stamp_;
+  queue_.clear();
+  queue_.push_back(from);
+  comp_mark_[from] = comp_stamp_;
+  bool found = from == to;
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const vid c = queue_[head];
+    for (const auto& [source, count] : comp_in_[c]) {
+      if (comp_mark_[source] == comp_stamp_) continue;
+      comp_mark_[source] = comp_stamp_;
+      if (source == to) found = true;
+      queue_.push_back(source);
+    }
+  }
+  stats_.condensation_bfs_nodes += queue_.size();
+  return found;
+}
+
+void DynamicScc::merge_cycle(vid cv, vid cu) {
+  // Forward pass from cv restricted to components that reach cu (the
+  // backward pass's marks): exactly the components on cv ->* cu paths.
+  ++merge_stamp_;
+  std::vector<vid> merged;
+  merged.push_back(cv);
+  merge_mark_[cv] = merge_stamp_;
+  for (std::size_t head = 0; head < merged.size(); ++head) {
+    const vid c = merged[head];
+    for (const auto& [target, count] : comp_out_[c]) {
+      if (merge_mark_[target] == merge_stamp_) continue;
+      if (comp_mark_[target] != comp_stamp_) continue;  // does not reach cu
+      merge_mark_[target] = merge_stamp_;
+      merged.push_back(target);
+    }
+  }
+  stats_.condensation_bfs_nodes += merged.size();
+
+  // Survivor: the largest member list moves the fewest labels.
+  vid survivor = merged.front();
+  for (vid c : merged) {
+    if (members_[c].size() > members_[survivor].size()) survivor = c;
+  }
+
+  // External condensation edges of the merged set, with the internal ones
+  // dropped and the neighbors' back references rewritten to the survivor.
+  CompEdges ext_out;
+  CompEdges ext_in;
+  for (vid c : merged) {
+    for (const auto& [target, count] : comp_out_[c]) {
+      if (merge_mark_[target] == merge_stamp_) continue;
+      ext_out[target] += count;
+      comp_in_[target].erase(c);
+    }
+    for (const auto& [source, count] : comp_in_[c]) {
+      if (merge_mark_[source] == merge_stamp_) continue;
+      ext_in[source] += count;
+      comp_out_[source].erase(c);
+    }
+  }
+  for (const auto& [target, count] : ext_out) comp_in_[target][survivor] = count;
+  for (const auto& [source, count] : ext_in) comp_out_[source][survivor] = count;
+
+  for (vid c : merged) {
+    if (c == survivor) continue;
+    for (vid w : members_[c]) labels_[w] = survivor;
+    members_[survivor].insert(members_[survivor].end(), members_[c].begin(), members_[c].end());
+    free_comp(c);
+  }
+  comp_out_[survivor] = std::move(ext_out);
+  comp_in_[survivor] = std::move(ext_in);
+  num_components_ -= static_cast<vid>(merged.size() - 1);
+  ++stats_.merges;
+  stats_.components_merged += merged.size() - 1;
+}
+
+bool DynamicScc::reaches_within_component(vid u, vid v) {
+  const vid c = labels_[u];
+  ++vstamp_;
+  queue_.clear();
+  queue_.push_back(u);
+  vmark_[u] = vstamp_;
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    for (vid x : out_[queue_[head]]) {
+      if (labels_[x] != c || vmark_[x] == vstamp_) continue;
+      if (x == v) return true;
+      vmark_[x] = vstamp_;
+      queue_.push_back(x);
+    }
+  }
+  return false;
+}
+
+void DynamicScc::local_recompute(vid c) {
+  std::vector<vid> members = std::move(members_[c]);
+  members_[c] = {};
+
+  const graph::Subgraph sub =
+      graph::induced_subgraph(std::span<const std::vector<vid>>(out_), members);
+  scc::SccResult result = scc::run_resilient(options_.local_algorithm, sub.graph);
+  std::vector<vid> sub_labels = std::move(result.labels);
+  const vid k = graph::normalize_labels(sub_labels);
+  ++stats_.local_recomputes;
+  if (k <= 1) {
+    // Defensive: the caller's reachability check proved a split, but a
+    // one-component answer just restores the previous state.
+    members_[c] = std::move(members);
+    return;
+  }
+
+  // Detach the dirty component from the condensation, split it, and rebuild
+  // every condensation edge incident to its members.
+  for (const auto& [target, count] : comp_out_[c]) comp_in_[target].erase(c);
+  for (const auto& [source, count] : comp_in_[c]) comp_out_[source].erase(c);
+  comp_out_[c].clear();
+  comp_in_[c].clear();
+
+  std::vector<vid> ids(k);
+  ids[0] = c;
+  for (vid j = 1; j < k; ++j) ids[j] = alloc_comp();
+
+  ++vstamp_;
+  for (vid w : members) vmark_[w] = vstamp_;  // member set for the external test
+  for (vid local = 0; local < members.size(); ++local) {
+    const vid parent = sub.to_parent[local];
+    const vid id = ids[sub_labels[local]];
+    labels_[parent] = id;
+    members_[id].push_back(parent);
+  }
+  for (vid w : members) {
+    const vid lw = labels_[w];
+    for (vid x : out_[w]) {
+      const vid lx = labels_[x];
+      if (lw != lx) {
+        ++comp_out_[lw][lx];
+        ++comp_in_[lx][lw];
+      }
+    }
+    for (vid x : in_[w]) {
+      if (vmark_[x] == vstamp_) continue;  // member -> member counted above
+      const vid lx = labels_[x];
+      ++comp_out_[lx][lw];
+      ++comp_in_[lw][lx];
+    }
+  }
+  num_components_ += k - 1;
+  ++stats_.splits;
+  stats_.components_created += k - 1;
+}
+
+bool DynamicScc::should_escalate(std::size_t dirty) const {
+  const auto fraction_threshold =
+      static_cast<std::size_t>(options_.escalate_fraction * static_cast<double>(n_));
+  const std::size_t threshold =
+      std::max<std::size_t>(options_.escalate_min_vertices, fraction_threshold);
+  return dirty >= threshold;
+}
+
+void DynamicScc::rebuild_from_scratch() {
+  const Digraph g = materialize_graph();
+  scc::SccResult result = options_.device
+                              ? scc::run_resilient_on(options_.full_algorithm, g, *options_.device)
+                              : scc::run_resilient(options_.full_algorithm, g);
+  std::vector<vid> labels = std::move(result.labels);
+  const vid k = graph::normalize_labels(labels);
+  labels_ = std::move(labels);
+  members_.assign(k, {});
+  comp_out_.assign(k, {});
+  comp_in_.assign(k, {});
+  comp_mark_.assign(k, 0);
+  merge_mark_.assign(k, 0);
+  comp_stamp_ = 0;
+  merge_stamp_ = 0;
+  free_comps_.clear();
+  num_components_ = k;
+  for (vid v = 0; v < n_; ++v) members_[labels_[v]].push_back(v);
+  for (vid u = 0; u < n_; ++u) {
+    for (vid v : out_[u]) {
+      if (labels_[u] != labels_[v]) {
+        ++comp_out_[labels_[u]][labels_[v]];
+        ++comp_in_[labels_[v]][labels_[u]];
+      }
+    }
+  }
+}
+
+Digraph DynamicScc::materialize_graph() const {
+  std::vector<eid> offsets(n_ + 1, 0);
+  for (vid v = 0; v < n_; ++v) offsets[v + 1] = offsets[v] + out_[v].size();
+  std::vector<vid> targets;
+  targets.reserve(num_edges_);
+  for (vid v = 0; v < n_; ++v) targets.insert(targets.end(), out_[v].begin(), out_[v].end());
+  return Digraph(std::move(offsets), std::move(targets));
+}
+
+vid DynamicScc::alloc_comp() {
+  if (!free_comps_.empty()) {
+    const vid c = free_comps_.back();
+    free_comps_.pop_back();
+    return c;
+  }
+  const vid c = static_cast<vid>(members_.size());
+  members_.emplace_back();
+  comp_out_.emplace_back();
+  comp_in_.emplace_back();
+  comp_mark_.push_back(0);
+  merge_mark_.push_back(0);
+  return c;
+}
+
+void DynamicScc::free_comp(vid c) {
+  members_[c].clear();
+  members_[c].shrink_to_fit();
+  comp_out_[c].clear();
+  comp_in_[c].clear();
+  free_comps_.push_back(c);
+}
+
+}  // namespace ecl::dynamic

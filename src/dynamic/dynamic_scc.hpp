@@ -1,0 +1,213 @@
+#ifndef ECL_DYNAMIC_DYNAMIC_SCC_HPP
+#define ECL_DYNAMIC_DYNAMIC_SCC_HPP
+
+// Dynamic SCC maintenance under streaming edge updates.
+//
+// The static algorithms in core/ recompute every component from scratch;
+// real graph workloads mutate, and most single-edge updates touch a tiny
+// region of the condensation DAG. DynamicScc keeps SCC labels and the
+// condensation current across insert_edge / erase_edge / apply_batch
+// streams:
+//
+//  * Insertion. An intra-component edge changes nothing. An inter-component
+//    edge c(u) -> c(v) can only create a cycle when c(u) is reachable from
+//    c(v) in the condensation; when it is, every component on a path
+//    c(v) ->* c(u) is merged into one (two BFS passes over the maintained
+//    condensation, O(affected region), never O(|E|)).
+//  * Deletion. An inter-component edge only decrements a condensation edge
+//    count. An intra-component deletion u -> v leaves the component
+//    strongly connected iff u still reaches v inside it (a member-restricted
+//    early-exit BFS); otherwise the component is dirty and is recomputed
+//    locally via a registry algorithm on its induced subgraph
+//    (graph/subgraph), splitting it in place. When the dirty region exceeds
+//    the escalation threshold, the engine falls back to a full
+//    run_resilient recompute with the configured heavy kernel (ECL-SCC by
+//    default) — the paper's algorithm stays the heavy-lifting path.
+//  * Epochs. Every applied update bumps a monotonically increasing epoch;
+//    snapshot() hands out an immutable, shared label snapshot tagged with
+//    its epoch so concurrent readers keep a consistent view while the
+//    writer advances. Mutations and queries are internally synchronized
+//    (single writer, many readers).
+//
+// Component IDs (component_of) are stable between updates but may be
+// recycled by merges, splits, and full rebuilds — compare IDs only at a
+// fixed epoch, or compare partitions via snapshots.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/update_stream.hpp"
+
+namespace ecl::device {
+class Device;
+}
+
+namespace ecl::dynamic {
+
+using graph::Digraph;
+using graph::EdgeUpdate;
+using graph::eid;
+using graph::vid;
+
+/// Tuning knobs and algorithm choices for DynamicScc.
+struct DynamicOptions {
+  /// Registry configuration used for the initial decomposition and for
+  /// escalated full rebuilds (via run_resilient / run_resilient_on).
+  std::string full_algorithm = "ecl-a100";
+  /// Registry configuration used for local recomputes of one dirty
+  /// component's induced subgraph.
+  std::string local_algorithm = "tarjan";
+  /// A dirty component escalates to a full rebuild when its member count
+  /// reaches max(escalate_min_vertices, escalate_fraction * n). A threshold
+  /// of zero escalates every split; make escalate_min_vertices huge to
+  /// never escalate.
+  double escalate_fraction = 0.25;
+  vid escalate_min_vertices = 1u << 14;
+  /// Optional device for the full-rebuild path (non-owning; must outlive
+  /// the engine). Lets callers route rebuilds through a device carrying a
+  /// chaos FaultPlan; run_resilient_on absorbs any injected failure.
+  device::Device* device = nullptr;
+};
+
+/// Update-path counters (test and bench observability).
+struct DynamicStats {
+  std::uint64_t inserts = 0;                  ///< edge insertions applied
+  std::uint64_t erases = 0;                   ///< edge deletions applied
+  std::uint64_t intra_component_inserts = 0;  ///< insertions with both ends in one SCC
+  std::uint64_t merges = 0;                   ///< insertion-triggered merge events
+  std::uint64_t components_merged = 0;        ///< components absorbed by merges
+  std::uint64_t splits = 0;                   ///< deletion-triggered local splits
+  std::uint64_t components_created = 0;       ///< extra components created by splits
+  std::uint64_t delete_fast_checks = 0;       ///< deletions absorbed by the reachability check
+  std::uint64_t local_recomputes = 0;         ///< induced-subgraph SCC runs
+  std::uint64_t full_rebuilds = 0;            ///< escalations to the heavy kernel
+  std::uint64_t condensation_bfs_nodes = 0;   ///< components visited by cycle detection
+};
+
+/// Immutable labeling snapshot; valid forever, consistent as of `epoch`.
+struct LabelSnapshot {
+  std::uint64_t epoch = 0;
+  vid num_components = 0;
+  std::vector<vid> labels;  ///< labels[v] = component ID at `epoch`
+
+  bool same_scc(vid u, vid v) const { return labels[u] == labels[v]; }
+};
+
+/// Incrementally maintained SCC decomposition of a fixed vertex set under a
+/// stream of edge updates. Thread-safe: one writer at a time, any number of
+/// concurrent readers.
+class DynamicScc {
+ public:
+  explicit DynamicScc(const Digraph& g, DynamicOptions options = {});
+
+  vid num_vertices() const noexcept { return n_; }
+
+  // ---- Updates (exclusive) --------------------------------------------
+  /// Inserts u -> v. Returns false (and changes nothing) when the edge is
+  /// already present. Throws std::out_of_range for bad vertex IDs.
+  bool insert_edge(vid u, vid v);
+
+  /// Erases u -> v. Returns false when the edge is absent.
+  bool erase_edge(vid u, vid v);
+
+  /// Applies one update; returns whether the edge set changed.
+  bool apply(const EdgeUpdate& update);
+
+  /// Applies a stream in order under one writer critical section; returns
+  /// the number of updates that changed the edge set.
+  std::size_t apply_batch(std::span<const EdgeUpdate> updates);
+
+  // ---- Queries (shared) -----------------------------------------------
+  eid num_edges() const;
+  vid num_components() const;
+  std::uint64_t epoch() const;
+  bool has_edge(vid u, vid v) const;
+  bool same_scc(vid u, vid v) const;
+  /// Component ID of v; stable only within an epoch (see header comment).
+  vid component_of(vid v) const;
+  /// Size of v's component.
+  vid component_size(vid v) const;
+  DynamicStats stats() const;
+  const DynamicOptions& options() const noexcept { return options_; }
+
+  /// Immutable labeling snapshot for concurrent readers; cached per epoch,
+  /// so repeated calls between updates share one allocation.
+  std::shared_ptr<const LabelSnapshot> snapshot() const;
+
+  /// CSR materialization of the current edge set.
+  Digraph graph() const;
+
+  /// The maintained condensation as a Digraph with dense IDs (assigned in
+  /// first-appearance order of the live labels, matching normalize_labels
+  /// over a from-scratch run). Always a DAG.
+  Digraph condensation_graph() const;
+
+ private:
+  using CompEdges = std::unordered_map<vid, std::uint32_t>;
+
+  bool insert_edge_locked(vid u, vid v);
+  bool erase_edge_locked(vid u, vid v);
+  void check_vertex(vid v) const;
+
+  /// True when `to` is reachable from `from` in the condensation following
+  /// comp_in_ (i.e. `to` reaches `from` forward). Marks the visited set.
+  bool backward_reach(vid from, vid to);
+  /// Merges every component on a path cv ->* cu (called after the backward
+  /// pass marked the components reaching cu).
+  void merge_cycle(vid cv, vid cu);
+  /// Early-exit BFS u ->* v restricted to u's component members.
+  bool reaches_within_component(vid u, vid v);
+  /// Recomputes one dirty component's labels on its induced subgraph and
+  /// splits it in place.
+  void local_recompute(vid c);
+  /// Escalation threshold test for a dirty region of `dirty` vertices.
+  bool should_escalate(std::size_t dirty) const;
+  /// Full recompute with the heavy kernel; resets all component state.
+  void rebuild_from_scratch();
+  Digraph materialize_graph() const;
+
+  vid alloc_comp();
+  void free_comp(vid c);
+
+  DynamicOptions options_;
+  vid n_ = 0;
+  eid num_edges_ = 0;
+  std::uint64_t epoch_ = 0;
+
+  /// Sorted mutable adjacency (the CSR of graph/digraph is immutable).
+  std::vector<std::vector<vid>> out_;
+  std::vector<std::vector<vid>> in_;
+
+  /// labels_[v] = component slot ID. Slots are recycled through free_comps_.
+  std::vector<vid> labels_;
+  std::vector<std::vector<vid>> members_;
+  std::vector<CompEdges> comp_out_;  ///< condensation edges with multiplicity
+  std::vector<CompEdges> comp_in_;
+  std::vector<vid> free_comps_;
+  vid num_components_ = 0;
+  DynamicStats stats_;
+
+  /// Stamped scratch marks (no O(n) clears on the update path).
+  std::vector<std::uint64_t> comp_mark_;  ///< backward-reach visited set
+  std::vector<std::uint64_t> merge_mark_; ///< merge-set membership
+  std::vector<std::uint64_t> vmark_;      ///< vertex-level visited / member set
+  std::uint64_t comp_stamp_ = 0;
+  std::uint64_t merge_stamp_ = 0;
+  std::uint64_t vstamp_ = 0;
+  std::vector<vid> queue_;
+
+  mutable std::shared_mutex mutex_;
+  mutable std::mutex snapshot_mutex_;
+  mutable std::shared_ptr<const LabelSnapshot> snapshot_cache_;
+};
+
+}  // namespace ecl::dynamic
+
+#endif  // ECL_DYNAMIC_DYNAMIC_SCC_HPP

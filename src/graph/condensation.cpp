@@ -17,6 +17,13 @@ vid normalize_labels(std::span<vid> labels) {
 }
 
 Digraph condensation(const Digraph& g, std::span<const vid> labels, vid num_components) {
+  if (labels.size() != g.num_vertices())
+    throw std::invalid_argument("condensation: labels.size() != num_vertices");
+  if (num_components == 0 && g.num_vertices() > 0)
+    throw std::invalid_argument("condensation: zero components for a non-empty graph");
+  for (vid label : labels)
+    if (label >= num_components)
+      throw std::invalid_argument("condensation: label >= num_components");
   EdgeList edges;
   for (vid u = 0; u < g.num_vertices(); ++u) {
     for (vid v : g.out_neighbors(u)) {

@@ -16,11 +16,16 @@ namespace ecl::graph {
 /// Renumbers arbitrary component labels to dense IDs [0, k). Returns the
 /// number of components k and rewrites `labels` in place. Dense IDs are
 /// assigned in order of first appearance, so the result is deterministic.
+/// An empty span yields k = 0; labels >= labels.size() throw.
 vid normalize_labels(std::span<vid> labels);
 
 /// Condensation of g under `labels` (labels[v] in [0, k) for all v).
 /// The returned DAG has k vertices and one edge per pair of components
 /// connected by at least one original edge; self loops are omitted.
+/// Throws std::invalid_argument when labels.size() != g.num_vertices(),
+/// when a label is out of range, or when num_components == 0 for a
+/// non-empty graph. The empty graph with num_components == 0 is valid and
+/// condenses to the empty DAG.
 Digraph condensation(const Digraph& g, std::span<const vid> labels, vid num_components);
 
 /// Topological order of a DAG (Kahn). Throws std::invalid_argument if the

@@ -123,6 +123,43 @@ void write_matrix_market(std::ostream& out, const Digraph& g) {
     for (vid v : g.out_neighbors(u)) out << (u + 1) << ' ' << (v + 1) << '\n';
 }
 
+UpdateStream read_update_stream(std::istream& in) {
+  UpdateStream stream;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (is_comment(line)) continue;
+    std::istringstream ss(line);
+    char sign = 0;
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(ss >> sign >> u >> v) || (sign != '+' && sign != '-'))
+      throw std::runtime_error("update stream: malformed line: " + line);
+    const auto kind =
+        sign == '+' ? EdgeUpdate::Kind::kInsert : EdgeUpdate::Kind::kErase;
+    stream.push_back({kind, static_cast<vid>(u), static_cast<vid>(v)});
+  }
+  return stream;
+}
+
+UpdateStream read_update_stream_file(const std::string& path) {
+  auto in = open_or_throw(path);
+  return read_update_stream(in);
+}
+
+void write_update_stream(std::ostream& out, const UpdateStream& stream) {
+  out << "# updates " << stream.size() << '\n';
+  for (const EdgeUpdate& u : stream) {
+    out << (u.kind == EdgeUpdate::Kind::kInsert ? '+' : '-') << u.src << ' ' << u.dst << '\n';
+  }
+}
+
+void write_update_stream_file(const std::string& path, const UpdateStream& stream) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_update_stream(out, stream);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
 namespace {
 
 constexpr char kBinaryMagic[4] = {'E', 'C', 'L', 'G'};

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "graph/digraph.hpp"
+#include "graph/update_stream.hpp"
 
 namespace ecl::graph {
 
@@ -32,6 +33,14 @@ void write_matrix_market(std::ostream& out, const Digraph& g);
 /// text formats for multi-million-edge graphs.
 Digraph read_binary(std::istream& in);
 void write_binary(std::ostream& out, const Digraph& g);
+
+/// Edge-update stream: one update per line, "+u v" for an insertion and
+/// "-u v" for a deletion ('#' and '%' start comments). The replayable input
+/// of the dynamic SCC subsystem and bench_dynamic_updates.
+UpdateStream read_update_stream(std::istream& in);
+UpdateStream read_update_stream_file(const std::string& path);
+void write_update_stream(std::ostream& out, const UpdateStream& stream);
+void write_update_stream_file(const std::string& path, const UpdateStream& stream);
 
 /// Dispatch by file extension: .mtx -> MatrixMarket, .gr/.dimacs -> DIMACS,
 /// .eclg -> binary CSR, anything else -> edge list.

@@ -26,6 +26,29 @@ Subgraph induced_subgraph(const Digraph& g, std::span<const vid> members) {
   return sub;
 }
 
+Subgraph induced_subgraph(std::span<const std::vector<vid>> out_adjacency,
+                          std::span<const vid> members) {
+  std::vector<vid> to_local(out_adjacency.size(), kInvalidVid);
+  Subgraph sub;
+  sub.to_parent.assign(members.begin(), members.end());
+  for (vid local = 0; local < members.size(); ++local) {
+    const vid parent = members[local];
+    if (parent >= out_adjacency.size()) throw std::out_of_range("induced_subgraph: bad member");
+    if (to_local[parent] != kInvalidVid)
+      throw std::invalid_argument("induced_subgraph: duplicate member");
+    to_local[parent] = local;
+  }
+
+  EdgeList edges;
+  for (vid local = 0; local < members.size(); ++local) {
+    for (vid w : out_adjacency[members[local]]) {
+      if (to_local[w] != kInvalidVid) edges.add(local, to_local[w]);
+    }
+  }
+  sub.graph = Digraph(static_cast<vid>(members.size()), edges);
+  return sub;
+}
+
 Subgraph induced_subgraph(const Digraph& g, std::span<const std::uint8_t> active) {
   std::vector<vid> members;
   for (vid v = 0; v < g.num_vertices(); ++v) {

@@ -25,6 +25,13 @@ Subgraph induced_subgraph(const Digraph& g, std::span<const vid> members);
 /// Subgraph induced by all vertices with active[v] != 0.
 Subgraph induced_subgraph(const Digraph& g, std::span<const std::uint8_t> active);
 
+/// Subgraph induced by `members` of a graph held as mutable out-adjacency
+/// lists (one vector per vertex) instead of CSR — the representation the
+/// dynamic SCC engine maintains under streaming updates. Same contract as
+/// the Digraph overload.
+Subgraph induced_subgraph(std::span<const std::vector<vid>> out_adjacency,
+                          std::span<const vid> members);
+
 }  // namespace ecl::graph
 
 #endif  // ECL_GRAPH_SUBGRAPH_HPP

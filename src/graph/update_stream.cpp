@@ -1,0 +1,78 @@
+#include "graph/update_stream.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ecl::graph {
+namespace {
+
+std::uint64_t edge_key(vid u, vid v) noexcept {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+UpdateStream generate_update_stream(const Digraph& base, const UpdateStreamOptions& options,
+                                    Rng& rng) {
+  UpdateStream stream;
+  const vid n = base.num_vertices();
+  if (n == 0 || options.num_updates == 0) return stream;
+  stream.reserve(options.num_updates);
+
+  // Live edge set mirrored two ways: a hash set for membership tests and a
+  // vector for uniform deletion draws (swap-remove keeps both O(1)).
+  std::unordered_set<std::uint64_t> present;
+  std::vector<Edge> edges;
+  for (const Edge& e : base.edges()) {
+    present.insert(edge_key(e.src, e.dst));
+    edges.push_back(e);
+  }
+
+  const std::uint64_t capacity = static_cast<std::uint64_t>(n) * n;
+  for (std::size_t i = 0; i < options.num_updates; ++i) {
+    bool insert = rng.chance(options.insert_fraction);
+    if (edges.empty()) insert = true;
+    if (present.size() >= capacity) insert = false;
+    if (insert) {
+      // Rejection-sample an absent edge. Dense graphs could spin here, so
+      // the attempt count is bounded; on exhaustion fall back to deletion.
+      bool placed = false;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const vid u = static_cast<vid>(rng.bounded(n));
+        const vid v = static_cast<vid>(rng.bounded(n));
+        if (!present.insert(edge_key(u, v)).second) continue;
+        edges.push_back({u, v});
+        stream.push_back({EdgeUpdate::Kind::kInsert, u, v});
+        placed = true;
+        break;
+      }
+      if (placed) continue;
+      if (edges.empty()) continue;  // nothing to delete either; skip the slot
+    }
+    const std::size_t pick = rng.bounded(edges.size());
+    const Edge e = edges[pick];
+    edges[pick] = edges.back();
+    edges.pop_back();
+    present.erase(edge_key(e.src, e.dst));
+    stream.push_back({EdgeUpdate::Kind::kErase, e.src, e.dst});
+  }
+  return stream;
+}
+
+Digraph apply_updates(const Digraph& base, const UpdateStream& stream) {
+  std::unordered_set<std::uint64_t> present;
+  for (const Edge& e : base.edges()) present.insert(edge_key(e.src, e.dst));
+  for (const EdgeUpdate& u : stream) {
+    if (u.kind == EdgeUpdate::Kind::kInsert)
+      present.insert(edge_key(u.src, u.dst));
+    else
+      present.erase(edge_key(u.src, u.dst));
+  }
+  EdgeList edges;
+  edges.reserve(present.size());
+  for (std::uint64_t key : present)
+    edges.add(static_cast<vid>(key >> 32), static_cast<vid>(key & 0xffffffffu));
+  return Digraph(base.num_vertices(), edges);
+}
+
+}  // namespace ecl::graph

@@ -1,0 +1,61 @@
+#ifndef ECL_GRAPH_UPDATE_STREAM_HPP
+#define ECL_GRAPH_UPDATE_STREAM_HPP
+
+// Streaming edge updates: the input format of the dynamic SCC subsystem
+// (src/dynamic). A stream is an ordered list of single-edge insertions and
+// deletions applied to a base graph; the seeded generator produces valid
+// mixed streams (every deletion targets an edge that exists at that point
+// in the replay) so differential tests and benchmarks are reproducible
+// from one seed. Text serialization ("+u v" / "-u v" lines) lives in
+// graph/io.
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "support/rng.hpp"
+
+namespace ecl::graph {
+
+/// One streaming update: insert or erase the directed edge src -> dst.
+struct EdgeUpdate {
+  enum class Kind : std::uint8_t { kInsert = 0, kErase = 1 };
+
+  Kind kind = Kind::kInsert;
+  vid src = 0;
+  vid dst = 0;
+
+  friend bool operator==(const EdgeUpdate&, const EdgeUpdate&) = default;
+};
+
+/// An ordered sequence of edge updates.
+using UpdateStream = std::vector<EdgeUpdate>;
+
+/// Knobs for generate_update_stream.
+struct UpdateStreamOptions {
+  std::size_t num_updates = 1000;
+  /// Probability that an update is an insertion (the rest are deletions;
+  /// when the current edge set is empty a deletion draw falls back to an
+  /// insertion, and vice versa when the graph is complete).
+  double insert_fraction = 0.5;
+  /// Deletions pick a uniformly random currently-present edge; insertions
+  /// draw endpoint pairs uniformly until they hit an absent edge (bounded
+  /// retries, falling back to deletion if the graph is saturated).
+};
+
+/// Generates a mixed insert/delete stream that is valid when replayed
+/// against `base`: every deletion removes an edge present at that point,
+/// every insertion adds an edge absent at that point. Deterministic for a
+/// given (base, options, rng state). Graphs with zero vertices yield an
+/// empty stream.
+UpdateStream generate_update_stream(const Digraph& base, const UpdateStreamOptions& options,
+                                    Rng& rng);
+
+/// Replays a stream on top of a base graph from scratch (edge-set
+/// semantics: duplicate inserts and erases of absent edges are no-ops).
+/// The differential oracle for the incremental engine.
+Digraph apply_updates(const Digraph& base, const UpdateStream& stream);
+
+}  // namespace ecl::graph
+
+#endif  // ECL_GRAPH_UPDATE_STREAM_HPP

@@ -78,6 +78,33 @@ TEST(Registry, RunResilientStillThrowsOnUnknownName) {
                std::invalid_argument);
 }
 
+TEST(Registry, RunResilientOnUsesCallerDevice) {
+  const auto g = fig3_graph();
+  device::Device dev(device::tiny_profile());
+  const auto before = dev.stats().kernel_launches;
+  const auto r = scc::run_resilient_on("ecl-a100", g, dev);
+  EXPECT_TRUE(r.ok()) << r.error.message;
+  EXPECT_EQ(r.num_components, 7u);
+  EXPECT_GT(dev.stats().kernel_launches, before) << "must run on the supplied device";
+  EXPECT_THROW((void)scc::run_resilient_on("quantum-scc", g, dev), std::invalid_argument);
+}
+
+TEST(Registry, RunResilientOnAbsorbsAStalledDevice) {
+  // Full store suppression: ECL-SCC on this device must stall; the
+  // resilient wrapper still returns complete, Tarjan-equivalent labels.
+  device::DeviceProfile profile = device::tiny_profile();
+  profile.fault_plan.seed = 11;
+  profile.fault_plan.delayed_visibility = true;
+  profile.fault_plan.store_defer_probability = 1.0;
+  device::Device dev(profile);
+  const auto g = graph::cycle_graph(48);
+  const auto r = scc::run_resilient_on("ecl-a100", g, dev);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.metrics.serial_fallback);
+  EXPECT_TRUE(scc::same_partition(r.labels, scc::tarjan(g).labels));
+  EXPECT_TRUE(scc::verify_scc(g, r.labels).ok);
+}
+
 TEST(Registry, RunResilientMatchesTarjanOnAllGraphs) {
   for (const auto& [name, g] : structured_graphs()) {
     const auto oracle = scc::tarjan(g);

@@ -1,0 +1,140 @@
+// Dirty-region escalation under chaos: every split escalates to the full
+// ECL-SCC rebuild, routed through a device carrying a seeded FaultPlan, and
+// the differential invariant must survive — run_resilient_on absorbs any
+// injected failure (including a guaranteed stall) with the serial fallback.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/test_graphs.hpp"
+#include "core/tarjan.hpp"
+#include "device/device.hpp"
+#include "device/fault.hpp"
+#include "dynamic/dynamic_scc.hpp"
+
+namespace ecl::test {
+namespace {
+
+using device::FaultPlan;
+using dynamic::DynamicOptions;
+using dynamic::DynamicScc;
+using graph::EdgeUpdate;
+
+device::DeviceProfile chaos_profile(FaultPlan plan) {
+  device::DeviceProfile profile = device::tiny_profile();
+  profile.fault_plan = plan;
+  return profile;
+}
+
+/// Escalate on every split so each deletion-induced split exercises the
+/// device-backed heavy kernel.
+DynamicOptions escalate_always(device::Device* dev) {
+  DynamicOptions opts;
+  opts.full_algorithm = "ecl-a100";
+  opts.escalate_fraction = 0.0;
+  opts.escalate_min_vertices = 1;
+  opts.device = dev;
+  return opts;
+}
+
+void run_chaos_stream(const Digraph& base, device::Device& dev, std::uint64_t stream_seed,
+                      const std::string& context) {
+  Rng rng(stream_seed);
+  graph::UpdateStreamOptions stream_opts;
+  stream_opts.num_updates = 120;
+  stream_opts.insert_fraction = 0.45;  // deletion-heavy: drive the escalation path
+  const auto stream = graph::generate_update_stream(base, stream_opts, rng);
+
+  DynamicScc dyn(base, escalate_always(&dev));
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    dyn.apply(stream[i]);
+    const Digraph scratch = dyn.graph();
+    const auto oracle = scc::tarjan(scratch);
+    const auto snap = dyn.snapshot();
+    ASSERT_EQ(snap->num_components, oracle.num_components) << context << " update " << i;
+    ASSERT_TRUE(scc::same_partition(snap->labels, oracle.labels)) << context << " update " << i;
+  }
+  EXPECT_GT(dyn.stats().full_rebuilds, 0u)
+      << context << ": the sweep never escalated, so it proved nothing";
+  EXPECT_EQ(dyn.stats().local_recomputes, 0u)
+      << context << ": escalate-always must bypass local recomputes";
+}
+
+class DynamicChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicChaos, EscalatedRebuildsSurviveSeededFaultPlans) {
+  const FaultPlan plan = FaultPlan::from_seed(GetParam());
+  ASSERT_TRUE(plan.any());
+  device::Device dev(chaos_profile(plan));
+  run_chaos_stream(graph::cycle_chain(8, 8), dev, 0xc4a0 + GetParam(),
+                   "cycle_chain under " + plan.describe());
+
+  Rng rng(0x9e0 + GetParam());
+  graph::SccProfile profile;
+  profile.num_vertices = 150;
+  profile.giant_fraction = 0.5;
+  profile.size2_sccs = 8;
+  profile.dag_depth = 5;
+  device::Device dev2(chaos_profile(plan));
+  run_chaos_stream(graph::scc_profile_graph(profile, rng), dev2,
+                   0xc4a1 + GetParam(), "powerlaw under " + plan.describe());
+}
+
+// Two distinct seeded plans satisfy the ">= 2 seeded chaos FaultPlans"
+// contract; more seeds just widen the net.
+INSTANTIATE_TEST_SUITE_P(SeededPlans, DynamicChaos, ::testing::Values(7u, 99u, 1234u),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(DynamicChaos, EscalatedRebuildSurvivesGuaranteedStall) {
+  // store_defer_probability = 1.0 stalls every ECL-SCC run; the watchdog
+  // trips and the serial fallback inside run_resilient_on completes the
+  // rebuild. The engine must stay correct without ever noticing.
+  FaultPlan stall;
+  stall.seed = 5;
+  stall.delayed_visibility = true;
+  stall.store_defer_probability = 1.0;
+  device::Device dev(chaos_profile(stall));
+
+  DynamicScc dyn(graph::cycle_graph(40), escalate_always(&dev));
+  EXPECT_EQ(dyn.num_components(), 1u);
+  dyn.erase_edge(39, 0);  // split -> escalated rebuild under the stall plan
+  EXPECT_EQ(dyn.num_components(), 40u);
+  EXPECT_GE(dyn.stats().full_rebuilds, 1u);
+  const auto oracle = scc::tarjan(dyn.graph());
+  EXPECT_TRUE(scc::same_partition(dyn.snapshot()->labels, oracle.labels));
+}
+
+TEST(DynamicChaos, ThresholdSeparatesLocalFromEscalatedRecomputes) {
+  // Same deletion, two thresholds: below -> local recompute, above -> full
+  // rebuild. Pins the escalation decision itself, not just its outcome.
+  const Digraph base = graph::cycle_graph(30);
+  {
+    DynamicOptions local;
+    local.full_algorithm = "tarjan";
+    local.escalate_fraction = 1.0;
+    local.escalate_min_vertices = 31;  // dirty region of 30 stays local
+    DynamicScc dyn(base, local);
+    dyn.erase_edge(29, 0);
+    EXPECT_EQ(dyn.stats().local_recomputes, 1u);
+    EXPECT_EQ(dyn.stats().full_rebuilds, 0u);
+    EXPECT_EQ(dyn.num_components(), 30u);
+  }
+  {
+    DynamicOptions full;
+    full.full_algorithm = "tarjan";
+    full.escalate_fraction = 0.5;  // threshold 15 < 30 dirty vertices
+    full.escalate_min_vertices = 1;
+    DynamicScc dyn(base, full);
+    dyn.erase_edge(29, 0);
+    EXPECT_EQ(dyn.stats().local_recomputes, 0u);
+    EXPECT_EQ(dyn.stats().full_rebuilds, 1u);
+    EXPECT_EQ(dyn.num_components(), 30u);
+  }
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,249 @@
+// DynamicScc unit tests: single-update semantics (merge on insert, split on
+// delete), epoch/snapshot versioning, the maintained condensation, and
+// concurrent readers during a writer stream.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/test_graphs.hpp"
+#include "core/tarjan.hpp"
+#include "dynamic/dynamic_scc.hpp"
+#include "graph/condensation.hpp"
+
+namespace ecl::test {
+namespace {
+
+using dynamic::DynamicOptions;
+using dynamic::DynamicScc;
+using graph::EdgeUpdate;
+
+/// Local options: Tarjan everywhere so unit tests stay fast and
+/// deterministic; the heavy-kernel path is covered by the chaos suite.
+DynamicOptions fast_options() {
+  DynamicOptions opts;
+  opts.full_algorithm = "tarjan";
+  return opts;
+}
+
+void expect_matches_scratch(const DynamicScc& dyn, const std::string& context) {
+  const Digraph g = dyn.graph();
+  const auto oracle = scc::tarjan(g);
+  const auto snap = dyn.snapshot();
+  EXPECT_EQ(snap->num_components, oracle.num_components) << context;
+  EXPECT_TRUE(scc::same_partition(snap->labels, oracle.labels)) << context;
+}
+
+TEST(DynamicScc, InitialDecompositionMatchesTarjan) {
+  for (const auto& [name, g] : structured_graphs()) {
+    DynamicScc dyn(g, fast_options());
+    EXPECT_EQ(dyn.num_vertices(), g.num_vertices()) << name;
+    EXPECT_EQ(dyn.num_edges(), g.num_edges()) << name;
+    expect_matches_scratch(dyn, name);
+  }
+}
+
+TEST(DynamicScc, InsertClosingEdgeMergesPathOfComponents) {
+  // 0 -> 1 -> 2 -> 3 path; adding 3 -> 0 rolls all four into one SCC.
+  DynamicScc dyn(graph::path_graph(4), fast_options());
+  EXPECT_EQ(dyn.num_components(), 4u);
+  EXPECT_TRUE(dyn.insert_edge(3, 0));
+  EXPECT_EQ(dyn.num_components(), 1u);
+  EXPECT_TRUE(dyn.same_scc(0, 3));
+  EXPECT_EQ(dyn.component_size(1), 4u);
+  const auto stats = dyn.stats();
+  EXPECT_EQ(stats.merges, 1u);
+  EXPECT_EQ(stats.components_merged, 3u);
+  EXPECT_EQ(stats.full_rebuilds, 0u);
+  expect_matches_scratch(dyn, "path closed into a cycle");
+}
+
+TEST(DynamicScc, InsertWithoutCycleOnlyAddsCondensationEdge) {
+  DynamicScc dyn(graph::path_graph(4), fast_options());
+  EXPECT_TRUE(dyn.insert_edge(0, 3));  // forward edge: no cycle
+  EXPECT_EQ(dyn.num_components(), 4u);
+  EXPECT_EQ(dyn.stats().merges, 0u);
+  expect_matches_scratch(dyn, "forward shortcut");
+}
+
+TEST(DynamicScc, IntraComponentInsertIsCheap) {
+  DynamicScc dyn(graph::cycle_graph(8), fast_options());
+  EXPECT_TRUE(dyn.insert_edge(0, 4));
+  EXPECT_EQ(dyn.num_components(), 1u);
+  EXPECT_EQ(dyn.stats().intra_component_inserts, 1u);
+  EXPECT_EQ(dyn.stats().condensation_bfs_nodes, 0u);
+}
+
+TEST(DynamicScc, DuplicateInsertAndMissingEraseAreNoOps) {
+  DynamicScc dyn(graph::cycle_graph(4), fast_options());
+  const auto epoch = dyn.epoch();
+  EXPECT_FALSE(dyn.insert_edge(0, 1));  // already present
+  EXPECT_FALSE(dyn.erase_edge(2, 0));   // absent
+  EXPECT_EQ(dyn.epoch(), epoch) << "no-ops must not advance the epoch";
+}
+
+TEST(DynamicScc, EraseBreakingCycleSplitsComponent) {
+  DynamicScc dyn(graph::cycle_graph(5), fast_options());
+  EXPECT_EQ(dyn.num_components(), 1u);
+  EXPECT_TRUE(dyn.erase_edge(4, 0));  // cycle -> path
+  EXPECT_EQ(dyn.num_components(), 5u);
+  const auto stats = dyn.stats();
+  EXPECT_EQ(stats.splits, 1u);
+  EXPECT_EQ(stats.components_created, 4u);
+  EXPECT_EQ(stats.local_recomputes, 1u);
+  expect_matches_scratch(dyn, "cycle broken into a path");
+}
+
+TEST(DynamicScc, EraseWithAlternatePathKeepsComponent) {
+  // Two parallel cycles over the same vertices: deleting one edge of one
+  // cycle leaves the SCC intact, and the fast reachability check proves it.
+  graph::EdgeList e;
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(2, 0);
+  e.add(0, 2);
+  e.add(2, 1);
+  e.add(1, 0);
+  DynamicScc dyn(Digraph(3, e), fast_options());
+  EXPECT_EQ(dyn.num_components(), 1u);
+  EXPECT_TRUE(dyn.erase_edge(0, 1));
+  EXPECT_EQ(dyn.num_components(), 1u);
+  EXPECT_EQ(dyn.stats().delete_fast_checks, 1u);
+  EXPECT_EQ(dyn.stats().local_recomputes, 0u);
+  expect_matches_scratch(dyn, "redundant edge removed");
+}
+
+TEST(DynamicScc, InterComponentEraseNeverRecomputes) {
+  DynamicScc dyn(graph::cycle_chain(3, 4), fast_options());  // 3 SCCs, 2 bridges
+  EXPECT_EQ(dyn.num_components(), 3u);
+  EXPECT_TRUE(dyn.erase_edge(0, 4));  // a bridge: condensation edge only
+  EXPECT_EQ(dyn.num_components(), 3u);
+  EXPECT_EQ(dyn.stats().local_recomputes, 0u);
+  EXPECT_EQ(dyn.stats().splits, 0u);
+  expect_matches_scratch(dyn, "bridge removed");
+}
+
+TEST(DynamicScc, SelfLoopInsertAndEraseAreNeutral) {
+  DynamicScc dyn(graph::path_graph(3), fast_options());
+  EXPECT_TRUE(dyn.insert_edge(1, 1));
+  EXPECT_EQ(dyn.num_components(), 3u);
+  EXPECT_TRUE(dyn.erase_edge(1, 1));
+  EXPECT_EQ(dyn.num_components(), 3u);
+  expect_matches_scratch(dyn, "self loop added and removed");
+}
+
+TEST(DynamicScc, OutOfRangeVertexThrows) {
+  DynamicScc dyn(graph::path_graph(3), fast_options());
+  EXPECT_THROW((void)dyn.insert_edge(0, 3), std::out_of_range);
+  EXPECT_THROW((void)dyn.erase_edge(7, 0), std::out_of_range);
+  EXPECT_THROW((void)dyn.component_of(3), std::out_of_range);
+}
+
+TEST(DynamicScc, EpochAdvancesPerAppliedUpdate) {
+  DynamicScc dyn(graph::path_graph(4), fast_options());
+  EXPECT_EQ(dyn.epoch(), 0u);
+  dyn.insert_edge(3, 0);
+  EXPECT_EQ(dyn.epoch(), 1u);
+  const std::vector<EdgeUpdate> batch{
+      {EdgeUpdate::Kind::kErase, 0, 1},
+      {EdgeUpdate::Kind::kErase, 0, 1},  // duplicate: no-op
+      {EdgeUpdate::Kind::kInsert, 1, 3},
+  };
+  EXPECT_EQ(dyn.apply_batch(batch), 2u);
+  EXPECT_EQ(dyn.epoch(), 3u);
+}
+
+TEST(DynamicScc, SnapshotsAreImmutableAndCachedPerEpoch) {
+  DynamicScc dyn(graph::cycle_graph(6), fast_options());
+  const auto before = dyn.snapshot();
+  EXPECT_EQ(before, dyn.snapshot()) << "same epoch must share one snapshot";
+  EXPECT_EQ(before->num_components, 1u);
+
+  dyn.erase_edge(5, 0);
+  const auto after = dyn.snapshot();
+  EXPECT_NE(before, after);
+  EXPECT_GT(after->epoch, before->epoch);
+  // The old snapshot still reflects its epoch.
+  EXPECT_EQ(before->num_components, 1u);
+  EXPECT_TRUE(before->same_scc(0, 5));
+  EXPECT_EQ(after->num_components, 6u);
+  EXPECT_FALSE(after->same_scc(0, 5));
+}
+
+TEST(DynamicScc, MaintainedCondensationMatchesFromScratch) {
+  Rng rng(0xd15c);
+  DynamicScc dyn(graph::cycle_chain(8, 4), fast_options());
+  graph::UpdateStreamOptions opts;
+  opts.num_updates = 300;
+  const auto stream = graph::generate_update_stream(dyn.graph(), opts, rng);
+  for (const auto& update : stream) {
+    dyn.apply(update);
+    ASSERT_TRUE(graph::is_dag(dyn.condensation_graph()));
+  }
+  // Full structural check at the end: condensation equals the from-scratch
+  // condensation under normalized Tarjan labels, vertex for vertex.
+  const Digraph g = dyn.graph();
+  auto labels = scc::tarjan(g).labels;
+  const auto k = graph::normalize_labels(labels);
+  const Digraph expected = graph::condensation(g, labels, k);
+  const Digraph maintained = dyn.condensation_graph();
+  ASSERT_EQ(maintained.num_vertices(), expected.num_vertices());
+  EXPECT_EQ(maintained.num_edges(), expected.num_edges());
+  for (graph::vid c = 0; c < expected.num_vertices(); ++c) {
+    const auto a = maintained.out_neighbors(c);
+    const auto b = expected.out_neighbors(c);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end())) << "component " << c;
+  }
+  EXPECT_EQ(graph::dag_depth(maintained), graph::dag_depth(expected));
+}
+
+TEST(DynamicScc, EmptyGraphIsServedWithoutWork) {
+  DynamicScc dyn(Digraph(0, graph::EdgeList{}), fast_options());
+  EXPECT_EQ(dyn.num_vertices(), 0u);
+  EXPECT_EQ(dyn.num_components(), 0u);
+  EXPECT_EQ(dyn.snapshot()->labels.size(), 0u);
+  EXPECT_EQ(dyn.condensation_graph().num_vertices(), 0u);
+}
+
+// ---- Concurrency: readers during a writer stream (TSan-covered in CI) ----
+
+TEST(DynamicConcurrency, ReadersSeeConsistentSnapshotsDuringUpdates) {
+  Rng rng(0xbeef);
+  const auto base = graph::cycle_chain(10, 6);
+  DynamicScc dyn(base, fast_options());
+  graph::UpdateStreamOptions opts;
+  opts.num_updates = 400;
+  const auto stream = graph::generate_update_stream(base, opts, rng);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  auto reader = [&] {
+    std::uint64_t last_epoch = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snap = dyn.snapshot();
+      // Epochs only move forward, and a snapshot is internally consistent:
+      // its label vector always covers every vertex.
+      if (snap->epoch < last_epoch || snap->labels.size() != base.num_vertices()) {
+        failures.fetch_add(1);
+        return;
+      }
+      last_epoch = snap->epoch;
+      (void)dyn.same_scc(0, base.num_vertices() - 1);
+      (void)dyn.num_components();
+    }
+  };
+  std::thread r1(reader);
+  std::thread r2(reader);
+  for (const auto& update : stream) dyn.apply(update);
+  done.store(true, std::memory_order_release);
+  r1.join();
+  r2.join();
+  EXPECT_EQ(failures.load(), 0);
+  expect_matches_scratch(dyn, "after concurrent reader stream");
+}
+
+}  // namespace
+}  // namespace ecl::test

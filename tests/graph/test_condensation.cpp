@@ -67,6 +67,39 @@ TEST(Condensation, DagDepthOfEdgelessGraph) {
   EXPECT_EQ(graph::dag_depth(graph::Digraph(0, graph::EdgeList{})), 0u);
 }
 
+TEST(Condensation, NormalizeEmptyLabelSpan) {
+  std::vector<vid> labels;
+  EXPECT_EQ(graph::normalize_labels(labels), 0u);
+  EXPECT_TRUE(labels.empty());
+}
+
+TEST(Condensation, CondensationOfEmptyGraph) {
+  const graph::Digraph empty(0, graph::EdgeList{});
+  const auto cond = graph::condensation(empty, std::vector<vid>{}, 0);
+  EXPECT_EQ(cond.num_vertices(), 0u);
+  EXPECT_EQ(cond.num_edges(), 0u);
+  EXPECT_EQ(graph::dag_depth(cond), 0u);
+  EXPECT_TRUE(graph::topological_order(cond).empty());
+}
+
+TEST(Condensation, CondensationRejectsLabelSizeMismatch) {
+  const auto g = graph::path_graph(4);
+  std::vector<vid> labels{0, 1, 2};  // one short
+  EXPECT_THROW((void)graph::condensation(g, labels, 3), std::invalid_argument);
+}
+
+TEST(Condensation, CondensationRejectsZeroComponentsForNonEmptyGraph) {
+  const auto g = graph::path_graph(3);
+  const std::vector<vid> labels{0, 1, 2};
+  EXPECT_THROW((void)graph::condensation(g, labels, 0), std::invalid_argument);
+}
+
+TEST(Condensation, CondensationRejectsOutOfRangeLabel) {
+  const auto g = graph::path_graph(3);
+  const std::vector<vid> labels{0, 1, 5};
+  EXPECT_THROW((void)graph::condensation(g, labels, 3), std::invalid_argument);
+}
+
 TEST(Condensation, IsDagDetectsSelfLoop) {
   graph::EdgeList e;
   e.add(0, 1);

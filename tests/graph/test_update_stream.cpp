@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/test_graphs.hpp"
+#include "graph/io.hpp"
+#include "graph/update_stream.hpp"
+
+namespace ecl::test {
+namespace {
+
+using graph::EdgeUpdate;
+using graph::UpdateStream;
+using graph::UpdateStreamOptions;
+using graph::vid;
+
+std::uint64_t key(vid u, vid v) { return (static_cast<std::uint64_t>(u) << 32) | v; }
+
+TEST(UpdateStream, GeneratorProducesValidReplay) {
+  Rng rng(42);
+  const auto base = graph::cycle_chain(10, 5);
+  UpdateStreamOptions opts;
+  opts.num_updates = 500;
+  opts.insert_fraction = 0.5;
+  const UpdateStream stream = graph::generate_update_stream(base, opts, rng);
+  ASSERT_EQ(stream.size(), 500u);
+
+  // Replay: every deletion must target a present edge, every insertion an
+  // absent one (the generator's validity contract).
+  std::unordered_set<std::uint64_t> present;
+  for (const auto& e : base.edges()) present.insert(key(e.src, e.dst));
+  std::size_t inserts = 0;
+  for (const EdgeUpdate& u : stream) {
+    ASSERT_LT(u.src, base.num_vertices());
+    ASSERT_LT(u.dst, base.num_vertices());
+    if (u.kind == EdgeUpdate::Kind::kInsert) {
+      EXPECT_TRUE(present.insert(key(u.src, u.dst)).second) << "insert of present edge";
+      ++inserts;
+    } else {
+      EXPECT_EQ(present.erase(key(u.src, u.dst)), 1u) << "erase of absent edge";
+    }
+  }
+  // Roughly balanced mix (loose bounds; the draw is seeded and stable).
+  EXPECT_GT(inserts, 150u);
+  EXPECT_LT(inserts, 350u);
+}
+
+TEST(UpdateStream, GeneratorIsDeterministic) {
+  const auto base = graph::cycle_graph(32);
+  UpdateStreamOptions opts;
+  opts.num_updates = 100;
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(graph::generate_update_stream(base, opts, a),
+            graph::generate_update_stream(base, opts, b));
+}
+
+TEST(UpdateStream, GeneratorOnEmptyGraph) {
+  Rng rng(1);
+  const graph::Digraph empty(0, graph::EdgeList{});
+  EXPECT_TRUE(graph::generate_update_stream(empty, {}, rng).empty());
+}
+
+TEST(UpdateStream, GeneratorOnEdgelessGraphStartsWithInserts) {
+  Rng rng(3);
+  const graph::Digraph g(8, graph::EdgeList{});
+  UpdateStreamOptions opts;
+  opts.num_updates = 20;
+  opts.insert_fraction = 0.0;  // deletion draws must fall back to insertion
+  const auto stream = graph::generate_update_stream(g, opts, rng);
+  ASSERT_FALSE(stream.empty());
+  EXPECT_EQ(stream.front().kind, EdgeUpdate::Kind::kInsert);
+}
+
+TEST(UpdateStream, ApplyUpdatesMatchesReplay) {
+  Rng rng(11);
+  const auto base = graph::grid_dag(5, 5);
+  UpdateStreamOptions opts;
+  opts.num_updates = 200;
+  const auto stream = graph::generate_update_stream(base, opts, rng);
+  const auto result = graph::apply_updates(base, stream);
+  EXPECT_EQ(result.num_vertices(), base.num_vertices());
+
+  std::unordered_set<std::uint64_t> expected;
+  for (const auto& e : base.edges()) expected.insert(key(e.src, e.dst));
+  for (const EdgeUpdate& u : stream) {
+    if (u.kind == EdgeUpdate::Kind::kInsert)
+      expected.insert(key(u.src, u.dst));
+    else
+      expected.erase(key(u.src, u.dst));
+  }
+  EXPECT_EQ(result.num_edges(), expected.size());
+  for (std::uint64_t k : expected)
+    EXPECT_TRUE(result.has_edge(static_cast<vid>(k >> 32), static_cast<vid>(k & 0xffffffffu)));
+}
+
+TEST(UpdateStreamIo, RoundTripThroughText) {
+  Rng rng(5);
+  const auto base = graph::cycle_chain(6, 4);
+  UpdateStreamOptions opts;
+  opts.num_updates = 64;
+  const auto stream = graph::generate_update_stream(base, opts, rng);
+
+  std::stringstream buffer;
+  graph::write_update_stream(buffer, stream);
+  const auto reread = graph::read_update_stream(buffer);
+  EXPECT_EQ(stream, reread);
+}
+
+TEST(UpdateStreamIo, ParsesSignedLinesAndComments) {
+  std::istringstream in("# a comment\n+3 5\n% another\n-5 3\n\n+0 1\n");
+  const auto stream = graph::read_update_stream(in);
+  ASSERT_EQ(stream.size(), 3u);
+  EXPECT_EQ(stream[0], (EdgeUpdate{EdgeUpdate::Kind::kInsert, 3, 5}));
+  EXPECT_EQ(stream[1], (EdgeUpdate{EdgeUpdate::Kind::kErase, 5, 3}));
+  EXPECT_EQ(stream[2], (EdgeUpdate{EdgeUpdate::Kind::kInsert, 0, 1}));
+}
+
+TEST(UpdateStreamIo, RejectsMalformedLines) {
+  std::istringstream missing_sign("3 5\n");
+  EXPECT_THROW((void)graph::read_update_stream(missing_sign), std::runtime_error);
+  std::istringstream missing_target("+3\n");
+  EXPECT_THROW((void)graph::read_update_stream(missing_target), std::runtime_error);
+}
+
+TEST(UpdateStreamIo, FileRoundTrip) {
+  Rng rng(9);
+  const auto base = graph::cycle_graph(16);
+  UpdateStreamOptions opts;
+  opts.num_updates = 32;
+  const auto stream = graph::generate_update_stream(base, opts, rng);
+  const std::string path = ::testing::TempDir() + "ecl_update_stream_roundtrip.txt";
+  graph::write_update_stream_file(path, stream);
+  EXPECT_EQ(graph::read_update_stream_file(path), stream);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ecl::test
