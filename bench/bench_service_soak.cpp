@@ -1,0 +1,214 @@
+// Service soak: mixed open-loop workload against SccService under a seeded
+// chaos FaultPlan that guarantees every device-backed fresh compute stalls.
+//
+// Two modes run back to back on identical workloads:
+//  * resilient — breakers + tiered degradation enabled (the PR's pipeline);
+//  * naive     — both disabled: every labeling request burns its deadline
+//                in doomed fresh attempts, the queue backs up, and load is
+//                shed or expires while queued.
+//
+// The table reports availability and latency percentiles per mode; the
+// process then enforces the robustness SLOs and exits non-zero when any is
+// violated:
+//  1. resilient mode sheds < 1% of requests (>= 99% non-rejected);
+//  2. no successful response, in either mode, completed after its deadline;
+//  3. naive mode's availability is measurably below resilient mode's —
+//     the degradation ladder must be what buys the nines, not the workload
+//     being easy.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "service/scc_service.hpp"
+#include "support/env.hpp"
+#include "support/format.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace ecl;
+using service::Request;
+using service::RequestKind;
+using service::Response;
+using service::SccService;
+using service::ServiceConfig;
+
+struct SoakResult {
+  std::string mode;
+  std::uint64_t submitted = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t unavailable = 0;
+  std::uint64_t served_stale = 0;
+  std::uint64_t served_serial = 0;
+  std::uint64_t late_ok = 0;  ///< kOk responses delivered past their deadline
+  std::vector<double> latencies_ms;
+
+  double availability() const {
+    return submitted ? double(ok) / double(submitted) : 0.0;
+  }
+  double non_rejected() const {
+    return submitted ? 1.0 - double(rejected) / double(submitted) : 0.0;
+  }
+};
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(p * double(sorted.size() - 1));
+  return sorted[idx];
+}
+
+ServiceConfig soak_config(bool resilient, std::uint64_t seed) {
+  ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.device_workers = 2;
+  cfg.queue_capacity = 128;
+  cfg.backends = {"ecl-a100"};
+  cfg.max_attempts = 2;
+  cfg.backoff.initial_seconds = 0.0005;
+  cfg.backoff.max_seconds = 0.002;
+  cfg.enable_breakers = resilient;
+  cfg.enable_degradation = resilient;
+  cfg.seed = seed;
+  // Guaranteed stall: every deferred signature store (p = 1.0) means the
+  // propagation fixpoint never advances, so each fresh attempt runs until
+  // its deadline slice (or the stall watchdog) cancels it.
+  cfg.device_profile.fault_plan.seed = seed;
+  cfg.device_profile.fault_plan.delayed_visibility = true;
+  cfg.device_profile.fault_plan.store_defer_probability = 1.0;
+  return cfg;
+}
+
+SoakResult run_soak(const graph::Digraph& g, bool resilient, std::uint64_t seed,
+                    std::size_t num_requests, double deadline_s, double interarrival_s) {
+  SoakResult out;
+  out.mode = resilient ? "resilient" : "naive";
+  SccService svc(g, soak_config(resilient, seed));
+  Rng rng(seed ^ 0xab5eed);
+
+  struct InFlight {
+    std::future<Response> future;
+    service::ServiceClock::time_point submitted_at;
+    service::ServiceClock::time_point deadline;
+  };
+  std::vector<InFlight> inflight;
+  inflight.reserve(num_requests);
+
+  const auto interarrival = std::chrono::duration_cast<service::ServiceClock::duration>(
+      std::chrono::duration<double>(interarrival_s));
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    Request req;
+    req.deadline = Request::deadline_in(deadline_s);
+    req.staleness_budget = 1u << 20;
+    const auto draw = rng.bounded(10);
+    if (draw < 6) {
+      req.kind = RequestKind::kSccLabels;
+    } else if (draw < 8) {
+      req.kind = RequestKind::kReachabilityQuery;
+      req.u = static_cast<graph::vid>(rng.bounded(g.num_vertices()));
+      req.v = static_cast<graph::vid>(rng.bounded(g.num_vertices()));
+    } else if (draw < 9) {
+      req.kind = RequestKind::kCondensation;
+    } else {
+      req.kind = RequestKind::kUpdateBatch;
+      const auto u = static_cast<graph::vid>(rng.bounded(g.num_vertices()));
+      const auto v = static_cast<graph::vid>(rng.bounded(g.num_vertices()));
+      req.updates = {{graph::EdgeUpdate::Kind::kInsert, u, v}};
+    }
+    const auto now = service::ServiceClock::now();
+    inflight.push_back({svc.submit(req), now, req.deadline});
+    std::this_thread::sleep_for(interarrival);
+  }
+
+  for (auto& f : inflight) {
+    const Response r = f.future.get();
+    ++out.submitted;
+    out.latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(r.completed_at - f.submitted_at).count());
+    if (r.ok()) {
+      ++out.ok;
+      if (r.completed_at > f.deadline) ++out.late_ok;
+      if (r.served_by.tier == service::Tier::kStaleSnapshot) ++out.served_stale;
+      if (r.served_by.tier == service::Tier::kSerialFallback) ++out.served_serial;
+    } else if (r.rejected()) {
+      ++out.rejected;
+    } else if (r.status == service::ServiceStatus::kDeadlineExceeded) {
+      ++out.deadline_exceeded;
+    } else {
+      ++out.unavailable;
+    }
+  }
+  svc.shutdown();
+  std::sort(out.latencies_ms.begin(), out.latencies_ms.end());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t seed = static_cast<std::uint64_t>(env_int("ECL_SOAK_SEED", 1789));
+  const auto num_requests = static_cast<std::size_t>(env_int("ECL_SOAK_REQUESTS", 250));
+  const double deadline_s = 0.05;
+  const double interarrival_s = 0.001;
+
+  graph::SccProfile profile;
+  profile.num_vertices = 400;
+  profile.avg_degree = 4.0;
+  profile.mid_sccs = 8;
+  profile.size2_sccs = 16;
+  Rng rng(seed);
+  const auto g = graph::scc_profile_graph(profile, rng);
+
+  std::printf("service soak: %zu requests/mode, %.0fms deadlines, %.1fms inter-arrival, "
+              "chaos defer p=1.0 (seed %llu)\n",
+              num_requests, deadline_s * 1e3, interarrival_s * 1e3,
+              static_cast<unsigned long long>(seed));
+
+  const SoakResult resilient = run_soak(g, true, seed, num_requests, deadline_s, interarrival_s);
+  const SoakResult naive = run_soak(g, false, seed, num_requests, deadline_s, interarrival_s);
+
+  TextTable table({"mode", "ok", "rejected", "deadline", "unavail", "stale", "serial",
+                   "avail", "p50 ms", "p99 ms", "p999 ms"});
+  for (const SoakResult* r : {&resilient, &naive}) {
+    table.add_row({r->mode, std::to_string(r->ok), std::to_string(r->rejected),
+                   std::to_string(r->deadline_exceeded), std::to_string(r->unavailable),
+                   std::to_string(r->served_stale), std::to_string(r->served_serial),
+                   fixed(100.0 * r->availability(), 1) + "%",
+                   fixed(percentile(r->latencies_ms, 0.50), 2),
+                   fixed(percentile(r->latencies_ms, 0.99), 2),
+                   fixed(percentile(r->latencies_ms, 0.999), 2)});
+  }
+  std::printf("\n== Service soak under guaranteed-stall chaos ==\n%s\n",
+              table.render().c_str());
+
+  int failures = 0;
+  if (resilient.non_rejected() < 0.99) {
+    std::printf("FAIL: resilient mode shed %.2f%% of requests (SLO: < 1%%)\n",
+                100.0 * (1.0 - resilient.non_rejected()));
+    ++failures;
+  }
+  if (resilient.late_ok + naive.late_ok != 0) {
+    std::printf("FAIL: %llu successful responses completed after their deadline\n",
+                static_cast<unsigned long long>(resilient.late_ok + naive.late_ok));
+    ++failures;
+  }
+  if (naive.availability() > resilient.availability() - 0.10) {
+    std::printf("FAIL: naive availability %.1f%% is not measurably below resilient %.1f%%\n",
+                100.0 * naive.availability(), 100.0 * resilient.availability());
+    ++failures;
+  }
+  if (failures == 0) {
+    std::printf("PASS: availability %.1f%% resilient vs %.1f%% naive, %.2f%% shed, "
+                "0 deadline-violating successes\n",
+                100.0 * resilient.availability(), 100.0 * naive.availability(),
+                100.0 * (1.0 - resilient.non_rejected()));
+  }
+  return failures == 0 ? 0 : 1;
+}

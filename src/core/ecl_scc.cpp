@@ -341,6 +341,13 @@ SccResult ecl_scc(const Digraph& g, device::Device& dev, const EclOptions& opts)
                       "ecl_scc: outer loop exceeded iteration guard"};
       break;
     }
+    if (watchdog.deadline_expired()) {
+      watchdog.mark_stalled();
+      ++result.metrics.watchdog_trips;
+      result.error = {SccStatus::kDeadlineExceeded,
+                      "ecl_scc: request deadline expired between iterations"};
+      break;
+    }
 
     Timer phase_timer;
     phase1_init(st, dev, opts);
@@ -350,8 +357,14 @@ SccResult ecl_scc(const Digraph& g, device::Device& dev, const EclOptions& opts)
     result.metrics.phase2_seconds += phase_timer.seconds();
     if (!converged) {
       ++result.metrics.watchdog_trips;
-      result.error = {SccStatus::kStalled,
-                      "ecl_scc: phase-2 propagation exceeded its sweep budget"};
+      // A deadline trip aborts the same way a stall does but is reported
+      // distinctly: the run was cancelled, not necessarily stuck.
+      result.error =
+          watchdog.deadline_expired()
+              ? SccError{SccStatus::kDeadlineExceeded,
+                         "ecl_scc: request deadline expired mid-fixpoint"}
+              : SccError{SccStatus::kStalled,
+                         "ecl_scc: phase-2 propagation exceeded its sweep budget"};
       break;
     }
     phase_timer.reset();

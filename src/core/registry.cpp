@@ -133,4 +133,34 @@ SccResult run_resilient_on(const std::string& name, const Digraph& g, device::De
       [&name, &dev](const Digraph& graph) { return run_algorithm_on(name, graph, dev); }, g);
 }
 
+SccResult run_with_deadline(const std::string& name, const Digraph& g,
+                            std::chrono::steady_clock::time_point deadline,
+                            device::Device* dev) {
+  (void)find_algorithm(name);  // unknown name: throws (a caller bug, not a fault)
+  SccResult result;
+  try {
+    if (name == "ecl-a100" || name == "ecl-titanv") {
+      EclOptions opts;
+      opts.watchdog.deadline = deadline;
+      opts.stall_policy = StallPolicy::kReturnError;
+      result = ecl_scc(g, dev ? *dev : (name == "ecl-titanv" ? titanv_device() : shared_device()),
+                       opts);
+    } else if (dev) {
+      result = run_algorithm_on(name, g, *dev);
+    } else {
+      result = run_algorithm(name, g);
+    }
+  } catch (const std::exception& e) {
+    result = SccResult{};
+    result.error = {SccStatus::kException, e.what()};
+  }
+  // Uniform post-check: configurations that cannot be cancelled mid-run
+  // (and an ECL run that converged exactly at the wire) still must not
+  // report a deadline-violating success.
+  if (result.ok() && std::chrono::steady_clock::now() > deadline)
+    result.error = {SccStatus::kDeadlineExceeded,
+                    "run_with_deadline: '" + name + "' finished after the deadline"};
+  return result;
+}
+
 }  // namespace ecl::scc

@@ -5,6 +5,7 @@
 // harness: maps the configuration names of the paper's evaluation
 // ("ecl-a100", "gpu-scc-titanv", "ispan", ...) to runnable closures.
 
+#include <chrono>
 #include <functional>
 #include <string>
 #include <vector>
@@ -52,6 +53,21 @@ SccResult run_resilient(const std::string& name, const Digraph& g);
 /// chaos tests use to perturb full rebuilds), CPU configurations ignore it.
 /// The same always-complete, always-verified contract as run_resilient.
 SccResult run_resilient_on(const std::string& name, const Digraph& g, device::Device& dev);
+
+/// Runs the named configuration under an absolute wall-clock deadline — the
+/// entry point of the request pipeline (src/service). ECL-SCC
+/// configurations get the deadline plumbed into their fixpoint watchdog
+/// (cancelled mid-fixpoint, StallPolicy::kReturnError so no hidden serial
+/// fallback eats the remaining budget); configurations without a watchdog
+/// run to completion and are post-checked. In every case a result that
+/// finished after the deadline carries SccStatus::kDeadlineExceeded, so a
+/// caller that honors the error never serves a deadline-violating answer.
+/// Thrown exceptions are converted to SccStatus::kException; unknown names
+/// still throw std::invalid_argument. `dev`, when non-null, routes
+/// device-backed configurations the same way run_algorithm_on does.
+SccResult run_with_deadline(const std::string& name, const Digraph& g,
+                            std::chrono::steady_clock::time_point deadline,
+                            device::Device* dev = nullptr);
 
 }  // namespace ecl::scc
 

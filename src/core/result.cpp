@@ -14,6 +14,7 @@ const char* status_name(SccStatus status) {
     case SccStatus::kIterationGuard: return "iteration-guard";
     case SccStatus::kException: return "exception";
     case SccStatus::kVerifyFailed: return "verify-failed";
+    case SccStatus::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "unknown";
 }

@@ -26,6 +26,8 @@ enum class SccStatus : std::uint8_t {
   kIterationGuard,    ///< outer loop exceeded its iteration budget
   kException,         ///< the algorithm threw (caught by run_resilient)
   kVerifyFailed,      ///< labeling rejected by verify_scc (run_resilient)
+  kDeadlineExceeded,  ///< the run's wall-clock deadline passed (watchdog /
+                      ///< run_with_deadline); labels may be partial
 };
 
 /// Stable short name ("ok", "stalled", ...) for logs and tables.

@@ -47,9 +47,14 @@ bool FixpointWatchdog::observe_iteration(std::uint64_t labeled,
 }
 
 bool FixpointWatchdog::expired() const noexcept {
+  if (deadline_expired()) return true;
   if (config_.stall_seconds <= 0.0) return false;
   const auto elapsed_ns = now_ns() - anchor_ns_.load(std::memory_order_relaxed);
   return static_cast<double>(elapsed_ns) > config_.stall_seconds * 1e9;
+}
+
+bool FixpointWatchdog::deadline_expired() const noexcept {
+  return config_.has_deadline() && Clock::now() >= config_.deadline;
 }
 
 }  // namespace ecl::scc

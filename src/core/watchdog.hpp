@@ -21,7 +21,12 @@
 //  * wall clock: optionally, more than `stall_seconds` without progress
 //    (label growth or worklist shrinkage) => stalled. Disabled by default
 //    so legitimately long fault-free runs never trip it; enable it (or set
-//    ECL_WATCHDOG_SECONDS) for latency-sensitive deployments.
+//    ECL_WATCHDOG_SECONDS) for latency-sensitive deployments;
+//  * deadline: optionally, an absolute wall-clock deadline after which the
+//    run is cancelled regardless of progress. This is how the request
+//    pipeline (src/service) propagates a per-request deadline into a
+//    running fixpoint: progress does not re-arm it, so a healthy but
+//    too-slow run still stops when its request expires.
 
 #include <atomic>
 #include <chrono>
@@ -39,6 +44,14 @@ struct WatchdogConfig {
   /// T: wall-clock seconds without progress before a stall is declared;
   /// 0 disables the wall-clock monitor.
   double stall_seconds = 0.0;
+  /// Absolute wall-clock deadline for the whole run; once it passes,
+  /// expired() reports true no matter how much progress is being made.
+  /// The default-constructed time_point (the clock epoch) disables it.
+  std::chrono::steady_clock::time_point deadline{};
+
+  bool has_deadline() const noexcept {
+    return deadline != std::chrono::steady_clock::time_point{};
+  }
 
   /// Default config with stall_seconds taken from ECL_WATCHDOG_SECONDS.
   static WatchdogConfig defaults();
@@ -66,9 +79,14 @@ class FixpointWatchdog {
   bool observe_iteration(std::uint64_t labeled, std::uint64_t worklist_size) noexcept;
 
   /// Wall-clock monitor: true when stall_seconds > 0 and that much time has
-  /// passed since the last recorded progress. Thread-safe and cheap (one
-  /// steady_clock read).
+  /// passed since the last recorded progress, or when the configured
+  /// deadline has passed. Thread-safe and cheap (one steady_clock read).
   bool expired() const noexcept;
+
+  /// Deadline monitor alone: true when a deadline is configured and has
+  /// passed. Unlike the stall clock, note_progress() does not re-arm it, so
+  /// callers can distinguish "no progress" from "out of time".
+  bool deadline_expired() const noexcept;
 
   /// True once observe_iteration or a phase-2 budget caller declared a
   /// stall via mark_stalled().

@@ -1,6 +1,7 @@
 #include "device/thread_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace ecl::device {
 
@@ -20,65 +21,63 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+void ThreadPool::run_batch(Batch& batch, bool notify_done) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.count) break;
+    try {
+      (*batch.fn)(i);
+    } catch (...) {
+      batch.failed.store(true, std::memory_order_relaxed);
+    }
+    if (batch.completed.fetch_add(1, std::memory_order_acq_rel) + 1 >= batch.count &&
+        notify_done) {
+      // Take the lock before notifying so the wake can't slip between the
+      // caller's predicate check and its sleep.
+      { std::lock_guard lock(mutex_); }
+      work_done_.notify_one();
+    }
+  }
+}
+
 void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->count = count;
   {
     std::lock_guard lock(mutex_);
-    fn_ = &fn;
-    count_ = count;
-    next_.store(0, std::memory_order_relaxed);
-    completed_.store(0, std::memory_order_relaxed);
-    batch_failed_.store(false, std::memory_order_relaxed);
+    batch_ = batch;
     ++generation_;
   }
   work_ready_.notify_all();
 
   // The caller works too; this also makes the pool correct with 0 spawned
   // threads (single-core hosts).
-  for (;;) {
-    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= count) break;
-    try {
-      fn(i);
-    } catch (...) {
-      batch_failed_.store(true, std::memory_order_relaxed);
-    }
-    completed_.fetch_add(1, std::memory_order_acq_rel);
-  }
+  run_batch(*batch, /*notify_done=*/false);
 
   std::unique_lock lock(mutex_);
-  work_done_.wait(lock, [&] { return completed_.load(std::memory_order_acquire) >= count_; });
-  fn_ = nullptr;
-  if (batch_failed_.load(std::memory_order_relaxed))
+  work_done_.wait(lock, [&] {
+    return batch->completed.load(std::memory_order_acquire) >= batch->count;
+  });
+  if (batch_ == batch) batch_.reset();
+  if (batch->failed.load(std::memory_order_relaxed))
     throw std::runtime_error("ThreadPool: a worker task threw an exception");
 }
 
 void ThreadPool::worker_loop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
-    const std::function<void(std::size_t)>* fn = nullptr;
-    std::size_t count = 0;
+    std::shared_ptr<Batch> batch;
     {
       std::unique_lock lock(mutex_);
       work_ready_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
       if (shutdown_) return;
       seen_generation = generation_;
-      fn = fn_;
-      count = count_;
+      batch = batch_;
     }
-    if (fn == nullptr) continue;
-    for (;;) {
-      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) break;
-      try {
-        (*fn)(i);
-      } catch (...) {
-        batch_failed_.store(true, std::memory_order_relaxed);
-      }
-      if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 >= count) {
-        work_done_.notify_one();
-      }
-    }
+    if (batch == nullptr) continue;
+    run_batch(*batch, /*notify_done=*/true);
   }
 }
 

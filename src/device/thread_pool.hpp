@@ -9,6 +9,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -32,21 +33,32 @@ class ThreadPool {
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
  private:
+  // One parallel_for call. The claim/complete counters live with the batch
+  // (not the pool) so a straggler worker that snapshotted an old batch can
+  // never claim indices from — or run the function of — a newer one: its
+  // counters are exhausted, and the shared_ptr keeps them valid to read.
+  // The caller outlives fn itself: it cannot leave parallel_for until every
+  // claimed index has been completed, and workers finish their last call to
+  // fn before publishing that completion.
+  struct Batch {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::atomic<bool> failed{false};
+  };
+
   void worker_loop();
+  void run_batch(Batch& batch, bool notify_done);
 
   std::vector<std::thread> threads_;
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
 
-  // Current batch state (guarded by mutex_ for control, atomics for indices).
-  const std::function<void(std::size_t)>* fn_ = nullptr;
-  std::size_t count_ = 0;
-  std::atomic<std::size_t> next_{0};
-  std::atomic<std::size_t> completed_{0};
-  std::uint64_t generation_ = 0;
-  bool shutdown_ = false;
-  std::atomic<bool> batch_failed_{false};
+  std::shared_ptr<Batch> batch_;  // guarded by mutex_
+  std::uint64_t generation_ = 0;  // guarded by mutex_
+  bool shutdown_ = false;         // guarded by mutex_
 };
 
 }  // namespace ecl::device

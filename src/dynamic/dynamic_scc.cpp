@@ -146,6 +146,11 @@ Digraph DynamicScc::graph() const {
   return materialize_graph();
 }
 
+std::pair<Digraph, std::uint64_t> DynamicScc::graph_with_epoch() const {
+  std::shared_lock lock(mutex_);
+  return {materialize_graph(), epoch_};
+}
+
 Digraph DynamicScc::condensation_graph() const {
   std::shared_lock lock(mutex_);
   // Dense IDs in first-appearance order over the vertex array, matching

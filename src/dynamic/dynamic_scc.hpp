@@ -40,6 +40,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graph/digraph.hpp"
@@ -143,6 +144,12 @@ class DynamicScc {
 
   /// CSR materialization of the current edge set.
   Digraph graph() const;
+
+  /// Materialization paired with the epoch it reflects, taken under one
+  /// shared critical section so the pair stays consistent when writers run
+  /// concurrently (the service's fresh-compute path depends on this to
+  /// epoch-stamp backend results correctly).
+  std::pair<Digraph, std::uint64_t> graph_with_epoch() const;
 
   /// The maintained condensation as a Digraph with dense IDs (assigned in
   /// first-appearance order of the live labels, matching normalize_labels

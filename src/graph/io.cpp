@@ -29,15 +29,36 @@ std::ifstream open_or_throw(const std::string& path) {
 Digraph read_edge_list(std::istream& in) {
   EdgeList edges;
   std::string line;
+  // The writer emits a `# vertices N edges M` header; when one is present,
+  // every parsed endpoint is validated against the declared count so a
+  // corrupt ID is rejected at parse time instead of materializing as an
+  // oversized CSR (or silently growing the vertex set).
+  std::uint64_t declared_n = 0;
+  bool have_declared_n = false;
   while (std::getline(in, line)) {
-    if (is_comment(line)) continue;
+    if (is_comment(line)) {
+      std::istringstream header(line);
+      char hash = 0;
+      std::string word;
+      std::uint64_t nn = 0;
+      if (!have_declared_n && header >> hash && hash == '#' && header >> word &&
+          word == "vertices" && header >> nn) {
+        declared_n = nn;
+        have_declared_n = true;
+      }
+      continue;
+    }
     std::istringstream ss(line);
     std::uint64_t u = 0;
     std::uint64_t v = 0;
     if (!(ss >> u >> v)) throw std::runtime_error("edge list: malformed line: " + line);
+    if (have_declared_n && (u >= declared_n || v >= declared_n))
+      throw std::runtime_error("edge list: vertex ID out of declared range [0, " +
+                               std::to_string(declared_n) + ") in line: " + line);
     edges.add(static_cast<vid>(u), static_cast<vid>(v));
   }
-  return Digraph(edges.min_num_vertices(), edges);
+  const vid n = have_declared_n ? static_cast<vid>(declared_n) : edges.min_num_vertices();
+  return Digraph(n, edges);
 }
 
 Digraph read_edge_list_file(const std::string& path) {
@@ -70,10 +91,15 @@ Digraph read_dimacs(std::istream& in) {
       edges.reserve(mm);
       saw_header = true;
     } else if (tag == 'a' || tag == 'e') {
+      if (!saw_header)
+        throw std::runtime_error("dimacs: arc line before problem line: " + line);
       std::uint64_t u = 0;
       std::uint64_t v = 0;
       if (!(ss >> u >> v)) throw std::runtime_error("dimacs: malformed arc line: " + line);
       if (u == 0 || v == 0) throw std::runtime_error("dimacs: vertex IDs are 1-based");
+      if (u > n || v > n)
+        throw std::runtime_error("dimacs: vertex ID exceeds declared count " +
+                                 std::to_string(n) + " in line: " + line);
       edges.add(static_cast<vid>(u - 1), static_cast<vid>(v - 1));
     }
   }
@@ -91,14 +117,14 @@ Digraph read_matrix_market(std::istream& in) {
   std::string line;
   // Header (first non-comment line): rows cols entries.
   vid n = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
   EdgeList edges;
   bool saw_size = false;
   while (std::getline(in, line)) {
     if (is_comment(line)) continue;
     std::istringstream ss(line);
     if (!saw_size) {
-      std::uint64_t rows = 0;
-      std::uint64_t cols = 0;
       std::uint64_t entries = 0;
       if (!(ss >> rows >> cols >> entries)) throw std::runtime_error("mtx: malformed size line");
       n = static_cast<vid>(std::max(rows, cols));
@@ -109,6 +135,9 @@ Digraph read_matrix_market(std::istream& in) {
       std::uint64_t j = 0;
       if (!(ss >> i >> j)) throw std::runtime_error("mtx: malformed entry: " + line);
       if (i == 0 || j == 0) throw std::runtime_error("mtx: indices are 1-based");
+      if (i > rows || j > cols)
+        throw std::runtime_error("mtx: index exceeds declared size " + std::to_string(rows) +
+                                 "x" + std::to_string(cols) + " in line: " + line);
       edges.add(static_cast<vid>(i - 1), static_cast<vid>(j - 1));
     }
   }

@@ -1,0 +1,107 @@
+#ifndef ECL_SERVICE_ADMISSION_QUEUE_HPP
+#define ECL_SERVICE_ADMISSION_QUEUE_HPP
+
+// Admission control: a bounded MPMC queue that sheds load instead of
+// growing without bound. Producers get a structured outcome — accepted,
+// queue-full, or shutting-down — so the service can answer a rejected
+// request immediately with the matching ServiceStatus rather than letting
+// latency balloon under overload. Consumers block on pop() and drain the
+// remaining items after shutdown() before observing end-of-stream.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ecl::service {
+
+/// Outcome of an admission attempt.
+enum class AdmitResult : std::uint8_t {
+  kAccepted = 0,
+  kQueueFull,      ///< at capacity: the item was shed, not enqueued
+  kShuttingDown,   ///< shutdown() was called: no new work is admitted
+};
+
+/// Bounded blocking queue. Thread-safe for any number of producers and
+/// consumers.
+template <typename T>
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Non-blocking admission: never waits for space (backpressure is the
+  /// caller being told "no", not the caller being stalled).
+  AdmitResult try_push(T&& item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (shutdown_) return AdmitResult::kShuttingDown;
+      if (items_.size() >= capacity_) {
+        ++rejected_full_;
+        return AdmitResult::kQueueFull;
+      }
+      items_.push_back(std::move(item));
+      ++accepted_;
+    }
+    ready_.notify_one();
+    return AdmitResult::kAccepted;
+  }
+
+  /// Blocks until an item is available or the queue is shut down AND
+  /// drained; std::nullopt signals end-of-stream.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    ready_.wait(lock, [this] { return shutdown_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stops admission and wakes every blocked consumer. Items already queued
+  /// remain poppable (drain-then-stop).
+  void shutdown() {
+    {
+      std::lock_guard lock(mutex_);
+      shutdown_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool shutting_down() const {
+    std::lock_guard lock(mutex_);
+    return shutdown_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  std::uint64_t accepted() const {
+    std::lock_guard lock(mutex_);
+    return accepted_;
+  }
+  std::uint64_t rejected_full() const {
+    std::lock_guard lock(mutex_);
+    return rejected_full_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool shutdown_ = false;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_full_ = 0;
+};
+
+}  // namespace ecl::service
+
+#endif  // ECL_SERVICE_ADMISSION_QUEUE_HPP

@@ -1,0 +1,15 @@
+#include "service/backoff.hpp"
+
+#include <algorithm>
+
+namespace ecl::service {
+
+double BackoffPolicy::delay_seconds(std::size_t attempt, Rng& rng) const {
+  double base = initial_seconds;
+  for (std::size_t i = 0; i < attempt && base < max_seconds; ++i) base *= multiplier;
+  base = std::min(base, max_seconds);
+  const double factor = 1.0 + jitter * (2.0 * rng.uniform() - 1.0);
+  return std::max(0.0, base * factor);
+}
+
+}  // namespace ecl::service

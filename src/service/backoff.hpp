@@ -1,0 +1,33 @@
+#ifndef ECL_SERVICE_BACKOFF_HPP
+#define ECL_SERVICE_BACKOFF_HPP
+
+// Retry pacing: exponential backoff with decorrelating jitter.
+//
+// The service retries a failed request across the backend chain; waiting a
+// growing, jittered interval between attempts keeps a burst of failures
+// from re-converging into a synchronized retry storm. Jitter draws from
+// support/rng, so a test that fixes the seed sees the exact same delay
+// sequence on every run.
+
+#include <cstddef>
+
+#include "support/rng.hpp"
+
+namespace ecl::service {
+
+/// Delay schedule: attempt k waits initial * multiplier^k seconds, capped
+/// at max_seconds, then scaled by a uniform factor in [1 - jitter, 1 + jitter].
+struct BackoffPolicy {
+  double initial_seconds = 0.001;
+  double multiplier = 2.0;
+  double max_seconds = 0.050;
+  double jitter = 0.5;  ///< fraction of the base delay; 0 disables jitter
+
+  /// Delay before retry number `attempt` (0-based: the wait after the first
+  /// failure). Deterministic given the rng state; never negative.
+  double delay_seconds(std::size_t attempt, Rng& rng) const;
+};
+
+}  // namespace ecl::service
+
+#endif  // ECL_SERVICE_BACKOFF_HPP

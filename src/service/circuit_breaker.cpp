@@ -1,0 +1,111 @@
+#include "service/circuit_breaker.hpp"
+
+#include <algorithm>
+
+namespace ecl::service {
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config) : config_(config) {
+  config_.window = std::max<std::size_t>(1, config_.window);
+  config_.min_samples = std::max<std::size_t>(1, std::min(config_.min_samples, config_.window));
+  config_.half_open_probes = std::max<std::size_t>(1, config_.half_open_probes);
+  window_.assign(config_.window, false);
+}
+
+void CircuitBreaker::refresh_locked(Clock::time_point now) const {
+  if (state_ != BreakerState::kOpen) return;
+  const auto cooldown = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(config_.cooldown_seconds));
+  if (now - opened_at_ >= cooldown) {
+    state_ = BreakerState::kHalfOpen;
+    probes_issued_ = 0;
+  }
+}
+
+bool CircuitBreaker::allow(Clock::time_point now) {
+  std::lock_guard lock(mutex_);
+  refresh_locked(now);
+  switch (state_) {
+    case BreakerState::kClosed: return true;
+    case BreakerState::kOpen: return false;
+    case BreakerState::kHalfOpen:
+      if (probes_issued_ < config_.half_open_probes) {
+        ++probes_issued_;
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success(Clock::time_point now) {
+  std::lock_guard lock(mutex_);
+  refresh_locked(now);
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe proved the backend healthy: close and forget the window.
+    state_ = BreakerState::kClosed;
+    window_.assign(config_.window, false);
+    window_pos_ = window_count_ = window_failures_ = 0;
+    return;
+  }
+  if (state_ != BreakerState::kClosed) return;  // stray feedback while open
+  if (window_count_ == config_.window) {
+    if (window_[window_pos_]) --window_failures_;
+  } else {
+    ++window_count_;
+  }
+  window_[window_pos_] = false;
+  window_pos_ = (window_pos_ + 1) % config_.window;
+}
+
+void CircuitBreaker::record_failure(Clock::time_point now) {
+  std::lock_guard lock(mutex_);
+  refresh_locked(now);
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe failed: back to open, restart the cool-down.
+    state_ = BreakerState::kOpen;
+    opened_at_ = now;
+    ++opens_;
+    return;
+  }
+  if (state_ != BreakerState::kClosed) return;
+  if (window_count_ == config_.window) {
+    if (window_[window_pos_]) --window_failures_;
+  } else {
+    ++window_count_;
+  }
+  window_[window_pos_] = true;
+  ++window_failures_;
+  window_pos_ = (window_pos_ + 1) % config_.window;
+
+  if (window_count_ >= config_.min_samples &&
+      static_cast<double>(window_failures_) >=
+          config_.failure_threshold * static_cast<double>(window_count_)) {
+    state_ = BreakerState::kOpen;
+    opened_at_ = now;
+    ++opens_;
+    window_.assign(config_.window, false);
+    window_pos_ = window_count_ = window_failures_ = 0;
+  }
+}
+
+BreakerState CircuitBreaker::state(Clock::time_point now) const {
+  std::lock_guard lock(mutex_);
+  refresh_locked(now);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::opens() const {
+  std::lock_guard lock(mutex_);
+  return opens_;
+}
+
+}  // namespace ecl::service

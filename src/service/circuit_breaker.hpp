@@ -1,0 +1,76 @@
+#ifndef ECL_SERVICE_CIRCUIT_BREAKER_HPP
+#define ECL_SERVICE_CIRCUIT_BREAKER_HPP
+
+// Per-backend circuit breaker (closed / open / half-open).
+//
+// A chaos-degraded backend that stalls every run would otherwise keep
+// burning request deadlines: each attempt costs its full watchdog budget
+// before failing. The breaker watches a sliding window of outcomes; when
+// the failure rate crosses the threshold it opens and the backend stops
+// receiving traffic. After a cool-down one probe request is let through
+// (half-open): success closes the breaker, failure re-opens it. All
+// methods take an explicit time point so unit tests are deterministic;
+// production callers pass ServiceClock::now().
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace ecl::service {
+
+enum class BreakerState : std::uint8_t { kClosed = 0, kOpen, kHalfOpen };
+
+const char* breaker_state_name(BreakerState state);
+
+struct CircuitBreakerConfig {
+  std::size_t window = 16;           ///< outcomes kept in the sliding window
+  std::size_t min_samples = 4;       ///< outcomes required before tripping
+  double failure_threshold = 0.5;    ///< failure rate in the window that opens
+  double cooldown_seconds = 0.25;    ///< open duration before a half-open probe
+  std::size_t half_open_probes = 1;  ///< probes admitted while half-open
+};
+
+/// Thread-safe; one instance per backend.
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit CircuitBreaker(CircuitBreakerConfig config = {});
+
+  /// True when a request may be routed to this backend right now. An open
+  /// breaker whose cool-down has elapsed transitions to half-open and
+  /// admits up to half_open_probes callers.
+  bool allow(Clock::time_point now = Clock::now());
+
+  /// Outcome feedback from a routed request.
+  void record_success(Clock::time_point now = Clock::now());
+  void record_failure(Clock::time_point now = Clock::now());
+
+  /// Current state (after applying any due cool-down transition).
+  BreakerState state(Clock::time_point now = Clock::now()) const;
+
+  /// Times the breaker transitioned closed/half-open -> open.
+  std::uint64_t opens() const;
+
+  const CircuitBreakerConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Applies the open -> half-open cool-down transition; callers hold mutex_.
+  void refresh_locked(Clock::time_point now) const;
+
+  CircuitBreakerConfig config_;
+  mutable std::mutex mutex_;
+  mutable BreakerState state_ = BreakerState::kClosed;
+  mutable std::size_t probes_issued_ = 0;  ///< half-open probes admitted so far
+  Clock::time_point opened_at_{};
+  std::vector<bool> window_;  ///< ring of outcomes, true = failure
+  std::size_t window_pos_ = 0;
+  std::size_t window_count_ = 0;
+  std::size_t window_failures_ = 0;
+  std::uint64_t opens_ = 0;
+};
+
+}  // namespace ecl::service
+
+#endif  // ECL_SERVICE_CIRCUIT_BREAKER_HPP

@@ -1,0 +1,411 @@
+#include "service/scc_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "core/registry.hpp"
+#include "support/timer.hpp"
+
+namespace ecl::service {
+namespace {
+
+std::chrono::steady_clock::duration to_duration(double seconds) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+std::shared_ptr<const dynamic::LabelSnapshot> snapshot_from_result(std::uint64_t epoch,
+                                                                   const scc::SccResult& result) {
+  auto snap = std::make_shared<dynamic::LabelSnapshot>();
+  snap->epoch = epoch;
+  snap->num_components = result.num_components;
+  snap->labels = result.labels;
+  return snap;
+}
+
+}  // namespace
+
+SccService::SccService(const Digraph& g, ServiceConfig config) : config_(std::move(config)) {
+  if (config_.workers == 0) config_.workers = 1;
+  if (config_.backends.empty()) config_.backends = {"tarjan"};
+  engine_ = std::make_unique<dynamic::DynamicScc>(g, config_.dynamic);
+  queue_ = std::make_unique<AdmissionQueue<std::unique_ptr<Pending>>>(config_.queue_capacity);
+  overload_threshold_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.overload_fraction *
+                                  static_cast<double>(config_.queue_capacity)));
+  breakers_.reserve(config_.backends.size());
+  for (std::size_t i = 0; i < config_.backends.size(); ++i)
+    breakers_.push_back(std::make_unique<CircuitBreaker>(config_.breaker));
+  cached_snapshot_ = engine_->snapshot();  // epoch-0 answer for the stale tier
+  workers_.reserve(config_.workers);
+  for (unsigned i = 0; i < config_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+SccService::~SccService() { shutdown(); }
+
+void SccService::shutdown() {
+  std::lock_guard lock(shutdown_mutex_);
+  if (stopped_.exchange(true)) return;
+  queue_->shutdown();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+std::future<Response> SccService::submit(Request request) {
+  auto pending = std::make_unique<Pending>();
+  pending->request = std::move(request);
+  pending->enqueued_at = ServiceClock::now();
+  pending->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  std::future<Response> future = pending->promise.get_future();
+  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+
+  // try_push only consumes the item when it is accepted; on rejection we
+  // still own it and resolve the future inline with the structured outcome.
+  const AdmitResult admit = queue_->try_push(std::move(pending));
+  if (admit != AdmitResult::kAccepted) {
+    Response response;
+    if (admit == AdmitResult::kQueueFull) {
+      response.status = ServiceStatus::kRejectedQueueFull;
+      response.message = "admission queue at capacity";
+      stats_.rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      response.status = ServiceStatus::kRejectedShuttingDown;
+      response.message = "service is shutting down";
+      stats_.rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+    }
+    response.completed_at = ServiceClock::now();
+    pending->promise.set_value(std::move(response));
+  }
+  return future;
+}
+
+Response SccService::call(Request request) { return submit(std::move(request)).get(); }
+
+ServiceStats SccService::stats() const {
+  ServiceStats s;
+  s.submitted = stats_.submitted.load(std::memory_order_relaxed);
+  s.rejected_queue_full = stats_.rejected_queue_full.load(std::memory_order_relaxed);
+  s.rejected_shutdown = stats_.rejected_shutdown.load(std::memory_order_relaxed);
+  s.served_fresh = stats_.served_fresh.load(std::memory_order_relaxed);
+  s.served_stale = stats_.served_stale.load(std::memory_order_relaxed);
+  s.served_serial = stats_.served_serial.load(std::memory_order_relaxed);
+  s.deadline_exceeded = stats_.deadline_exceeded.load(std::memory_order_relaxed);
+  s.unavailable = stats_.unavailable.load(std::memory_order_relaxed);
+  s.invalid = stats_.invalid.load(std::memory_order_relaxed);
+  s.fresh_attempts = stats_.fresh_attempts.load(std::memory_order_relaxed);
+  s.backend_failures = stats_.backend_failures.load(std::memory_order_relaxed);
+  s.breaker_skips = stats_.breaker_skips.load(std::memory_order_relaxed);
+  s.overload_sheds = stats_.overload_sheds.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<std::pair<std::string, BreakerState>> SccService::breaker_states() const {
+  std::vector<std::pair<std::string, BreakerState>> states;
+  states.reserve(config_.backends.size());
+  for (std::size_t i = 0; i < config_.backends.size(); ++i)
+    states.emplace_back(config_.backends[i], breakers_[i]->state());
+  return states;
+}
+
+void SccService::worker_loop() {
+  // Each worker owns its own virtual device: Device::launch is not
+  // re-entrant across threads, and a per-worker device also gives every
+  // worker the same chaos plan independently.
+  device::Device dev(config_.device_profile, config_.device_workers);
+  while (auto item = queue_->pop()) {
+    Pending& pending = **item;
+    Response response = process(pending, dev);
+    pending.promise.set_value(std::move(response));
+  }
+}
+
+Response SccService::process(Pending& pending, device::Device& dev) {
+  Response response;
+  response.served_by.queue_seconds =
+      std::chrono::duration<double>(ServiceClock::now() - pending.enqueued_at).count();
+
+  const Request& request = pending.request;
+  if (request.has_deadline() && ServiceClock::now() >= request.deadline) {
+    response.status = ServiceStatus::kDeadlineExceeded;
+    response.message = "deadline expired while queued";
+    finalize(request, response);
+    return response;
+  }
+
+  Timer compute;
+  try {
+    switch (request.kind) {
+      case RequestKind::kSccLabels: serve_labels(pending, dev, response); break;
+      case RequestKind::kCondensation: serve_condensation(response); break;
+      case RequestKind::kReachabilityQuery: serve_reachability(pending, response); break;
+      case RequestKind::kUpdateBatch: serve_update_batch(pending, response); break;
+    }
+  } catch (const std::out_of_range& e) {
+    response.status = ServiceStatus::kInvalidRequest;
+    response.message = e.what();
+  } catch (const std::exception& e) {
+    response.status = ServiceStatus::kUnavailable;
+    response.message = e.what();
+  }
+  response.served_by.compute_seconds = compute.seconds();
+  finalize(request, response);
+  return response;
+}
+
+void SccService::serve_labels(Pending& pending, device::Device& dev, Response& response) {
+  const Request& request = pending.request;
+  ServedBy& sb = response.served_by;
+
+  const bool overloaded = queue_->size() >= overload_threshold_;
+  if (overloaded) stats_.overload_sheds.fetch_add(1, std::memory_order_relaxed);
+
+  if (!overloaded && try_fresh(pending, dev, response)) return;
+
+  const bool expired = request.has_deadline() && ServiceClock::now() >= request.deadline;
+  if (!config_.enable_degradation) {
+    response.status =
+        expired ? ServiceStatus::kDeadlineExceeded : ServiceStatus::kUnavailable;
+    response.message = "fresh compute failed and degradation is disabled";
+    return;
+  }
+
+  // Tier 2: epoch-stamped stale snapshot, if the client's budget covers it.
+  if (!expired) {
+    auto snap = cached_snapshot();
+    const std::uint64_t current = engine_->epoch();
+    const std::uint64_t delta = current - std::min(current, snap->epoch);
+    if (delta <= request.staleness_budget) {
+      response.labels = snap;
+      response.num_components = snap->num_components;
+      sb.tier = Tier::kStaleSnapshot;
+      sb.backend = "snapshot";
+      sb.epoch = snap->epoch;
+      sb.staleness_epochs = delta;
+      response.status = ServiceStatus::kOk;
+      return;
+    }
+  }
+
+  // Tier 3: exact serial recompute, bypassing breakers (Tarjan needs no
+  // device and cannot stall; it is only "degraded" in the latency sense).
+  if (!(request.has_deadline() && ServiceClock::now() >= request.deadline)) {
+    auto [g, epoch] = engine_->graph_with_epoch();
+    const scc::SccResult serial = request.has_deadline()
+                                      ? scc::run_with_deadline("tarjan", g, request.deadline)
+                                      : scc::run_algorithm("tarjan", g);
+    if (serial.ok()) {
+      auto snap = snapshot_from_result(epoch, serial);
+      store_cached_snapshot(snap);
+      response.labels = std::move(snap);
+      response.num_components = serial.num_components;
+      sb.tier = Tier::kSerialFallback;
+      sb.backend = "tarjan";
+      sb.epoch = epoch;
+      const std::uint64_t current = engine_->epoch();
+      sb.staleness_epochs = current - std::min(current, epoch);
+      response.status = ServiceStatus::kOk;
+      return;
+    }
+  }
+
+  const bool expired_now = request.has_deadline() && ServiceClock::now() >= request.deadline;
+  response.status =
+      expired_now ? ServiceStatus::kDeadlineExceeded : ServiceStatus::kUnavailable;
+  response.message = "every tier of the degradation ladder failed";
+}
+
+void SccService::serve_condensation(Response& response) {
+  const std::uint64_t epoch = engine_->epoch();
+  response.condensation = engine_->condensation_graph();
+  response.num_components = response.condensation.num_vertices();
+  response.served_by.tier = Tier::kFresh;
+  response.served_by.backend = "dynamic";
+  response.served_by.epoch = epoch;
+  response.status = ServiceStatus::kOk;
+}
+
+void SccService::serve_reachability(Pending& pending, Response& response) {
+  const Request& request = pending.request;
+  ServedBy& sb = response.served_by;
+  if (request.u >= engine_->num_vertices() || request.v >= engine_->num_vertices())
+    throw std::out_of_range("reachability query: vertex ID out of range");
+
+  // Same-SCC queries are O(1) against a snapshot; under overload serve the
+  // held (possibly stale) one when the budget allows, else the live view.
+  const bool overloaded = queue_->size() >= overload_threshold_;
+  if (overloaded && config_.enable_degradation) {
+    auto snap = cached_snapshot();
+    const std::uint64_t current = engine_->epoch();
+    const std::uint64_t delta = current - std::min(current, snap->epoch);
+    if (delta <= request.staleness_budget) {
+      response.reachable = snap->same_scc(request.u, request.v);
+      sb.tier = Tier::kStaleSnapshot;
+      sb.backend = "snapshot";
+      sb.epoch = snap->epoch;
+      sb.staleness_epochs = delta;
+      response.status = ServiceStatus::kOk;
+      return;
+    }
+  }
+  auto live = engine_->snapshot();
+  response.reachable = live->same_scc(request.u, request.v);
+  sb.tier = Tier::kFresh;
+  sb.backend = "dynamic";
+  sb.epoch = live->epoch;
+  response.status = ServiceStatus::kOk;
+}
+
+void SccService::serve_update_batch(Pending& pending, Response& response) {
+  response.updates_applied = engine_->apply_batch(pending.request.updates);
+  response.served_by.tier = Tier::kFresh;
+  response.served_by.backend = "dynamic";
+  response.served_by.epoch = engine_->epoch();
+  response.status = ServiceStatus::kOk;
+}
+
+bool SccService::try_fresh(Pending& pending, device::Device& dev, Response& response) {
+  const Request& request = pending.request;
+  ServedBy& sb = response.served_by;
+
+  // Decorrelated, reproducible jitter stream per request.
+  std::uint64_t seed_state = config_.seed ^ (pending.id * 0x9e3779b97f4a7c15ULL);
+  Rng rng(splitmix64(seed_state));
+
+  std::size_t attempts = 0;
+  while (attempts < config_.max_attempts) {
+    bool routed_any = false;
+    for (std::size_t b = 0; b < config_.backends.size() && attempts < config_.max_attempts;
+         ++b) {
+      const std::string& backend = config_.backends[b];
+      const double remaining = remaining_seconds(request);
+      if (remaining <= 0.0) return false;
+
+      CircuitBreaker* breaker = breakers_[b].get();
+      if (config_.enable_breakers && !breaker->allow()) {
+        ++sb.breaker_skips;
+        stats_.breaker_skips.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      routed_any = true;
+      ++attempts;
+      ++sb.attempts;
+      stats_.fresh_attempts.fetch_add(1, std::memory_order_relaxed);
+
+      auto [graph, epoch] = current_graph();
+      scc::SccResult result;
+      if (request.has_deadline()) {
+        // Hedged slice of the remaining budget: a stalled backend must not
+        // starve the ladder's later tiers.
+        const double slice = remaining * config_.attempt_deadline_fraction;
+        result = scc::run_with_deadline(backend, *graph,
+                                        ServiceClock::now() + to_duration(slice), &dev);
+      } else {
+        try {
+          result = scc::run_algorithm_on(backend, *graph, dev);
+        } catch (const std::exception& e) {
+          result = scc::SccResult{};
+          result.error = {scc::SccStatus::kException, e.what()};
+        }
+      }
+
+      const bool success = result.ok();
+      if (config_.enable_breakers)
+        success ? breaker->record_success() : breaker->record_failure();
+      if (success) {
+        auto snap = snapshot_from_result(epoch, result);
+        store_cached_snapshot(snap);
+        response.labels = std::move(snap);
+        response.num_components = result.num_components;
+        sb.tier = Tier::kFresh;
+        sb.backend = backend;
+        sb.epoch = epoch;
+        const std::uint64_t current = engine_->epoch();
+        sb.staleness_epochs = current - std::min(current, epoch);
+        response.status = ServiceStatus::kOk;
+        return true;
+      }
+      stats_.backend_failures.fetch_add(1, std::memory_order_relaxed);
+
+      double delay = config_.backoff.delay_seconds(attempts - 1, rng);
+      if (request.has_deadline())
+        delay = std::min(delay, remaining_seconds(request) * 0.25);
+      if (delay > 0.0) std::this_thread::sleep_for(to_duration(delay));
+    }
+    if (!routed_any) return false;  // every breaker open: degrade immediately
+  }
+  return false;
+}
+
+void SccService::finalize(const Request& request, Response& response) {
+  response.completed_at = ServiceClock::now();
+  // The pipeline invariant: a successful response is never delivered after
+  // its deadline, no matter which tier produced it.
+  if (response.ok() && request.has_deadline() && response.completed_at > request.deadline) {
+    response.status = ServiceStatus::kDeadlineExceeded;
+    response.message = "answer was ready after the deadline";
+  }
+  switch (response.status) {
+    case ServiceStatus::kOk:
+      switch (response.served_by.tier) {
+        case Tier::kStaleSnapshot:
+          stats_.served_stale.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case Tier::kSerialFallback:
+          stats_.served_serial.fetch_add(1, std::memory_order_relaxed);
+          break;
+        default: stats_.served_fresh.fetch_add(1, std::memory_order_relaxed); break;
+      }
+      break;
+    case ServiceStatus::kDeadlineExceeded:
+      stats_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ServiceStatus::kUnavailable:
+      stats_.unavailable.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ServiceStatus::kInvalidRequest:
+      stats_.invalid.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default: break;  // rejections are counted at admission
+  }
+}
+
+std::shared_ptr<const dynamic::LabelSnapshot> SccService::cached_snapshot() const {
+  std::lock_guard lock(cache_mutex_);
+  return cached_snapshot_;
+}
+
+void SccService::store_cached_snapshot(std::shared_ptr<const dynamic::LabelSnapshot> snap) {
+  std::lock_guard lock(cache_mutex_);
+  // Only move the cache forward; a slow worker must not roll it back.
+  if (!cached_snapshot_ || snap->epoch >= cached_snapshot_->epoch)
+    cached_snapshot_ = std::move(snap);
+}
+
+std::pair<std::shared_ptr<const Digraph>, std::uint64_t> SccService::current_graph() {
+  const std::uint64_t epoch = engine_->epoch();
+  {
+    std::lock_guard lock(cache_mutex_);
+    if (graph_cache_ && graph_cache_epoch_ == epoch) return {graph_cache_, epoch};
+  }
+  auto [graph, actual_epoch] = engine_->graph_with_epoch();
+  auto shared = std::make_shared<const Digraph>(std::move(graph));
+  {
+    std::lock_guard lock(cache_mutex_);
+    if (!graph_cache_ || actual_epoch >= graph_cache_epoch_) {
+      graph_cache_ = shared;
+      graph_cache_epoch_ = actual_epoch;
+    }
+  }
+  return {shared, actual_epoch};
+}
+
+double SccService::remaining_seconds(const Request& request) const {
+  if (!request.has_deadline()) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(request.deadline - ServiceClock::now()).count();
+}
+
+}  // namespace ecl::service

@@ -1,0 +1,198 @@
+#ifndef ECL_SERVICE_SCC_SERVICE_HPP
+#define ECL_SERVICE_SCC_SERVICE_HPP
+
+// SccService: a deadline-aware request pipeline over the SCC stack.
+//
+// The service owns a DynamicScc-backed graph, a worker pool, and a bounded
+// admission queue, and serves concurrent requests (full labelings,
+// condensations, same-SCC reachability, update batches) with explicit
+// robustness machinery at every stage:
+//
+//  * admission control — the bounded queue sheds load with a structured
+//    rejection (queue-full / shutting-down) instead of queueing without
+//    bound (admission_queue.hpp);
+//  * deadline propagation — each request's wall-clock deadline is plumbed
+//    into the solver watchdog via scc::run_with_deadline, so an ECL-SCC run
+//    is cancelled mid-fixpoint the moment its request expires. A kOk
+//    response is never delivered after its deadline — the pipeline
+//    re-checks at finalization and demotes late answers to
+//    kDeadlineExceeded;
+//  * retry with exponential backoff + jitter — a failed fresh compute walks
+//    the backend chain (default ecl -> ecl-omp -> tarjan), pacing retries
+//    with seeded-deterministic jitter (backoff.hpp);
+//  * per-backend circuit breakers — SccError / timeout outcomes feed a
+//    failure-rate window per backend; a chaos-degraded backend stops
+//    receiving traffic until a half-open probe proves it healthy
+//    (circuit_breaker.hpp);
+//  * tiered graceful degradation — when the fresh tier is shed (overload),
+//    exhausted, or breaker-blocked, the ladder serves an epoch-stamped
+//    stale snapshot if it is within the request's staleness_budget, then a
+//    direct serial-Tarjan recompute (exact but slower, bypassing breakers),
+//    and only then rejects with a taxonomy'd ServiceStatus.
+//
+// Every response carries a ServedBy trace (backend, tier, attempts, queue
+// wait, compute time, staleness epoch delta), so degradation is observable
+// rather than silent.
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "device/device.hpp"
+#include "dynamic/dynamic_scc.hpp"
+#include "service/admission_queue.hpp"
+#include "service/backoff.hpp"
+#include "service/circuit_breaker.hpp"
+#include "service/service_types.hpp"
+
+namespace ecl::service {
+
+struct ServiceConfig {
+  /// Worker threads consuming the admission queue.
+  unsigned workers = 4;
+  /// Admission-queue capacity; requests beyond it are shed.
+  std::size_t queue_capacity = 64;
+  /// Queue occupancy (fraction of capacity) beyond which the fresh-compute
+  /// tier is skipped for query requests — under overload a cheap degraded
+  /// answer keeps the queue draining.
+  double overload_fraction = 0.75;
+  /// Fresh-compute backend chain, tried in order (registry names).
+  std::vector<std::string> backends = {"ecl-a100", "ecl-omp", "tarjan"};
+  /// Total fresh attempts per request across the chain.
+  std::size_t max_attempts = 4;
+  /// Fraction of the remaining deadline granted to one fresh attempt, so a
+  /// stalled backend cannot burn the whole budget and starve the ladder's
+  /// later tiers.
+  double attempt_deadline_fraction = 0.5;
+  BackoffPolicy backoff;
+  CircuitBreakerConfig breaker;
+  bool enable_breakers = true;
+  bool enable_degradation = true;
+  /// Seed for retry jitter (decorrelated per request, reproducible).
+  std::uint64_t seed = 0x5e11ce;
+  /// Device profile for the per-worker virtual devices; carry a FaultPlan
+  /// here to chaos-degrade the device-backed backends.
+  device::DeviceProfile device_profile = device::a100_profile();
+  /// Host threads per worker device (kept small: the service already runs
+  /// `workers` concurrent requests).
+  unsigned device_workers = 2;
+  /// Engine knobs for the owned DynamicScc.
+  dynamic::DynamicOptions dynamic;
+};
+
+/// Monotonic counters (cheap, racy-read snapshot).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t served_fresh = 0;
+  std::uint64_t served_stale = 0;
+  std::uint64_t served_serial = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t unavailable = 0;
+  std::uint64_t invalid = 0;
+  std::uint64_t fresh_attempts = 0;
+  std::uint64_t backend_failures = 0;
+  std::uint64_t breaker_skips = 0;
+  std::uint64_t overload_sheds = 0;
+};
+
+class SccService {
+ public:
+  explicit SccService(const Digraph& g, ServiceConfig config = {});
+  ~SccService();
+
+  SccService(const SccService&) = delete;
+  SccService& operator=(const SccService&) = delete;
+
+  /// Asynchronous entry point. Admission happens inline: a shed request's
+  /// future is already resolved with the structured rejection.
+  std::future<Response> submit(Request request);
+
+  /// Synchronous convenience: submit + wait.
+  Response call(Request request);
+
+  /// Stops admission, drains queued work, joins the workers. Idempotent;
+  /// also run by the destructor.
+  void shutdown();
+
+  const ServiceConfig& config() const noexcept { return config_; }
+  ServiceStats stats() const;
+  std::size_t queue_depth() const { return queue_->size(); }
+
+  /// Breaker state per backend (observability; order matches config().backends).
+  std::vector<std::pair<std::string, BreakerState>> breaker_states() const;
+
+  /// The owned engine (test/tool access; the service stays in charge of
+  /// writes — use update_batch requests to mutate).
+  dynamic::DynamicScc& engine() noexcept { return *engine_; }
+  const dynamic::DynamicScc& engine() const noexcept { return *engine_; }
+
+ private:
+  struct Pending {
+    Request request;
+    std::promise<Response> promise;
+    ServiceClock::time_point enqueued_at{};
+    std::uint64_t id = 0;
+  };
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> rejected_queue_full{0};
+    std::atomic<std::uint64_t> rejected_shutdown{0};
+    std::atomic<std::uint64_t> served_fresh{0};
+    std::atomic<std::uint64_t> served_stale{0};
+    std::atomic<std::uint64_t> served_serial{0};
+    std::atomic<std::uint64_t> deadline_exceeded{0};
+    std::atomic<std::uint64_t> unavailable{0};
+    std::atomic<std::uint64_t> invalid{0};
+    std::atomic<std::uint64_t> fresh_attempts{0};
+    std::atomic<std::uint64_t> backend_failures{0};
+    std::atomic<std::uint64_t> breaker_skips{0};
+    std::atomic<std::uint64_t> overload_sheds{0};
+  };
+
+  void worker_loop();
+  Response process(Pending& pending, device::Device& dev);
+  void serve_labels(Pending& pending, device::Device& dev, Response& response);
+  void serve_condensation(Response& response);
+  void serve_reachability(Pending& pending, Response& response);
+  void serve_update_batch(Pending& pending, Response& response);
+  /// Fresh tier: backend chain with breakers + retry/backoff. True when a
+  /// fresh answer was produced into `response`.
+  bool try_fresh(Pending& pending, device::Device& dev, Response& response);
+  /// Stamps completed_at, enforces the deadline invariant, bumps counters.
+  void finalize(const Request& request, Response& response);
+
+  std::shared_ptr<const dynamic::LabelSnapshot> cached_snapshot() const;
+  void store_cached_snapshot(std::shared_ptr<const dynamic::LabelSnapshot> snap);
+  /// Epoch-cached CSR materialization of the engine's current edge set.
+  std::pair<std::shared_ptr<const Digraph>, std::uint64_t> current_graph();
+  double remaining_seconds(const Request& request) const;
+
+  ServiceConfig config_;
+  std::unique_ptr<dynamic::DynamicScc> engine_;
+  std::unique_ptr<AdmissionQueue<std::unique_ptr<Pending>>> queue_;
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;  // parallel to config_.backends
+  std::vector<std::thread> workers_;
+  std::size_t overload_threshold_ = 0;
+
+  mutable std::mutex cache_mutex_;
+  std::shared_ptr<const dynamic::LabelSnapshot> cached_snapshot_;
+  std::shared_ptr<const Digraph> graph_cache_;
+  std::uint64_t graph_cache_epoch_ = 0;
+
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<bool> stopped_{false};
+  std::mutex shutdown_mutex_;
+  AtomicStats stats_;
+};
+
+}  // namespace ecl::service
+
+#endif  // ECL_SERVICE_SCC_SERVICE_HPP

@@ -1,0 +1,37 @@
+#include "service/service_types.hpp"
+
+namespace ecl::service {
+
+const char* request_kind_name(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kSccLabels: return "scc-labels";
+    case RequestKind::kCondensation: return "condensation";
+    case RequestKind::kReachabilityQuery: return "reachability";
+    case RequestKind::kUpdateBatch: return "update-batch";
+  }
+  return "unknown";
+}
+
+const char* service_status_name(ServiceStatus status) {
+  switch (status) {
+    case ServiceStatus::kOk: return "ok";
+    case ServiceStatus::kRejectedQueueFull: return "rejected-queue-full";
+    case ServiceStatus::kRejectedShuttingDown: return "rejected-shutting-down";
+    case ServiceStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case ServiceStatus::kUnavailable: return "unavailable";
+    case ServiceStatus::kInvalidRequest: return "invalid-request";
+  }
+  return "unknown";
+}
+
+const char* tier_name(Tier tier) {
+  switch (tier) {
+    case Tier::kNone: return "none";
+    case Tier::kFresh: return "fresh";
+    case Tier::kStaleSnapshot: return "stale-snapshot";
+    case Tier::kSerialFallback: return "serial-fallback";
+  }
+  return "unknown";
+}
+
+}  // namespace ecl::service

@@ -1,0 +1,124 @@
+#ifndef ECL_SERVICE_SERVICE_TYPES_HPP
+#define ECL_SERVICE_SERVICE_TYPES_HPP
+
+// Request/response vocabulary of the SCC service (see scc_service.hpp).
+//
+// Every request carries an absolute wall-clock deadline and a staleness
+// budget; every response carries a ServedBy trace that records exactly how
+// the answer was produced (which backend, how many attempts, how long it
+// queued, how stale it is). The trace is the observability contract of the
+// degradation ladder: a degraded answer is always labeled as such, never
+// silently substituted for a fresh one.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dynamic/dynamic_scc.hpp"
+#include "graph/digraph.hpp"
+#include "graph/update_stream.hpp"
+
+namespace ecl::service {
+
+using graph::Digraph;
+using graph::vid;
+using ServiceClock = std::chrono::steady_clock;
+
+/// What the client is asking for.
+enum class RequestKind : std::uint8_t {
+  kSccLabels,          ///< full, backend-computed SCC labeling of the current graph
+  kCondensation,       ///< condensation DAG from the maintained engine
+  kReachabilityQuery,  ///< mutual reachability: are u and v in the same SCC?
+  kUpdateBatch,        ///< apply an ordered batch of edge updates
+};
+
+const char* request_kind_name(RequestKind kind);
+
+/// One client request. A default-constructed deadline (the clock epoch)
+/// means "no deadline"; staleness_budget is the number of epochs a degraded
+/// answer may lag the current graph (0 = only epoch-exact answers).
+struct Request {
+  RequestKind kind = RequestKind::kSccLabels;
+  ServiceClock::time_point deadline{};
+  std::uint64_t staleness_budget = 0;
+  vid u = 0;  ///< reachability operand
+  vid v = 0;  ///< reachability operand
+  std::vector<graph::EdgeUpdate> updates;  ///< update-batch payload
+
+  bool has_deadline() const noexcept { return deadline != ServiceClock::time_point{}; }
+
+  /// Convenience: deadline `budget` from now.
+  static ServiceClock::time_point deadline_in(double seconds) {
+    return ServiceClock::now() +
+           std::chrono::duration_cast<ServiceClock::duration>(
+               std::chrono::duration<double>(seconds));
+  }
+};
+
+/// Structured outcome taxonomy. Everything except kOk is a non-served
+/// response; the rejected codes are decided at admission, the others by the
+/// worker pipeline.
+enum class ServiceStatus : std::uint8_t {
+  kOk = 0,
+  kRejectedQueueFull,      ///< admission queue at capacity (load shed)
+  kRejectedShuttingDown,   ///< service is draining; no new work accepted
+  kDeadlineExceeded,       ///< the deadline passed before an answer was ready
+  kUnavailable,            ///< every tier of the degradation ladder failed
+  kInvalidRequest,         ///< malformed request (bad vertex IDs, ...)
+};
+
+const char* service_status_name(ServiceStatus status);
+
+/// Which tier of the degradation ladder produced the answer.
+enum class Tier : std::uint8_t {
+  kNone = 0,        ///< no answer was produced
+  kFresh,           ///< backend chain computed it on the current graph
+  kStaleSnapshot,   ///< epoch-stamped cached snapshot within the staleness budget
+  kSerialFallback,  ///< direct serial Tarjan, bypassing breakers
+};
+
+const char* tier_name(Tier tier);
+
+/// Provenance trace attached to every response.
+struct ServedBy {
+  std::string backend;          ///< registry name, "snapshot", or "dynamic"
+  Tier tier = Tier::kNone;
+  std::uint32_t attempts = 0;       ///< fresh backend attempts made (incl. failures)
+  std::uint32_t breaker_skips = 0;  ///< backends skipped because their breaker was open
+  double queue_seconds = 0.0;       ///< admission-to-dequeue wait
+  double compute_seconds = 0.0;     ///< dequeue-to-answer work time
+  std::uint64_t epoch = 0;            ///< graph epoch the payload reflects
+  std::uint64_t staleness_epochs = 0; ///< engine epoch minus payload epoch at serve time
+};
+
+/// One service response. Payload fields are populated according to the
+/// request kind; `served_by` is always populated, `completed_at` is stamped
+/// immediately before delivery (the deadline invariant is checked against
+/// it: a kOk response never completes after its request's deadline).
+struct Response {
+  ServiceStatus status = ServiceStatus::kUnavailable;
+  std::string message;  ///< empty when ok
+  ServedBy served_by;
+  ServiceClock::time_point completed_at{};
+
+  std::shared_ptr<const dynamic::LabelSnapshot> labels;  ///< kSccLabels
+  vid num_components = 0;                                ///< kSccLabels / kCondensation
+  Digraph condensation;                                  ///< kCondensation
+  bool reachable = false;                                ///< kReachabilityQuery
+  std::size_t updates_applied = 0;                       ///< kUpdateBatch
+
+  bool ok() const noexcept { return status == ServiceStatus::kOk; }
+  bool rejected() const noexcept {
+    return status == ServiceStatus::kRejectedQueueFull ||
+           status == ServiceStatus::kRejectedShuttingDown;
+  }
+  bool degraded() const noexcept {
+    return served_by.tier == Tier::kStaleSnapshot || served_by.tier == Tier::kSerialFallback;
+  }
+};
+
+}  // namespace ecl::service
+
+#endif  // ECL_SERVICE_SERVICE_TYPES_HPP

@@ -69,6 +69,44 @@ TEST(Watchdog, WallClockExpiresWithoutProgress) {
   EXPECT_FALSE(wd.expired());
 }
 
+TEST(Watchdog, DeadlineDisabledByDefault) {
+  FixpointWatchdog wd(WatchdogConfig{}, 10);
+  EXPECT_FALSE(WatchdogConfig{}.has_deadline());
+  EXPECT_FALSE(wd.deadline_expired());
+}
+
+TEST(Watchdog, AlreadyExpiredDeadlineTripsOnFirstPoll) {
+  WatchdogConfig cfg;
+  cfg.deadline = std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  FixpointWatchdog wd(cfg, 10);
+  EXPECT_TRUE(wd.deadline_expired());
+  EXPECT_TRUE(wd.expired()) << "deadline expiry must surface through expired()";
+}
+
+TEST(Watchdog, GenerousDeadlineNeverTrips) {
+  WatchdogConfig cfg;
+  cfg.deadline = std::chrono::steady_clock::now() + std::chrono::hours(1);
+  FixpointWatchdog wd(cfg, 10);
+  for (int round = 0; round < 50; ++round) {
+    EXPECT_FALSE(wd.observe_iteration(static_cast<std::uint64_t>(round), 10));
+    EXPECT_FALSE(wd.deadline_expired());
+  }
+  EXPECT_FALSE(wd.expired());
+}
+
+TEST(Watchdog, ProgressDoesNotReArmDeadline) {
+  // Unlike stall_seconds (re-anchored by note_progress), the deadline is an
+  // absolute point: once it passes, progress cannot un-expire it.
+  WatchdogConfig cfg;
+  cfg.deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(15);
+  FixpointWatchdog wd(cfg, 10);
+  EXPECT_FALSE(wd.deadline_expired());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  wd.note_progress();
+  EXPECT_TRUE(wd.deadline_expired());
+  EXPECT_TRUE(wd.expired());
+}
+
 TEST(Watchdog, MarkStalledIsSticky) {
   FixpointWatchdog wd(WatchdogConfig{}, 10);
   EXPECT_FALSE(wd.stalled());

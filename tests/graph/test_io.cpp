@@ -74,6 +74,67 @@ TEST(GraphIo, MissingFileThrows) {
   EXPECT_THROW((void)graph::read_graph_file("/nonexistent/path.mtx"), std::runtime_error);
 }
 
+TEST(GraphIo, EdgeListHonorsDeclaredVertexCount) {
+  // The declared count governs even when the edges touch fewer vertices
+  // (trailing isolated vertices survive a round trip).
+  std::stringstream in("# vertices 6 edges 2\n0 1\n1 2\n");
+  const Digraph g = graph::read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphIo, EdgeListRejectsVertexBeyondDeclaredCount) {
+  std::stringstream in("# vertices 3 edges 2\n0 1\n1 7\n");
+  try {
+    (void)graph::read_edge_list(in);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("1 7"), std::string::npos)
+        << "error should name the offending line, got: " << e.what();
+  }
+}
+
+TEST(GraphIo, EdgeListWithoutHeaderStillInfersVertexCount) {
+  std::stringstream in("0 1\n1 99\n");
+  const Digraph g = graph::read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 100u);
+}
+
+TEST(GraphIo, DimacsRejectsVertexBeyondDeclaredCount) {
+  std::stringstream in("p sp 3 2\na 1 2\na 2 9\n");
+  try {
+    (void)graph::read_dimacs(in);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("a 2 9"), std::string::npos)
+        << "error should name the offending line, got: " << e.what();
+  }
+}
+
+TEST(GraphIo, DimacsRejectsArcBeforeHeader) {
+  std::stringstream in("a 1 2\np sp 3 2\na 2 3\n");
+  EXPECT_THROW((void)graph::read_dimacs(in), std::runtime_error);
+}
+
+TEST(GraphIo, MatrixMarketRejectsIndexBeyondDeclaredSize) {
+  std::stringstream in("%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n4 1\n");
+  try {
+    (void)graph::read_matrix_market(in);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("4 1"), std::string::npos)
+        << "error should name the offending line, got: " << e.what();
+  }
+}
+
+TEST(GraphIo, MatrixMarketRectangularUsesPerAxisBounds) {
+  // A 2x5 size line admits column index 5 but rejects row index 3.
+  std::stringstream ok("2 5 1\n2 5\n");
+  EXPECT_EQ(graph::read_matrix_market(ok).num_vertices(), 5u);
+  std::stringstream bad("2 5 1\n3 1\n");
+  EXPECT_THROW((void)graph::read_matrix_market(bad), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace ecl::test
 

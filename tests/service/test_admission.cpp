@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "service/admission_queue.hpp"
+
+namespace ecl::test {
+namespace {
+
+using service::AdmissionQueue;
+using service::AdmitResult;
+
+TEST(AdmissionQueue, AcceptsUpToCapacityThenSheds) {
+  AdmissionQueue<int> q(2);
+  EXPECT_EQ(q.try_push(1), AdmitResult::kAccepted);
+  EXPECT_EQ(q.try_push(2), AdmitResult::kAccepted);
+  EXPECT_EQ(q.try_push(3), AdmitResult::kQueueFull);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.accepted(), 2u);
+  EXPECT_EQ(q.rejected_full(), 1u);
+}
+
+TEST(AdmissionQueue, PopFreesCapacity) {
+  AdmissionQueue<int> q(1);
+  EXPECT_EQ(q.try_push(7), AdmitResult::kAccepted);
+  EXPECT_EQ(q.try_push(8), AdmitResult::kQueueFull);
+  auto item = q.pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 7);
+  EXPECT_EQ(q.try_push(8), AdmitResult::kAccepted);
+}
+
+TEST(AdmissionQueue, RejectedItemIsNotConsumed) {
+  // try_push takes T&& but must only move on accept: a shed producer still
+  // owns the item (the service resolves the promise inside it).
+  AdmissionQueue<std::unique_ptr<int>> q(1);
+  auto first = std::make_unique<int>(1);
+  EXPECT_EQ(q.try_push(std::move(first)), AdmitResult::kAccepted);
+  auto second = std::make_unique<int>(2);
+  EXPECT_EQ(q.try_push(std::move(second)), AdmitResult::kQueueFull);
+  ASSERT_NE(second, nullptr) << "a rejected item must remain owned by the caller";
+  EXPECT_EQ(*second, 2);
+}
+
+TEST(AdmissionQueue, ShutdownRejectsNewWorkButDrainsQueued) {
+  AdmissionQueue<int> q(4);
+  EXPECT_EQ(q.try_push(1), AdmitResult::kAccepted);
+  EXPECT_EQ(q.try_push(2), AdmitResult::kAccepted);
+  q.shutdown();
+  EXPECT_TRUE(q.shutting_down());
+  EXPECT_EQ(q.try_push(3), AdmitResult::kShuttingDown);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value()) << "drained + shut down = end-of-stream";
+}
+
+TEST(AdmissionQueue, ShutdownWakesBlockedConsumer) {
+  AdmissionQueue<int> q(1);
+  std::atomic<bool> finished{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(q.pop().has_value());
+    finished.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(finished.load());
+  q.shutdown();
+  consumer.join();
+  EXPECT_TRUE(finished.load());
+}
+
+TEST(AdmissionQueue, ConcurrentProducersConsumersConserveItems) {
+  AdmissionQueue<int> q(8);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  std::atomic<int> accepted{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c)
+    consumers.emplace_back([&] {
+      while (q.pop().has_value()) popped.fetch_add(1);
+    });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int item = i;
+        if (q.try_push(std::move(item)) == AdmitResult::kAccepted)
+          accepted.fetch_add(1);
+        else
+          std::this_thread::yield();
+      }
+    });
+  for (auto& t : producers) t.join();
+  q.shutdown();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(popped.load(), accepted.load());
+  EXPECT_EQ(q.accepted(), static_cast<std::uint64_t>(accepted.load()));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "service/backoff.hpp"
+#include "support/rng.hpp"
+
+namespace ecl::test {
+namespace {
+
+using service::BackoffPolicy;
+
+TEST(Backoff, GrowsExponentiallyUpToCap) {
+  BackoffPolicy policy;
+  policy.initial_seconds = 0.001;
+  policy.multiplier = 2.0;
+  policy.max_seconds = 0.004;
+  policy.jitter = 0.0;  // deterministic midpoint
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(0, rng), 0.001);
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(1, rng), 0.002);
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(2, rng), 0.004);
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(3, rng), 0.004) << "capped at max_seconds";
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(50, rng), 0.004);
+}
+
+TEST(Backoff, JitterStaysWithinBand) {
+  BackoffPolicy policy;
+  policy.initial_seconds = 0.010;
+  policy.multiplier = 1.0;
+  policy.max_seconds = 0.010;
+  policy.jitter = 0.5;
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = policy.delay_seconds(0, rng);
+    EXPECT_GE(d, 0.005);
+    EXPECT_LE(d, 0.015);
+  }
+}
+
+TEST(Backoff, SameSeedSameSchedule) {
+  BackoffPolicy policy;
+  Rng a(123), b(123);
+  for (std::size_t attempt = 0; attempt < 8; ++attempt)
+    EXPECT_DOUBLE_EQ(policy.delay_seconds(attempt, a), policy.delay_seconds(attempt, b));
+}
+
+TEST(Backoff, DistinctSeedsDecorrelate) {
+  BackoffPolicy policy;
+  Rng a(1), b(2);
+  int differing = 0;
+  for (std::size_t attempt = 0; attempt < 8; ++attempt)
+    if (policy.delay_seconds(attempt, a) != policy.delay_seconds(attempt, b)) ++differing;
+  EXPECT_GT(differing, 0);
+}
+
+TEST(Backoff, NeverNegative) {
+  BackoffPolicy policy;
+  policy.jitter = 1.0;  // band touches zero
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(policy.delay_seconds(3, rng), 0.0);
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "service/circuit_breaker.hpp"
+
+namespace ecl::test {
+namespace {
+
+using service::BreakerState;
+using service::CircuitBreaker;
+using service::CircuitBreakerConfig;
+using Clock = CircuitBreaker::Clock;
+
+CircuitBreakerConfig small_config() {
+  CircuitBreakerConfig cfg;
+  cfg.window = 8;
+  cfg.min_samples = 4;
+  cfg.failure_threshold = 0.5;
+  cfg.cooldown_seconds = 1.0;
+  cfg.half_open_probes = 1;
+  return cfg;
+}
+
+Clock::duration seconds(double s) {
+  return std::chrono::duration_cast<Clock::duration>(std::chrono::duration<double>(s));
+}
+
+TEST(CircuitBreaker, StartsClosedAndAllows) {
+  CircuitBreaker cb(small_config());
+  const auto t0 = Clock::now();
+  EXPECT_EQ(cb.state(t0), BreakerState::kClosed);
+  EXPECT_TRUE(cb.allow(t0));
+}
+
+TEST(CircuitBreaker, OpensWhenFailureRateCrossesThreshold) {
+  CircuitBreaker cb(small_config());
+  const auto t0 = Clock::now();
+  // Three failures is below min_samples; the fourth trips (4/4 >= 0.5).
+  cb.record_failure(t0);
+  cb.record_failure(t0);
+  cb.record_failure(t0);
+  EXPECT_EQ(cb.state(t0), BreakerState::kClosed);
+  cb.record_failure(t0);
+  EXPECT_EQ(cb.state(t0), BreakerState::kOpen);
+  EXPECT_FALSE(cb.allow(t0));
+  EXPECT_EQ(cb.opens(), 1u);
+}
+
+TEST(CircuitBreaker, MixedOutcomesBelowThresholdStayClosed) {
+  CircuitBreaker cb(small_config());
+  const auto t0 = Clock::now();
+  for (int i = 0; i < 16; ++i) {
+    cb.record_success(t0);
+    cb.record_success(t0);
+    cb.record_failure(t0);  // 1/3 failure rate < 0.5
+  }
+  EXPECT_EQ(cb.state(t0), BreakerState::kClosed);
+  EXPECT_EQ(cb.opens(), 0u);
+}
+
+TEST(CircuitBreaker, HalfOpenAfterCooldownAdmitsOneProbe) {
+  CircuitBreaker cb(small_config());
+  const auto t0 = Clock::now();
+  for (int i = 0; i < 4; ++i) cb.record_failure(t0);
+  ASSERT_EQ(cb.state(t0), BreakerState::kOpen);
+
+  const auto before = t0 + seconds(0.5);
+  EXPECT_FALSE(cb.allow(before)) << "still cooling down";
+
+  const auto after = t0 + seconds(1.5);
+  EXPECT_TRUE(cb.allow(after)) << "cooldown elapsed: one probe admitted";
+  EXPECT_EQ(cb.state(after), BreakerState::kHalfOpen);
+  EXPECT_FALSE(cb.allow(after)) << "only half_open_probes callers pass";
+}
+
+TEST(CircuitBreaker, ProbeSuccessCloses) {
+  CircuitBreaker cb(small_config());
+  const auto t0 = Clock::now();
+  for (int i = 0; i < 4; ++i) cb.record_failure(t0);
+  const auto after = t0 + seconds(1.5);
+  ASSERT_TRUE(cb.allow(after));
+  cb.record_success(after);
+  EXPECT_EQ(cb.state(after), BreakerState::kClosed);
+  EXPECT_TRUE(cb.allow(after));
+  // The window was cleared: one new failure does not immediately re-trip.
+  cb.record_failure(after);
+  EXPECT_EQ(cb.state(after), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, ProbeFailureReopensAndRestartsCooldown) {
+  CircuitBreaker cb(small_config());
+  const auto t0 = Clock::now();
+  for (int i = 0; i < 4; ++i) cb.record_failure(t0);
+  const auto probe_time = t0 + seconds(1.5);
+  ASSERT_TRUE(cb.allow(probe_time));
+  cb.record_failure(probe_time);
+  EXPECT_EQ(cb.state(probe_time), BreakerState::kOpen);
+  EXPECT_EQ(cb.opens(), 2u);
+  EXPECT_FALSE(cb.allow(probe_time + seconds(0.5))) << "cooldown restarted at reopen";
+  EXPECT_TRUE(cb.allow(probe_time + seconds(1.5)));
+}
+
+TEST(CircuitBreaker, SlidingWindowForgetsOldFailures) {
+  auto cfg = small_config();
+  cfg.window = 4;
+  cfg.min_samples = 4;
+  CircuitBreaker cb(cfg);
+  const auto t0 = Clock::now();
+  // Two failures, then enough successes to push them out of the window.
+  cb.record_failure(t0);
+  cb.record_failure(t0);
+  for (int i = 0; i < 4; ++i) cb.record_success(t0);
+  // Window now holds 4 successes; one more failure is 1/4 < 0.5.
+  cb.record_failure(t0);
+  EXPECT_EQ(cb.state(t0), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, StateNamesAreStable) {
+  EXPECT_STREQ(service::breaker_state_name(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(service::breaker_state_name(BreakerState::kOpen), "open");
+  EXPECT_STREQ(service::breaker_state_name(BreakerState::kHalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/result.hpp"
+#include "graph/generators.hpp"
+#include "graph/update_stream.hpp"
+#include "service/scc_service.hpp"
+#include "support/rng.hpp"
+
+namespace ecl::test {
+namespace {
+
+using service::Request;
+using service::RequestKind;
+using service::Response;
+using service::SccService;
+using service::ServiceConfig;
+using service::ServiceStatus;
+using service::Tier;
+
+// Differential check of the degradation ladder: every degraded response must
+// be either epoch-exact or within the request's staleness budget, and its
+// labels must match a from-scratch Tarjan recompute of the graph *at the
+// epoch the response claims to reflect*. The oracle records the canonical
+// partition after every phase of updates, keyed by engine epoch.
+TEST(ServiceDifferential, DegradedResponsesAreEpochHonest) {
+  graph::SccProfile profile;
+  profile.num_vertices = 150;
+  profile.avg_degree = 4.0;
+  profile.mid_sccs = 4;
+  profile.size2_sccs = 6;
+  Rng rng(2024);
+  const auto base = graph::scc_profile_graph(profile, rng);
+
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.device_workers = 2;
+  cfg.backends = {"ecl-a100"};
+  cfg.max_attempts = 1;
+  cfg.backoff.initial_seconds = 0.0005;
+  cfg.backoff.max_seconds = 0.002;
+  // Guaranteed-stall chaos: the fresh tier always fails, so every labeling
+  // answer comes from the degradation ladder.
+  cfg.device_profile.fault_plan.seed = 99;
+  cfg.device_profile.fault_plan.delayed_visibility = true;
+  cfg.device_profile.fault_plan.store_defer_probability = 1.0;
+  SccService svc(base, cfg);
+
+  // Oracle partition per epoch, from an independent Tarjan recompute.
+  std::map<std::uint64_t, std::vector<graph::vid>> oracle;
+  auto record_oracle = [&] {
+    auto [g, epoch] = svc.engine().graph_with_epoch();
+    oracle[epoch] = scc::run_algorithm("tarjan", g).labels;
+  };
+  record_oracle();  // epoch 0
+
+  graph::UpdateStreamOptions stream_opts;
+  stream_opts.num_updates = 120;
+  auto stream = graph::generate_update_stream(base, stream_opts, rng);
+
+  constexpr std::size_t kPhases = 4;
+  const std::size_t per_phase = stream.size() / kPhases;
+  for (std::size_t phase = 0; phase < kPhases; ++phase) {
+    Request update;
+    update.kind = RequestKind::kUpdateBatch;
+    update.updates.assign(stream.begin() + static_cast<std::ptrdiff_t>(phase * per_phase),
+                          stream.begin() + static_cast<std::ptrdiff_t>((phase + 1) * per_phase));
+    const Response ru = svc.call(update);
+    ASSERT_EQ(ru.status, ServiceStatus::kOk);
+    record_oracle();
+
+    // Generous budget: the ladder may serve any recorded epoch.
+    Request stale_ok;
+    stale_ok.kind = RequestKind::kSccLabels;
+    stale_ok.deadline = Request::deadline_in(0.6);
+    stale_ok.staleness_budget = 100000;
+    const Response rs = svc.call(stale_ok);
+    ASSERT_EQ(rs.status, ServiceStatus::kOk);
+    EXPECT_TRUE(rs.degraded()) << "chaos guarantees the fresh tier cannot answer";
+    EXPECT_LE(rs.served_by.staleness_epochs, stale_ok.staleness_budget);
+    ASSERT_NE(rs.labels, nullptr);
+    EXPECT_EQ(rs.labels->epoch, rs.served_by.epoch) << "trace epoch must match the payload";
+    ASSERT_TRUE(oracle.count(rs.served_by.epoch))
+        << "served epoch " << rs.served_by.epoch << " was never a phase boundary";
+    EXPECT_TRUE(scc::same_partition(rs.labels->labels, oracle[rs.served_by.epoch]))
+        << "degraded labels must equal a Tarjan recompute at their stamped epoch";
+
+    // Zero budget: only an epoch-exact answer is acceptable.
+    Request exact;
+    exact.kind = RequestKind::kSccLabels;
+    exact.deadline = Request::deadline_in(0.6);
+    exact.staleness_budget = 0;
+    const Response re = svc.call(exact);
+    ASSERT_EQ(re.status, ServiceStatus::kOk);
+    EXPECT_EQ(re.served_by.staleness_epochs, 0u);
+    ASSERT_NE(re.labels, nullptr);
+    ASSERT_TRUE(oracle.count(re.served_by.epoch));
+    EXPECT_TRUE(scc::same_partition(re.labels->labels, oracle[re.served_by.epoch]));
+  }
+}
+
+// The engine's incrementally maintained view itself stays exact across the
+// same phases (reachability answered fresh must agree with the oracle).
+TEST(ServiceDifferential, FreshReachabilityAgreesWithOracle) {
+  const auto base = graph::cycle_chain(5, 6);
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.backends = {"tarjan"};
+  SccService svc(base, cfg);
+
+  Rng rng(7);
+  graph::UpdateStreamOptions stream_opts;
+  stream_opts.num_updates = 40;
+  auto stream = graph::generate_update_stream(base, stream_opts, rng);
+  Request update;
+  update.kind = RequestKind::kUpdateBatch;
+  update.updates = stream;
+  ASSERT_TRUE(svc.call(update).ok());
+
+  auto [g, epoch] = svc.engine().graph_with_epoch();
+  const auto oracle = scc::run_algorithm("tarjan", g);
+  for (int i = 0; i < 50; ++i) {
+    Request req;
+    req.kind = RequestKind::kReachabilityQuery;
+    req.u = static_cast<graph::vid>(rng.bounded(g.num_vertices()));
+    req.v = static_cast<graph::vid>(rng.bounded(g.num_vertices()));
+    const Response r = svc.call(req);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.reachable, oracle.labels[req.u] == oracle.labels[req.v]);
+  }
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -1,0 +1,202 @@
+// Dev tool: stand up an SccService on a graph file (or a generated
+// workload) and drive it with an open-loop mixed request stream, printing
+// per-status counts, tier breakdown, latency percentiles, and final breaker
+// states. The interactive cousin of bench/bench_service_soak for poking at
+// the pipeline's knobs.
+//
+//   scc_serve [<graph-file>] [--requests N] [--rate RPS] [--deadline-ms D]
+//             [--staleness N] [--workers N] [--queue N] [--backends a,b,c]
+//             [--chaos] [--no-breakers] [--no-degradation] [--seed S]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "service/scc_service.hpp"
+#include "support/format.hpp"
+#include "support/rng.hpp"
+
+using namespace ecl;
+using service::Request;
+using service::RequestKind;
+using service::Response;
+using service::SccService;
+using service::ServiceConfig;
+
+namespace {
+
+std::vector<std::string> split_names(const char* csv) {
+  std::vector<std::string> names;
+  std::string current;
+  for (const char* p = csv;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!current.empty()) names.push_back(current);
+      current.clear();
+      if (*p == '\0') break;
+    } else {
+      current.push_back(*p);
+    }
+  }
+  return names;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  return sorted[static_cast<std::size_t>(p * double(sorted.size() - 1))];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string graph_file;
+  std::size_t num_requests = 200;
+  double rate = 500.0;
+  double deadline_ms = 100.0;
+  std::uint64_t staleness = 1u << 20;
+  std::uint64_t seed = 42;
+  ServiceConfig cfg;
+  bool chaos = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--requests")) {
+      num_requests = std::strtoull(next("--requests"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--rate")) {
+      rate = std::strtod(next("--rate"), nullptr);
+    } else if (!std::strcmp(argv[i], "--deadline-ms")) {
+      deadline_ms = std::strtod(next("--deadline-ms"), nullptr);
+    } else if (!std::strcmp(argv[i], "--staleness")) {
+      staleness = std::strtoull(next("--staleness"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--workers")) {
+      cfg.workers = static_cast<unsigned>(std::strtoul(next("--workers"), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--queue")) {
+      cfg.queue_capacity = std::strtoull(next("--queue"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--backends")) {
+      cfg.backends = split_names(next("--backends"));
+    } else if (!std::strcmp(argv[i], "--chaos")) {
+      chaos = true;
+    } else if (!std::strcmp(argv[i], "--no-breakers")) {
+      cfg.enable_breakers = false;
+    } else if (!std::strcmp(argv[i], "--no-degradation")) {
+      cfg.enable_degradation = false;
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (argv[i][0] != '-' && graph_file.empty()) {
+      graph_file = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [<graph-file>] [--requests N] [--rate RPS] [--deadline-ms D]\n"
+                   "          [--staleness N] [--workers N] [--queue N] [--backends a,b,c]\n"
+                   "          [--chaos] [--no-breakers] [--no-degradation] [--seed S]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  cfg.seed = seed;
+  if (chaos) {
+    cfg.device_profile.fault_plan.seed = seed;
+    cfg.device_profile.fault_plan.delayed_visibility = true;
+    cfg.device_profile.fault_plan.store_defer_probability = 1.0;
+  }
+
+  Rng rng(seed);
+  graph::Digraph g = [&] {
+    if (!graph_file.empty()) return graph::read_graph_file(graph_file);
+    graph::SccProfile profile;
+    profile.num_vertices = 512;
+    profile.avg_degree = 4.0;
+    profile.mid_sccs = 8;
+    return graph::scc_profile_graph(profile, rng);
+  }();
+  std::printf("serving %u vertices / %llu edges; %zu requests at %.0f rps, "
+              "deadline %.0fms%s\n",
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
+              num_requests, rate, deadline_ms, chaos ? ", chaos defer p=1.0" : "");
+
+  SccService svc(g, cfg);
+  struct InFlight {
+    std::future<Response> future;
+    service::ServiceClock::time_point submitted_at;
+  };
+  std::vector<InFlight> inflight;
+  inflight.reserve(num_requests);
+  const auto interarrival = std::chrono::duration_cast<service::ServiceClock::duration>(
+      std::chrono::duration<double>(rate > 0 ? 1.0 / rate : 0.0));
+
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    Request req;
+    req.deadline = Request::deadline_in(deadline_ms / 1e3);
+    req.staleness_budget = staleness;
+    const auto draw = rng.bounded(10);
+    if (draw < 6) {
+      req.kind = RequestKind::kSccLabels;
+    } else if (draw < 8) {
+      req.kind = RequestKind::kReachabilityQuery;
+      req.u = static_cast<graph::vid>(rng.bounded(g.num_vertices()));
+      req.v = static_cast<graph::vid>(rng.bounded(g.num_vertices()));
+    } else if (draw < 9) {
+      req.kind = RequestKind::kCondensation;
+    } else {
+      req.kind = RequestKind::kUpdateBatch;
+      req.updates = {{graph::EdgeUpdate::Kind::kInsert,
+                      static_cast<graph::vid>(rng.bounded(g.num_vertices())),
+                      static_cast<graph::vid>(rng.bounded(g.num_vertices()))}};
+    }
+    inflight.push_back({svc.submit(req), service::ServiceClock::now()});
+    if (interarrival.count() > 0) std::this_thread::sleep_for(interarrival);
+  }
+
+  std::vector<double> latencies_ms;
+  std::vector<std::uint64_t> by_status(6, 0);
+  std::uint64_t degraded = 0;
+  for (auto& f : inflight) {
+    const Response r = f.future.get();
+    by_status[static_cast<std::size_t>(r.status)]++;
+    if (r.ok() && r.degraded()) ++degraded;
+    latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(r.completed_at - f.submitted_at).count());
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+
+  TextTable table({"status", "count"});
+  for (std::size_t s = 0; s < by_status.size(); ++s) {
+    if (by_status[s] == 0) continue;
+    table.add_row({service::service_status_name(static_cast<service::ServiceStatus>(s)),
+                   std::to_string(by_status[s])});
+  }
+  std::printf("\n%s\n", table.render().c_str());
+
+  const auto stats = svc.stats();
+  std::printf("degraded serves: %llu (stale %llu, serial %llu); fresh attempts %llu, "
+              "backend failures %llu, breaker skips %llu, overload sheds %llu\n",
+              static_cast<unsigned long long>(degraded),
+              static_cast<unsigned long long>(stats.served_stale),
+              static_cast<unsigned long long>(stats.served_serial),
+              static_cast<unsigned long long>(stats.fresh_attempts),
+              static_cast<unsigned long long>(stats.backend_failures),
+              static_cast<unsigned long long>(stats.breaker_skips),
+              static_cast<unsigned long long>(stats.overload_sheds));
+  std::printf("latency ms: p50 %.2f  p99 %.2f  p999 %.2f  max %.2f\n",
+              percentile(latencies_ms, 0.50), percentile(latencies_ms, 0.99),
+              percentile(latencies_ms, 0.999),
+              latencies_ms.empty() ? 0.0 : latencies_ms.back());
+  for (const auto& [backend, state] : svc.breaker_states())
+    std::printf("breaker[%s] = %s\n", backend.c_str(), service::breaker_state_name(state));
+  svc.shutdown();
+  return 0;
+}
