@@ -44,18 +44,32 @@ SccResult ecl_omp(const Digraph& g, const EclOmpOptions& opts) {
 
   std::vector<std::uint32_t> in(n);
   std::vector<std::uint32_t> out(n);
+  // Frontier gating (the CPU translation of the device gate, DESIGN.md §10):
+  // epoch[v] is the last round any signature of v moved. An edge whose
+  // endpoints are both quiescent since before the previous round is already
+  // at its fixpoint and is skipped.
+  std::vector<std::uint32_t> epoch(opts.frontier_gating ? n : 0, 0);
+  std::uint32_t round = 0;
   std::vector<vid> labels(n, graph::kInvalidVid);
   std::uint64_t labeled = 0;
   const std::uint64_t guard = static_cast<std::uint64_t>(n) + 2;
+
+  auto stamp = [&](vid v, std::uint32_t r) noexcept {
+    std::atomic_ref<std::uint32_t>(epoch[v]).store(r, std::memory_order_relaxed);
+  };
 
   while (labeled < n) {
     if (++result.metrics.outer_iterations > guard)
       throw std::logic_error("ecl_omp: outer loop exceeded iteration guard (internal bug)");
 
     // Phase 1: initialize signatures of unlabeled vertices.
+    ++round;
 #pragma omp parallel for schedule(static)
     for (vid v = 0; v < n; ++v) {
-      if (labels[v] == graph::kInvalidVid) in[v] = out[v] = v;
+      if (labels[v] == graph::kInvalidVid) {
+        in[v] = out[v] = v;
+        if (opts.frontier_gating) epoch[v] = round;
+      }
     }
 
     // Phase 2: propagate maxima to a fixed point.
@@ -63,17 +77,32 @@ SccResult ecl_omp(const Digraph& g, const EclOmpOptions& opts) {
     while (updated) {
       updated = false;
       ++result.metrics.propagation_rounds;
-      result.metrics.edges_processed += edges.size();
-#pragma omp parallel for schedule(static) reduction(|| : updated)
+      const std::uint32_t r = ++round;
+      std::uint64_t skipped = 0;
+#pragma omp parallel for schedule(static) reduction(|| : updated) reduction(+ : skipped)
       for (std::size_t i = 0; i < edges.size(); ++i) {
         const auto [u, v] = edges[i];
+        if (opts.frontier_gating && load_relaxed(epoch[u]) + 1 < r &&
+            load_relaxed(epoch[v]) + 1 < r) {
+          ++skipped;
+          continue;
+        }
         std::uint32_t ov = load_relaxed(out[v]);
         if (opts.path_compression) ov = load_relaxed(out[ov]);
-        if (ov > load_relaxed(out[u])) updated = store_max(out[u], ov) || updated;
+        if (ov > load_relaxed(out[u]) && store_max(out[u], ov)) {
+          if (opts.frontier_gating) stamp(u, r);
+          updated = true;
+        }
         std::uint32_t iu = load_relaxed(in[u]);
         if (opts.path_compression) iu = load_relaxed(in[iu]);
-        if (iu > load_relaxed(in[v])) updated = store_max(in[v], iu) || updated;
+        if (iu > load_relaxed(in[v]) && store_max(in[v], iu)) {
+          if (opts.frontier_gating) stamp(v, r);
+          updated = true;
+        }
       }
+      result.metrics.edges_processed += edges.size() - skipped;
+      result.metrics.edges_skipped += skipped;
+      if (skipped > 0) ++result.metrics.frontier_rounds;
     }
 
     // Detect: vin == vout identifies the component (§3.2.1).

@@ -18,6 +18,9 @@ struct EclOmpOptions {
   unsigned num_threads = 0;  ///< OpenMP threads; 0 keeps the runtime default
   bool path_compression = true;
   bool remove_scc_edges = true;
+  /// Per-vertex epoch stamps skip edges whose endpoints are both quiescent
+  /// (the CPU translation of the device hot path's gate, DESIGN.md §10).
+  bool frontier_gating = true;
 };
 
 /// Runs ECL-SCC on the CPU. Labels are the max vertex ID per component.

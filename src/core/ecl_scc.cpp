@@ -4,6 +4,7 @@
 
 #include "core/tarjan.hpp"
 #include "device/atomics.hpp"
+#include "device/signature_store.hpp"
 #include "device/worklist.hpp"
 #include "graph/condensation.hpp"
 #include "graph/subgraph.hpp"
@@ -15,31 +16,31 @@ namespace {
 using device::AtomicU32;
 using device::BlockContext;
 using device::EdgeWorklist;
+using device::SignatureStore;
 
 /// Per-run state shared by the kernels.
 struct EclState {
-  EclState(const Digraph& g, bool with_min)
+  EclState(const Digraph& g, const EclOptions& opts)
       : n(g.num_vertices()),
-        vin(std::make_unique<AtomicU32[]>(n)),
-        vout(std::make_unique<AtomicU32[]>(n)),
-        min_in(with_min ? std::make_unique<AtomicU32[]>(n) : nullptr),
-        min_out(with_min ? std::make_unique<AtomicU32[]>(n) : nullptr),
+        sigs(n, opts.min_max_signatures, opts.padded_signatures),
         labels(n, graph::kInvalidVid),
         worklist(g) {}
 
   vid n;
-  std::unique_ptr<AtomicU32[]> vin;
-  std::unique_ptr<AtomicU32[]> vout;
-  std::unique_ptr<AtomicU32[]> min_in;   ///< 4-signature variant only
-  std::unique_ptr<AtomicU32[]> min_out;  ///< 4-signature variant only
+  SignatureStore sigs;
   std::vector<vid> labels;
   EdgeWorklist worklist;
   /// Delayed-visibility fault hook; null unless the device injects it.
   device::FaultInjector* fault = nullptr;
+  /// Global round clock for frontier gating (DESIGN.md §10): bumped by the
+  /// control thread before each Phase-1 launch and each Phase-2 sweep, read
+  /// by kernels via the captured per-launch value only.
+  std::uint32_t round = 0;
 
   std::atomic<std::uint32_t> changed{0};
   std::atomic<std::uint64_t> labeled{0};
   std::atomic<std::uint64_t> edges_processed{0};
+  std::atomic<std::uint64_t> edges_skipped{0};
   std::atomic<std::uint64_t> block_iterations{0};
 };
 
@@ -48,84 +49,101 @@ struct EclState {
 /// deferred: dropped this round but reported as movement when it would have
 /// changed the slot, so the propagation loop retries until it lands —
 /// exactly the lost-update tolerance the monotonic store relies on.
-bool store_max(EclState& st, AtomicU32& slot, std::uint32_t value,
-               bool use_atomic_max) noexcept {
+///
+/// `owner` is the vertex whose signature the slot belongs to. Any reported
+/// movement — including a deferred store's, so the retry round still sees
+/// the edge as active — stamps the owner's frontier epoch with the current
+/// round, keeping its incident edges in the active frontier.
+bool store_max(EclState& st, AtomicU32& slot, vid owner, std::uint32_t value,
+               const EclOptions& opts, std::uint32_t round) noexcept {
+  bool moved;
   if (st.fault && st.fault->defer_store())
-    return value > slot.load(std::memory_order_relaxed);
-  return use_atomic_max ? device::atomic_fetch_max(slot, value)
-                        : device::racy_store_max(slot, value);
+    moved = value > slot.load(std::memory_order_relaxed);
+  else
+    moved = opts.use_atomic_max ? device::atomic_fetch_max(slot, value)
+                                : device::racy_store_max(slot, value);
+  if (moved && opts.frontier_gating)
+    st.sigs.epoch(owner).store(round, std::memory_order_relaxed);
+  return moved;
 }
 
-bool store_min(EclState& st, AtomicU32& slot, std::uint32_t value,
-               bool use_atomic_max) noexcept {
+bool store_min(EclState& st, AtomicU32& slot, vid owner, std::uint32_t value,
+               const EclOptions& opts, std::uint32_t round) noexcept {
+  bool moved;
   if (st.fault && st.fault->defer_store())
-    return value < slot.load(std::memory_order_relaxed);
-  return use_atomic_max ? device::atomic_fetch_min(slot, value)
-                        : device::racy_store_min(slot, value);
+    moved = value < slot.load(std::memory_order_relaxed);
+  else
+    moved = opts.use_atomic_max ? device::atomic_fetch_min(slot, value)
+                                : device::racy_store_min(slot, value);
+  if (moved && opts.frontier_gating)
+    st.sigs.epoch(owner).store(round, std::memory_order_relaxed);
+  return moved;
 }
 
 /// Minimum-ID propagation for one edge (the 4-signature variant): the
 /// exact mirror of the maximum propagation, including path compression
 /// (min_in[min_in[u]] <= min_in[u] stays an ancestor-or-self of v).
-bool propagate_edge_min(EclState& st, graph::Edge e, const EclOptions& opts) noexcept {
+bool propagate_edge_min(EclState& st, graph::Edge e, const EclOptions& opts,
+                        std::uint32_t round) noexcept {
   const vid u = e.src;
   const vid v = e.dst;
   bool any = false;
 
-  std::uint32_t ov = st.min_out[v].load(std::memory_order_relaxed);
-  if (opts.path_compression) ov = st.min_out[ov].load(std::memory_order_relaxed);
-  const std::uint32_t ou = st.min_out[u].load(std::memory_order_relaxed);
+  std::uint32_t ov = st.sigs.min_out(v).load(std::memory_order_relaxed);
+  if (opts.path_compression) ov = st.sigs.min_out(ov).load(std::memory_order_relaxed);
+  const std::uint32_t ou = st.sigs.min_out(u).load(std::memory_order_relaxed);
   if (ov < ou) {
     if (opts.path_compression && ou != u) {
-      const std::uint32_t iu = st.min_in[u].load(std::memory_order_relaxed);
-      any |= store_min(st, st.min_in[ou], iu, opts.use_atomic_max);
+      const std::uint32_t iu = st.sigs.min_in(u).load(std::memory_order_relaxed);
+      any |= store_min(st, st.sigs.min_in(ou), ou, iu, opts, round);
     }
-    any |= store_min(st, st.min_out[u], ov, opts.use_atomic_max);
+    any |= store_min(st, st.sigs.min_out(u), u, ov, opts, round);
   }
 
-  std::uint32_t iu = st.min_in[u].load(std::memory_order_relaxed);
-  if (opts.path_compression) iu = st.min_in[iu].load(std::memory_order_relaxed);
-  const std::uint32_t iv = st.min_in[v].load(std::memory_order_relaxed);
+  std::uint32_t iu = st.sigs.min_in(u).load(std::memory_order_relaxed);
+  if (opts.path_compression) iu = st.sigs.min_in(iu).load(std::memory_order_relaxed);
+  const std::uint32_t iv = st.sigs.min_in(v).load(std::memory_order_relaxed);
   if (iu < iv) {
     if (opts.path_compression && iv != v) {
-      const std::uint32_t ovv = st.min_out[v].load(std::memory_order_relaxed);
-      any |= store_min(st, st.min_out[iv], ovv, opts.use_atomic_max);
+      const std::uint32_t ovv = st.sigs.min_out(v).load(std::memory_order_relaxed);
+      any |= store_min(st, st.sigs.min_out(iv), iv, ovv, opts, round);
     }
-    any |= store_min(st, st.min_in[v], iu, opts.use_atomic_max);
+    any |= store_min(st, st.sigs.min_in(v), v, iu, opts, round);
   }
   return any;
 }
 
 /// Phase-2 body for one edge (u -> v). Returns true if any signature moved.
-bool propagate_edge(EclState& st, graph::Edge e, const EclOptions& opts) noexcept {
+bool propagate_edge(EclState& st, graph::Edge e, const EclOptions& opts,
+                    std::uint32_t round) noexcept {
   const vid u = e.src;
   const vid v = e.dst;
   bool any = false;
 
   // out[u] <- max(out[u], out[v])   (compressed: out[out[v]], §3.3)
-  std::uint32_t ov = st.vout[v].load(std::memory_order_relaxed);
-  if (opts.path_compression) ov = st.vout[ov].load(std::memory_order_relaxed);
-  const std::uint32_t ou = st.vout[u].load(std::memory_order_relaxed);
+  std::uint32_t ov = st.sigs.vout(v).load(std::memory_order_relaxed);
+  if (opts.path_compression) ov = st.sigs.vout(ov).load(std::memory_order_relaxed);
+  const std::uint32_t ou = st.sigs.vout(u).load(std::memory_order_relaxed);
   if (ov > ou) {
     if (opts.path_compression && ou != u) {
       // Lift: ou is a descendant of u, so u's ancestors are ou's ancestors.
-      const std::uint32_t iu = st.vin[u].load(std::memory_order_relaxed);
-      any |= store_max(st, st.vin[ou], iu, opts.use_atomic_max);
+      const std::uint32_t iu = st.sigs.vin(u).load(std::memory_order_relaxed);
+      any |= store_max(st, st.sigs.vin(ou), ou, iu, opts, round);
     }
-    any |= store_max(st, st.vout[u], ov, opts.use_atomic_max);
+    any |= store_max(st, st.sigs.vout(u), u, ov, opts, round);
   }
 
   // in[v] <- max(in[v], in[u])   (compressed: in[in[u]])
-  std::uint32_t iu = st.vin[u].load(std::memory_order_relaxed);
-  if (opts.path_compression) iu = st.vin[iu].load(std::memory_order_relaxed);
-  const std::uint32_t iv = st.vin[v].load(std::memory_order_relaxed);
+  std::uint32_t iu = st.sigs.vin(u).load(std::memory_order_relaxed);
+  if (opts.path_compression) iu = st.sigs.vin(iu).load(std::memory_order_relaxed);
+  const std::uint32_t iv = st.sigs.vin(v).load(std::memory_order_relaxed);
   if (iu > iv) {
     if (opts.path_compression && iv != v) {
       // Lift: iv is an ancestor of v, so v's descendants are iv's descendants.
-      const std::uint32_t ovv = st.vout[v].load(std::memory_order_relaxed);
-      any |= store_max(st, st.vout[iv], ovv, opts.use_atomic_max);
+      const std::uint32_t ovv = st.sigs.vout(v).load(std::memory_order_relaxed);
+      any |= store_max(st, st.sigs.vout(iv), iv, ovv, opts, round);
     }
-    any |= store_max(st, st.vin[v], iu, opts.use_atomic_max);
+    any |= store_max(st, st.sigs.vin(v), v, iu, opts, round);
   }
   return any;
 }
@@ -139,18 +157,25 @@ unsigned grid_size(device::Device& dev, std::uint64_t items, bool persistent) {
 
 void phase1_init(EclState& st, device::Device& dev, const EclOptions& opts) {
   const std::uint64_t n = st.n;
+  // Every re-initialized vertex is stamped with this round, so the first
+  // Phase-2 sweep (round + 1) sees all of its edges as active.
+  const std::uint32_t round = ++st.round;
   dev.launch(
       grid_size(dev, n, opts.persistent_threads),
-      [&](const BlockContext& ctx) {
+      [&, round](const BlockContext& ctx) {
         ctx.for_each_chunk(n, [&](std::uint64_t lo, std::uint64_t hi) {
           for (std::uint64_t v = lo; v < hi; ++v) {
             if (st.labels[v] == graph::kInvalidVid) {
-              st.vin[v].store(static_cast<std::uint32_t>(v), std::memory_order_relaxed);
-              st.vout[v].store(static_cast<std::uint32_t>(v), std::memory_order_relaxed);
+              st.sigs.vin(v).store(static_cast<std::uint32_t>(v), std::memory_order_relaxed);
+              st.sigs.vout(v).store(static_cast<std::uint32_t>(v), std::memory_order_relaxed);
               if (opts.min_max_signatures) {
-                st.min_in[v].store(static_cast<std::uint32_t>(v), std::memory_order_relaxed);
-                st.min_out[v].store(static_cast<std::uint32_t>(v), std::memory_order_relaxed);
+                st.sigs.min_in(v).store(static_cast<std::uint32_t>(v),
+                                        std::memory_order_relaxed);
+                st.sigs.min_out(v).store(static_cast<std::uint32_t>(v),
+                                         std::memory_order_relaxed);
               }
+              if (opts.frontier_gating)
+                st.sigs.epoch(v).store(round, std::memory_order_relaxed);
             }
           }
         });
@@ -177,11 +202,20 @@ bool phase2_propagate(EclState& st, device::Device& dev, const EclOptions& opts,
     }
     st.changed.store(0, std::memory_order_relaxed);
     ++metrics.propagation_rounds;
+    // One round of the global clock per sweep. An edge is active when either
+    // endpoint's signature moved in the previous round (epoch >= r - 1) or
+    // this one; everything else is provably at the fixpoint already and is
+    // skipped. Async in-block re-iterations share the sweep's round: stamps
+    // of r keep their edges active across the inner iterations.
+    const std::uint32_t r = ++st.round;
+    const std::uint64_t processed_before = st.edges_processed.load(std::memory_order_relaxed);
+    const std::uint64_t skipped_before = st.edges_skipped.load(std::memory_order_relaxed);
 
     dev.launch(
         blocks,
-        [&](const BlockContext& ctx) {
+        [&, r](const BlockContext& ctx) {
           std::uint64_t local_processed = 0;
+          std::uint64_t local_skipped = 0;
           bool local_changed;
           std::uint64_t local_iters = 0;
           do {
@@ -189,11 +223,17 @@ bool phase2_propagate(EclState& st, device::Device& dev, const EclOptions& opts,
             ++local_iters;
             ctx.for_each_chunk(m, [&](std::uint64_t lo, std::uint64_t hi) {
               for (std::uint64_t i = lo; i < hi; ++i) {
-                local_changed |= propagate_edge(st, edges[i], opts);
+                const graph::Edge e = edges[i];
+                if (opts.frontier_gating && st.sigs.epoch_of(e.src) + 1 < r &&
+                    st.sigs.epoch_of(e.dst) + 1 < r) {
+                  ++local_skipped;
+                  continue;
+                }
+                ++local_processed;
+                local_changed |= propagate_edge(st, e, opts, r);
                 if (opts.min_max_signatures)
-                  local_changed |= propagate_edge_min(st, edges[i], opts);
+                  local_changed |= propagate_edge_min(st, e, opts, r);
               }
-              local_processed += hi - lo;
             });
             // async_phase2: the block re-iterates its edges to a local fixed
             // point inside one launch (§3.3); sync mode does a single sweep.
@@ -205,8 +245,20 @@ bool phase2_propagate(EclState& st, device::Device& dev, const EclOptions& opts,
             st.changed.store(1, std::memory_order_relaxed);
           st.block_iterations.fetch_add(local_iters, std::memory_order_relaxed);
           st.edges_processed.fetch_add(local_processed, std::memory_order_relaxed);
+          st.edges_skipped.fetch_add(local_skipped, std::memory_order_relaxed);
         },
         {.idempotent = true});
+
+    if (opts.frontier_gating) {
+      const std::uint64_t processed =
+          st.edges_processed.load(std::memory_order_relaxed) - processed_before;
+      if (st.edges_skipped.load(std::memory_order_relaxed) > skipped_before)
+        ++metrics.frontier_rounds;
+      // A shrinking active frontier is fixpoint progress even while labels
+      // and worklist size are frozen mid-Phase-2; let the wall-clock
+      // watchdog see it (it ignores flat or growing frontiers).
+      watchdog.observe_phase2_round(processed);
+    }
 
     if (st.changed.load(std::memory_order_relaxed) == 0) break;
   }
@@ -224,8 +276,8 @@ void detect_components(EclState& st, device::Device& dev, const EclOptions& opts
         ctx.for_each_chunk(n, [&](std::uint64_t lo, std::uint64_t hi) {
           for (std::uint64_t v = lo; v < hi; ++v) {
             if (st.labels[v] != graph::kInvalidVid) continue;
-            const std::uint32_t i = st.vin[v].load(std::memory_order_relaxed);
-            const std::uint32_t o = st.vout[v].load(std::memory_order_relaxed);
+            const std::uint32_t i = st.sigs.vin(v).load(std::memory_order_relaxed);
+            const std::uint32_t o = st.sigs.vout(v).load(std::memory_order_relaxed);
             if (i == o) {
               st.labels[v] = i;
               ++local;
@@ -234,8 +286,8 @@ void detect_components(EclState& st, device::Device& dev, const EclOptions& opts
             if (opts.min_max_signatures) {
               // A vertex whose min signatures agree is in the MIN SCC of its
               // cluster; label it by that (minimum) member.
-              const std::uint32_t mi = st.min_in[v].load(std::memory_order_relaxed);
-              const std::uint32_t mo = st.min_out[v].load(std::memory_order_relaxed);
+              const std::uint32_t mi = st.sigs.min_in(v).load(std::memory_order_relaxed);
+              const std::uint32_t mo = st.sigs.min_out(v).load(std::memory_order_relaxed);
               if (mi == mo) {
                 st.labels[v] = mi;
                 ++local;
@@ -254,24 +306,31 @@ void phase3_remove_edges(EclState& st, device::Device& dev, const EclOptions& op
   const std::uint64_t m = edges.size();
   if (m == 0) return;
   dev.launch(grid_size(dev, m, opts.persistent_threads), [&](const BlockContext& ctx) {
+    // Chunked reservation (DESIGN.md §10): survivors are staged per block and
+    // committed with one cursor fetch_add per chunk. The appender's
+    // destructor flushes the partial last chunk before the grid barrier.
+    EdgeWorklist::ChunkAppender chunk(st.worklist);
     ctx.for_each_chunk(m, [&](std::uint64_t lo, std::uint64_t hi) {
       for (std::uint64_t i = lo; i < hi; ++i) {
         const graph::Edge e = edges[i];
-        const std::uint32_t iu = st.vin[e.src].load(std::memory_order_relaxed);
-        const std::uint32_t iv = st.vin[e.dst].load(std::memory_order_relaxed);
-        const std::uint32_t ou = st.vout[e.src].load(std::memory_order_relaxed);
-        const std::uint32_t ov = st.vout[e.dst].load(std::memory_order_relaxed);
+        const std::uint32_t iu = st.sigs.vin(e.src).load(std::memory_order_relaxed);
+        const std::uint32_t iv = st.sigs.vin(e.dst).load(std::memory_order_relaxed);
+        const std::uint32_t ou = st.sigs.vout(e.src).load(std::memory_order_relaxed);
+        const std::uint32_t ov = st.sigs.vout(e.dst).load(std::memory_order_relaxed);
         if (iu != iv || ou != ov) continue;  // spans SCCs: drop
         if (opts.min_max_signatures) {
-          const std::uint32_t miu = st.min_in[e.src].load(std::memory_order_relaxed);
-          const std::uint32_t miv = st.min_in[e.dst].load(std::memory_order_relaxed);
-          const std::uint32_t mou = st.min_out[e.src].load(std::memory_order_relaxed);
-          const std::uint32_t mov = st.min_out[e.dst].load(std::memory_order_relaxed);
+          const std::uint32_t miu = st.sigs.min_in(e.src).load(std::memory_order_relaxed);
+          const std::uint32_t miv = st.sigs.min_in(e.dst).load(std::memory_order_relaxed);
+          const std::uint32_t mou = st.sigs.min_out(e.src).load(std::memory_order_relaxed);
+          const std::uint32_t mov = st.sigs.min_out(e.dst).load(std::memory_order_relaxed);
           if (miu != miv || mou != mov) continue;  // min signatures disagree
         }
         if (opts.remove_scc_edges && st.labels[e.src] != graph::kInvalidVid)
           continue;  // inside a completed SCC: no longer needed (§3.3)
-        st.worklist.push_next(e);
+        if (opts.chunked_worklist)
+          chunk.push(e);
+        else
+          st.worklist.push_next(e);
       }
     });
   });
@@ -322,12 +381,20 @@ EclOptions ecl_all_optimizations_off() {
   return opts;
 }
 
+EclOptions ecl_hotpath_levers_off() {
+  EclOptions opts;
+  opts.chunked_worklist = false;
+  opts.frontier_gating = false;
+  opts.padded_signatures = false;
+  return opts;
+}
+
 SccResult ecl_scc(const Digraph& g, device::Device& dev, const EclOptions& opts) {
   const vid n = g.num_vertices();
   SccResult result;
   if (n == 0) return result;
 
-  EclState st(g, opts.min_max_signatures);
+  EclState st(g, opts);
   if (dev.fault_active() && dev.fault().plan().delayed_visibility) st.fault = &dev.fault();
   const std::uint64_t launches_before = dev.stats().kernel_launches;
 
@@ -377,7 +444,8 @@ SccResult ecl_scc(const Digraph& g, device::Device& dev, const EclOptions& opts)
       // came from the intact pre-overflow worklist and remain sound, but
       // further propagation over the truncated edge set would not be.
       result.error = {SccStatus::kWorklistOverflow,
-                      "ecl_scc: edge worklist overflowed during phase 3"};
+                      "ecl_scc: edge worklist overflowed during phase 3 (" +
+                          std::to_string(st.worklist.dropped_edges()) + " edges dropped)"};
       break;
     }
     if (watchdog.observe_iteration(st.labeled.load(std::memory_order_relaxed),
@@ -391,6 +459,8 @@ SccResult ecl_scc(const Digraph& g, device::Device& dev, const EclOptions& opts)
   }
 
   result.metrics.edges_processed = st.edges_processed.load(std::memory_order_relaxed);
+  result.metrics.edges_skipped = st.edges_skipped.load(std::memory_order_relaxed);
+  result.metrics.edges_dropped = st.worklist.dropped_edges();
   result.metrics.kernel_launches = dev.stats().kernel_launches - launches_before;
   result.metrics.block_iterations = st.block_iterations.load(std::memory_order_relaxed);
   dev.stats().block_iterations += result.metrics.block_iterations;

@@ -58,6 +58,23 @@ struct EclOptions {
   /// cluster per outer iteration at the cost of doubled signature memory.
   /// Off by default, like the paper's shipped configuration.
   bool min_max_signatures = false;
+
+  // --- Hot-path levers (DESIGN.md §10). Each preserves the exact fixpoint,
+  // labeling, and overflow/fault semantics of the seed implementation and
+  // is independently toggleable for the bench_hotpath ablation. -----------
+  /// Phase-3 survivors are staged per block and committed to the next
+  /// worklist buffer with one cursor fetch_add per chunk instead of one per
+  /// edge (EdgeWorklist::ChunkAppender).
+  bool chunked_worklist = true;
+  /// Per-vertex epoch stamps let propagation sweeps skip edges whose
+  /// endpoints are both quiescent, turning late fixpoint rounds from full
+  /// re-sweeps into near-empty ones. Savings are reported in
+  /// SccMetrics::edges_skipped / frontier_rounds.
+  bool frontier_gating = true;
+  /// Store each vertex's signature state in its own 64-byte-aligned slot
+  /// (device/signature_store.hpp) instead of densely packed SoA arrays, so
+  /// pool threads never false-share signature cache lines.
+  bool padded_signatures = true;
   /// Safety guard on outer iterations; 0 means |V| + 2 (the theoretical
   /// bound is the number of SCCs). A trip is reported as
   /// SccStatus::kIterationGuard, subject to stall_policy — never thrown.
@@ -68,8 +85,14 @@ struct EclOptions {
   StallPolicy stall_policy = StallPolicy::kSerialFallback;
 };
 
-/// All-off configuration (the "disable all 4" bar of Fig. 14).
+/// All-off configuration (the "disable all 4" bar of Fig. 14). The hot-path
+/// levers are left at their defaults: they postdate the paper's ablation.
 EclOptions ecl_all_optimizations_off();
+
+/// Default configuration with the three hot-path levers (chunked_worklist,
+/// frontier_gating, padded_signatures) disabled — the seed implementation's
+/// behavior, and the baseline bench_hotpath measures speedups against.
+EclOptions ecl_hotpath_levers_off();
 
 /// Runs ECL-SCC on the given virtual device. Labels are the maximum vertex
 /// ID of each component (§3.2.1).

@@ -43,11 +43,25 @@ struct Bfs {
       ++levels;
       std::atomic<std::size_t> next_size{0};
       // Idempotent: the tag CAS admits each vertex to `next` exactly once,
-      // so a spurious replay of a block finds every neighbor already tagged.
+      // so a spurious replay of a block finds every neighbor already tagged
+      // and its staged flush commits nothing.
       dev.launch(
           dev.blocks_for(frontier_size),
           [&](const BlockContext& ctx) {
             std::uint64_t local_edges = 0;
+            // Chunked reservation (DESIGN.md §10): newly tagged vertices are
+            // staged per block and committed to `next` with one cursor
+            // fetch_add per chunk instead of one per vertex.
+            constexpr std::size_t kChunk = 1024;
+            std::vector<vid> staged;
+            staged.reserve(kChunk);
+            auto flush = [&] {
+              if (staged.empty()) return;
+              const std::size_t at =
+                  next_size.fetch_add(staged.size(), std::memory_order_relaxed);
+              std::copy(staged.begin(), staged.end(), next.begin() + at);
+              staged.clear();
+            };
             ctx.for_each_chunk(frontier_size, [&](std::uint64_t lo, std::uint64_t hi) {
               for (std::uint64_t i = lo; i < hi; ++i) {
                 const vid u = frontier[i];
@@ -58,11 +72,13 @@ struct Bfs {
                   if (expected == round) continue;
                   if (tag[w].compare_exchange_strong(expected, round,
                                                      std::memory_order_relaxed)) {
-                    next[next_size.fetch_add(1, std::memory_order_relaxed)] = w;
+                    staged.push_back(w);
+                    if (staged.size() >= kChunk) flush();
                   }
                 }
               }
             });
+            flush();
             edges_processed.fetch_add(local_edges, std::memory_order_relaxed);
           },
           {.idempotent = true});

@@ -30,6 +30,10 @@ const std::vector<std::pair<std::string, SccAlgorithm>>& table() {
       {"ecl-serial", [](const Digraph& g) { return ecl_serial(g); }},
       {"ecl-a100", [](const Digraph& g) { return ecl_scc(g, shared_device()); }},
       {"ecl-titanv", [](const Digraph& g) { return ecl_scc(g, titanv_device()); }},
+      // The seed hot path (all DESIGN.md §10 levers off) kept runnable by
+      // name so differential checks can compare against it end to end.
+      {"ecl-classic",
+       [](const Digraph& g) { return ecl_scc(g, shared_device(), ecl_hotpath_levers_off()); }},
       {"gpu-scc-a100", [](const Digraph& g) { return fb_trim(g, shared_device()); }},
       {"gpu-scc-titanv", [](const Digraph& g) { return fb_trim(g, titanv_device()); }},
       {"ispan", [](const Digraph& g) { return ispan(g); }},
@@ -48,6 +52,10 @@ const std::vector<std::pair<std::string, DeviceAlgorithm>>& device_table() {
   static const std::vector<std::pair<std::string, DeviceAlgorithm>> algorithms = {
       {"ecl-a100", [](const Digraph& g, device::Device& dev) { return ecl_scc(g, dev); }},
       {"ecl-titanv", [](const Digraph& g, device::Device& dev) { return ecl_scc(g, dev); }},
+      {"ecl-classic",
+       [](const Digraph& g, device::Device& dev) {
+         return ecl_scc(g, dev, ecl_hotpath_levers_off());
+       }},
       {"gpu-scc-a100", [](const Digraph& g, device::Device& dev) { return fb_trim(g, dev); }},
       {"gpu-scc-titanv", [](const Digraph& g, device::Device& dev) { return fb_trim(g, dev); }},
   };

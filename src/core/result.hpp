@@ -50,6 +50,15 @@ struct SccMetrics {
   std::uint64_t kernel_launches = 0;     ///< virtual-device launches
   std::uint64_t block_iterations = 0;    ///< async-kernel internal repeats
 
+  /// Frontier gating (DESIGN.md §10): edge visits skipped because both
+  /// endpoints were quiescent, and the number of propagation rounds in
+  /// which at least one edge was skipped. Zero when the gate is off.
+  std::uint64_t edges_skipped = 0;
+  std::uint64_t frontier_rounds = 0;
+  /// Edges dropped by worklist appends past capacity (EdgeWorklist::
+  /// dropped_edges()): the real loss behind SccStatus::kWorklistOverflow.
+  std::uint64_t edges_dropped = 0;
+
   /// Wall-clock split across Algorithm 1's phases (filled by ecl_scc; the
   /// paper's §3.3 identifies Phase 2 as the dominant, optimization-worthy
   /// cost). phase3_seconds includes component detection + edge removal.

@@ -46,6 +46,15 @@ bool FixpointWatchdog::observe_iteration(std::uint64_t labeled,
   return false;
 }
 
+void FixpointWatchdog::observe_phase2_round(std::uint64_t active_edges) noexcept {
+  // Only a strict shrink re-arms the stall clock: under a progress-
+  // suppressing fault the frontier stays saturated (deferred stores keep
+  // re-stamping epochs), so the clock still runs out.
+  if (active_edges < last_phase2_active_)
+    anchor_ns_.store(now_ns(), std::memory_order_relaxed);
+  last_phase2_active_ = active_edges;
+}
+
 bool FixpointWatchdog::expired() const noexcept {
   if (deadline_expired()) return true;
   if (config_.stall_seconds <= 0.0) return false;

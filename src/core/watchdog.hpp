@@ -78,6 +78,17 @@ class FixpointWatchdog {
   /// number of consecutive no-progress iterations has been reached.
   bool observe_iteration(std::uint64_t labeled, std::uint64_t worklist_size) noexcept;
 
+  /// Frontier-gated Phase 2's early-quiesce signal: called once per global
+  /// propagation round with the number of edges the gated sweep actually
+  /// processed. A strictly shrinking active frontier means the fixpoint is
+  /// quiescing — forward progress for the wall-clock monitor even while
+  /// labels and worklist size are frozen mid-fixpoint — so it re-arms the
+  /// stall clock. It deliberately does NOT touch the outer no-progress
+  /// round counter (a quiescing sweep that then labels nothing is still a
+  /// stalled outer loop) and a flat or growing frontier (e.g. chaos-deferred
+  /// stores re-stamping epochs forever) re-arms nothing.
+  void observe_phase2_round(std::uint64_t active_edges) noexcept;
+
   /// Wall-clock monitor: true when stall_seconds > 0 and that much time has
   /// passed since the last recorded progress, or when the configured
   /// deadline has passed. Thread-safe and cheap (one steady_clock read).
@@ -98,6 +109,8 @@ class FixpointWatchdog {
   std::uint64_t phase2_budget_ = 0;
   std::uint64_t last_labeled_ = 0;
   std::uint64_t last_worklist_ = ~std::uint64_t{0};
+  /// Starts at 0 so the first observed frontier (a growth) never re-arms.
+  std::uint64_t last_phase2_active_ = 0;
   std::uint64_t no_progress_rounds_ = 0;
   std::atomic<std::int64_t> anchor_ns_{0};
   std::atomic<bool> stalled_{false};

@@ -17,6 +17,7 @@ void EdgeWorklist::init(std::span<const graph::Edge> edges) {
   buffers_[1].resize(edges.size());
   size_.store(edges.size(), std::memory_order_relaxed);
   next_size_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
   overflow_.store(false, std::memory_order_relaxed);
   cur_ = 0;
 }

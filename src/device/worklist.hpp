@@ -6,6 +6,28 @@
 // ECL-SCC's Phase 3 never materializes a smaller graph; it appends the
 // surviving edges to a second worklist via an atomic cursor and then swaps
 // the two buffer pointers. This class is that data structure.
+//
+// The append path comes in three grades of cursor contention:
+//
+//  * push_next       — one fetch_add per edge (the seed behavior; kept for
+//                      kernels that emit isolated survivors);
+//  * push_next_bulk  — one fetch_add per caller-assembled span;
+//  * ChunkAppender   — a per-block staging buffer that batches survivors
+//                      and reserves cursor space one chunk (default 1024
+//                      edges) at a time, cutting the fetch_add rate by ~3
+//                      orders of magnitude on survivor-dense sweeps. Because
+//                      a chunk is reserved only when the staged edges are in
+//                      hand, the reservation is always exact: no holes, no
+//                      unused tail to give back, and the flush at the end of
+//                      the block (before the grid barrier) commits the
+//                      partial last chunk.
+//
+// All three preserve the same overflow semantics: an append past capacity
+// asserts in debug builds; in release builds the excess edges are dropped,
+// counted in dropped_edges(), and a saturating overflow flag is raised for
+// the fixpoint watchdog to read. next_size() always records the *attempted*
+// append count, so a chaos-device double-append is observable through the
+// same counters regardless of which append path the kernel used.
 
 #include <algorithm>
 #include <atomic>
@@ -44,35 +66,100 @@ class EdgeWorklist {
   /// Thread-safe append into the *next* buffer (Phase-3 survivors). A push
   /// past capacity — a kernel double-appending, e.g. under a spurious
   /// re-execution fault — asserts in debug builds; in release builds the
-  /// edge is dropped and a saturating overflow flag is raised for the
-  /// fixpoint watchdog to read.
+  /// edge is dropped, counted, and the sticky overflow flag is raised.
   void push_next(graph::Edge e) noexcept {
     const std::size_t slot = next_size_.fetch_add(1, std::memory_order_relaxed);
     auto& next = buffers_[1 - cur_];
     if (slot >= next.size()) {
       assert(!"EdgeWorklist::push_next: append past capacity (double-append?)");
-      overflow_.store(true, std::memory_order_relaxed);
+      record_drop(1);
       return;
     }
     next[slot] = e;
   }
 
+  /// Thread-safe bulk append into the next buffer: one cursor fetch_add for
+  /// the whole span. On overflow the prefix that fits is stored and the
+  /// rest is dropped (counted, sticky flag raised) — the same edge-wise
+  /// semantics as issuing push_next once per element.
+  void push_next_bulk(std::span<const graph::Edge> batch) noexcept {
+    if (batch.empty()) return;
+    const std::size_t start = next_size_.fetch_add(batch.size(), std::memory_order_relaxed);
+    auto& next = buffers_[1 - cur_];
+    std::size_t stored = batch.size();
+    if (start + batch.size() > next.size()) {
+      assert(!"EdgeWorklist::push_next_bulk: append past capacity (double-append?)");
+      stored = start < next.size() ? next.size() - start : 0;
+      record_drop(batch.size() - stored);
+    }
+    std::copy_n(batch.data(), stored, next.data() + start);
+  }
+
+  /// Chunked reservation handle for one virtual block: survivors are staged
+  /// in a private buffer and committed with one fetch_add per chunk. Create
+  /// one per block inside the kernel; the destructor (which runs before the
+  /// launch's grid barrier) flushes the partial last chunk.
+  class ChunkAppender {
+   public:
+    static constexpr std::size_t kDefaultChunkEdges = 1024;
+
+    explicit ChunkAppender(EdgeWorklist& wl,
+                           std::size_t chunk_edges = kDefaultChunkEdges) noexcept
+        : wl_(wl), chunk_(std::max<std::size_t>(1, chunk_edges)) {
+      staged_.reserve(chunk_);
+    }
+    ChunkAppender(const ChunkAppender&) = delete;
+    ChunkAppender& operator=(const ChunkAppender&) = delete;
+    ~ChunkAppender() { flush(); }
+
+    void push(graph::Edge e) {
+      staged_.push_back(e);
+      if (staged_.size() >= chunk_) flush();
+    }
+
+    void flush() noexcept {
+      if (staged_.empty()) return;
+      wl_.push_next_bulk(staged_);
+      staged_.clear();
+    }
+
+   private:
+    EdgeWorklist& wl_;
+    std::size_t chunk_;
+    std::vector<graph::Edge> staged_;
+  };
+
   /// Number of edges appended to the next buffer so far (may exceed
   /// capacity after an overflow; see overflowed()).
   std::size_t next_size() const noexcept { return next_size_.load(std::memory_order_acquire); }
 
-  /// Saturating overflow flag: set once a push_next ran past capacity and
+  /// Saturating overflow flag: set once an append ran past capacity and
   /// sticky until clear_overflow(). The edges dropped by those pushes make
   /// the worklist contents unreliable, so the solver should abandon the
   /// fixpoint and fall back.
   bool overflowed() const noexcept { return overflow_.load(std::memory_order_acquire); }
-  void clear_overflow() noexcept { overflow_.store(false, std::memory_order_relaxed); }
+  void clear_overflow() noexcept {
+    overflow_.store(false, std::memory_order_relaxed);
+    dropped_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Edges dropped by appends past capacity since construction or the last
+  /// clear_overflow() — the real loss behind the overflow flag, sticky
+  /// across swap_buffers() so the watchdog and the chaos bench can report
+  /// how much of the edge set was silently discarded.
+  std::size_t dropped_edges() const noexcept {
+    return dropped_.load(std::memory_order_acquire);
+  }
 
   /// Pointer swap: the next buffer becomes current; the old current buffer
   /// becomes the (logically empty) next buffer. Not thread-safe; call at a
-  /// grid barrier only.
+  /// grid barrier only. A cursor past capacity here means appends were
+  /// dropped (asserts in debug; the clamped count stays observable through
+  /// dropped_edges() in release).
   void swap_buffers() noexcept {
     const std::size_t pushed = next_size_.load(std::memory_order_relaxed);
+    assert((pushed <= capacity() || overflowed()) &&
+           "EdgeWorklist::swap_buffers: cursor past capacity without overflow record");
     size_.store(std::min(pushed, capacity()), std::memory_order_relaxed);
     next_size_.store(0, std::memory_order_relaxed);
     cur_ = 1 - cur_;
@@ -81,9 +168,15 @@ class EdgeWorklist {
  private:
   void init(std::span<const graph::Edge> edges);
 
+  void record_drop(std::size_t count) noexcept {
+    overflow_.store(true, std::memory_order_relaxed);
+    dropped_.fetch_add(count, std::memory_order_relaxed);
+  }
+
   std::vector<graph::Edge> buffers_[2];
   std::atomic<std::size_t> size_{0};
   std::atomic<std::size_t> next_size_{0};
+  std::atomic<std::size_t> dropped_{0};
   std::atomic<bool> overflow_{false};
   int cur_ = 0;
 };

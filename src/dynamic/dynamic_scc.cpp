@@ -257,9 +257,10 @@ bool DynamicScc::backward_reach(vid from, vid to) {
   return found;
 }
 
-void DynamicScc::merge_cycle(vid cv, vid cu) {
+void DynamicScc::merge_cycle(vid cv, [[maybe_unused]] vid cu) {
   // Forward pass from cv restricted to components that reach cu (the
-  // backward pass's marks): exactly the components on cv ->* cu paths.
+  // backward pass's marks): exactly the components on cv ->* cu paths
+  // (cu itself is identified by the marks, not consulted directly).
   ++merge_stamp_;
   std::vector<vid> merged;
   merged.push_back(cv);

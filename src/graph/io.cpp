@@ -32,7 +32,9 @@ Digraph read_edge_list(std::istream& in) {
   // The writer emits a `# vertices N edges M` header; when one is present,
   // every parsed endpoint is validated against the declared count so a
   // corrupt ID is rejected at parse time instead of materializing as an
-  // oversized CSR (or silently growing the vertex set).
+  // oversized CSR (or silently growing the vertex set), and the declared
+  // edge count sizes the adjacency store up front (one allocation instead
+  // of a doubling cascade on large inputs).
   std::uint64_t declared_n = 0;
   bool have_declared_n = false;
   while (std::getline(in, line)) {
@@ -45,6 +47,8 @@ Digraph read_edge_list(std::istream& in) {
           word == "vertices" && header >> nn) {
         declared_n = nn;
         have_declared_n = true;
+        std::uint64_t mm = 0;
+        if (header >> word && word == "edges" && header >> mm) edges.reserve(mm);
       }
       continue;
     }
@@ -155,8 +159,21 @@ void write_matrix_market(std::ostream& out, const Digraph& g) {
 UpdateStream read_update_stream(std::istream& in) {
   UpdateStream stream;
   std::string line;
+  bool reserved = false;
   while (std::getline(in, line)) {
-    if (is_comment(line)) continue;
+    if (is_comment(line)) {
+      // The writer's `# updates N` header sizes the stream up front.
+      std::istringstream header(line);
+      char hash = 0;
+      std::string word;
+      std::uint64_t nn = 0;
+      if (!reserved && header >> hash && hash == '#' && header >> word &&
+          word == "updates" && header >> nn) {
+        stream.reserve(nn);
+        reserved = true;
+      }
+      continue;
+    }
     std::istringstream ss(line);
     char sign = 0;
     std::uint64_t u = 0;

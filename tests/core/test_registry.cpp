@@ -14,7 +14,8 @@ namespace {
 TEST(Registry, ListsAllExpectedConfigurations) {
   const auto names = scc::algorithm_names();
   for (const char* expected : {"tarjan", "kosaraju", "ecl-serial", "ecl-a100", "ecl-titanv",
-                               "gpu-scc-a100", "gpu-scc-titanv", "ispan", "hong", "ecl-omp"}) {
+                               "ecl-classic", "gpu-scc-a100", "gpu-scc-titanv", "ispan", "hong",
+                               "ecl-omp"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing " << expected;
   }
@@ -44,7 +45,8 @@ TEST(Registry, AllEntriesAreRunnable) {
 }
 
 TEST(Registry, DeviceFlagMatchesConfigurations) {
-  for (const char* name : {"ecl-a100", "ecl-titanv", "gpu-scc-a100", "gpu-scc-titanv"})
+  for (const char* name :
+       {"ecl-a100", "ecl-titanv", "ecl-classic", "gpu-scc-a100", "gpu-scc-titanv"})
     EXPECT_TRUE(scc::algorithm_uses_device(name)) << name;
   for (const char* name : {"tarjan", "kosaraju", "ecl-serial", "ispan", "hong", "ecl-omp"})
     EXPECT_FALSE(scc::algorithm_uses_device(name)) << name;

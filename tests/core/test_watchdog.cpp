@@ -107,6 +107,39 @@ TEST(Watchdog, ProgressDoesNotReArmDeadline) {
   EXPECT_TRUE(wd.expired());
 }
 
+TEST(Watchdog, ShrinkingFrontierReArmsWallClock) {
+  FixpointWatchdog wd(WatchdogConfig{.stall_seconds = 0.02}, 10);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(wd.expired());
+  wd.observe_phase2_round(100);  // first observation: baseline, no re-arm
+  EXPECT_TRUE(wd.expired());
+  wd.observe_phase2_round(50);  // strictly shrinking frontier: progress
+  EXPECT_FALSE(wd.expired());
+}
+
+TEST(Watchdog, FlatOrGrowingFrontierDoesNotReArmWallClock) {
+  FixpointWatchdog wd(WatchdogConfig{.stall_seconds = 0.02}, 10);
+  wd.observe_phase2_round(100);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  wd.observe_phase2_round(100);  // flat (e.g. deferred stores re-stamping)
+  EXPECT_TRUE(wd.expired());
+  wd.observe_phase2_round(120);  // growing
+  EXPECT_TRUE(wd.expired());
+}
+
+TEST(Watchdog, FrontierShrinkDoesNotResetOuterStallCounter) {
+  // A quiescing Phase-2 frontier must not mask an outer loop that labels
+  // nothing: only observe_iteration-level progress resets the round counter.
+  FixpointWatchdog wd(WatchdogConfig{.stall_rounds = 2}, 100);
+  EXPECT_FALSE(wd.observe_iteration(5, 90));
+  wd.observe_phase2_round(100);
+  wd.observe_phase2_round(10);  // shrinking frontier between iterations
+  EXPECT_FALSE(wd.observe_iteration(5, 90));
+  wd.observe_phase2_round(5);
+  EXPECT_TRUE(wd.observe_iteration(5, 90)) << "flat outer rounds still stall";
+  EXPECT_TRUE(wd.stalled());
+}
+
 TEST(Watchdog, MarkStalledIsSticky) {
   FixpointWatchdog wd(WatchdogConfig{}, 10);
   EXPECT_FALSE(wd.stalled());

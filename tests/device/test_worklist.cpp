@@ -105,6 +105,113 @@ TEST(Worklist, OverflowRaisesStickyFlagAndDropsEdge) {
 }
 #endif
 
+TEST(Worklist, BulkPushStoresWholeSpanWithOneReservation) {
+  const std::vector<Edge> init{{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  EdgeWorklist wl{std::span<const Edge>(init)};
+  const std::vector<Edge> batch{{0, 1}, {2, 3}, {3, 0}};
+  wl.push_next_bulk(batch);
+  wl.push_next_bulk({});  // empty span: no-op, no cursor movement
+  EXPECT_EQ(wl.next_size(), 3u);
+  EXPECT_FALSE(wl.overflowed());
+  wl.swap_buffers();
+  ASSERT_EQ(wl.size(), 3u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(wl.edges()[i].src, batch[i].src);
+    EXPECT_EQ(wl.edges()[i].dst, batch[i].dst);
+  }
+}
+
+TEST(Worklist, BulkOverflowAssertsInDebugBuilds) {
+  const std::vector<Edge> init{{0, 1}, {1, 2}};
+  auto overflow = [&] {
+    EdgeWorklist wl{std::span<const Edge>(init)};
+    const std::vector<Edge> batch{{0, 1}, {1, 2}, {2, 0}};
+    wl.push_next_bulk(batch);  // 3 edges into capacity 2
+  };
+  EXPECT_DEBUG_DEATH(overflow(), "push_next_bulk");
+}
+
+#ifdef NDEBUG
+TEST(Worklist, BulkOverflowStoresPrefixAndCountsDroppedEdges) {
+  const std::vector<Edge> init{{0, 1}, {1, 2}, {2, 0}};
+  EdgeWorklist wl{std::span<const Edge>(init)};
+  const std::vector<Edge> batch{{0, 1}, {1, 2}, {2, 0}, {0, 2}, {1, 0}};
+  wl.push_next_bulk(batch);  // 5 edges into capacity 3
+  EXPECT_TRUE(wl.overflowed());
+  EXPECT_EQ(wl.dropped_edges(), 2u);
+  EXPECT_EQ(wl.next_size(), 5u) << "the cursor records the attempted append";
+  wl.push_next_bulk(batch);  // cursor already past capacity: all dropped
+  EXPECT_EQ(wl.dropped_edges(), 7u);
+  wl.swap_buffers();
+  EXPECT_EQ(wl.size(), 3u) << "swap clamps to the edges actually stored";
+  EXPECT_EQ(wl.edges()[0].dst, 1u) << "the fitting prefix is intact";
+  EXPECT_EQ(wl.dropped_edges(), 7u) << "the drop count is sticky across swaps";
+  wl.clear_overflow();
+  EXPECT_FALSE(wl.overflowed());
+  EXPECT_EQ(wl.dropped_edges(), 0u);
+}
+
+TEST(Worklist, SinglePushOverflowCountsDroppedEdges) {
+  const std::vector<Edge> init{{0, 1}};
+  EdgeWorklist wl{std::span<const Edge>(init)};
+  wl.push_next({0, 1});
+  EXPECT_EQ(wl.dropped_edges(), 0u);
+  wl.push_next({1, 0});
+  wl.push_next({0, 1});
+  EXPECT_EQ(wl.dropped_edges(), 2u);
+}
+#endif
+
+TEST(Worklist, ChunkAppenderFlushesStagedEdgesAndPartialTail) {
+  const std::size_t m = 100;
+  std::vector<Edge> init(m);
+  for (std::size_t i = 0; i < m; ++i)
+    init[i] = {static_cast<graph::vid>(i), static_cast<graph::vid>(i + 1)};
+  EdgeWorklist wl{std::span<const Edge>(init)};
+  {
+    EdgeWorklist::ChunkAppender chunk(wl, 32);  // 3 full chunks + tail of 4
+    for (const Edge& e : init) chunk.push(e);
+    EXPECT_GE(wl.next_size(), 96u) << "full chunks flush eagerly";
+    // Destructor flushes the partial last chunk.
+  }
+  EXPECT_EQ(wl.next_size(), m);
+  EXPECT_FALSE(wl.overflowed());
+  wl.swap_buffers();
+  std::vector<std::uint8_t> seen(m, 0);
+  for (const Edge& e : wl.edges()) {
+    ASSERT_LT(e.src, m);
+    ASSERT_EQ(seen[e.src], 0);
+    seen[e.src] = 1;
+  }
+}
+
+TEST(Worklist, ConcurrentChunkAppendersFromDeviceBlocks) {
+  const std::size_t m = 10'000;
+  std::vector<Edge> init(m);
+  for (std::size_t i = 0; i < m; ++i)
+    init[i] = {static_cast<graph::vid>(i), static_cast<graph::vid>(i + 1)};
+  EdgeWorklist wl{std::span<const Edge>(init)};
+
+  device::Device dev(device::tiny_profile(), 4);
+  const auto edges = wl.edges();
+  dev.launch(8, [&](const device::BlockContext& ctx) {
+    // Small chunk so every block commits several chunks plus a partial tail.
+    EdgeWorklist::ChunkAppender chunk(wl, 64);
+    ctx.for_each_chunk(m, [&](std::uint64_t lo, std::uint64_t hi) {
+      for (std::uint64_t i = lo; i < hi; ++i) chunk.push(edges[i]);
+    });
+  });
+  wl.swap_buffers();
+  ASSERT_EQ(wl.size(), m);
+
+  std::vector<std::uint8_t> seen(m, 0);
+  for (const Edge& e : wl.edges()) {
+    ASSERT_LT(e.src, m);
+    ASSERT_EQ(seen[e.src], 0);
+    seen[e.src] = 1;
+  }
+}
+
 TEST(Worklist, CapacityIsFixedAtConstruction) {
   const auto g = graph::cycle_graph(16);
   EdgeWorklist wl(g);
