@@ -1,0 +1,270 @@
+// Load-balance lever ablation (DESIGN.md §11): work-stealing persistent
+// workers, merge-path edge partitioning, and the hub-clustering reorder,
+// each measured independently and together against the PR-4 hot path (the
+// `ecl-hotpath` registry configuration: §10 levers on, §11 levers off) on
+// the Table-6 large meshes and the Table-7 power-law stand-ins.
+//
+// Every run is verified against Tarjan outside the timed region. Besides
+// the human-readable tables, the bench emits machine-readable
+// BENCH_loadbalance.json (path overridable via ECL_BENCH_JSON) and
+// enforces the PR's performance contract:
+//
+//  * with all §11 levers on, at least one power-law workload must run
+//    >= 1.3x faster than the hotpath baseline, AND
+//  * the measured per-block imbalance (work-weighted max/mean over
+//    per-sweep ASSIGNED edges, see LaunchStats::block_imbalance) must not
+//    be worse than the baseline's on ANY power-law workload, and must be
+//    strictly better wherever the baseline shows real skew.
+//
+// `--smoke` runs a reduced workload set and checks only that the contract
+// machinery is wired (CI smoke lanes run at tiny ECL_SCALE, where launch
+// overhead dominates and the ratio is meaningless).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_support/workloads.hpp"
+#include "core/ecl_scc.hpp"
+#include "core/tarjan.hpp"
+#include "support/env.hpp"
+#include "support/format.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace ecl;
+using namespace ecl::bench;
+
+constexpr double kContractSpeedup = 1.3;
+
+struct LeverConfig {
+  std::string name;
+  scc::EclOptions opts;
+};
+
+std::vector<LeverConfig> configs() {
+  std::vector<LeverConfig> cs;
+  cs.push_back({"hotpath", scc::ecl_loadbalance_levers_off()});
+  {
+    auto o = scc::ecl_loadbalance_levers_off();
+    o.work_stealing = true;
+    cs.push_back({"steal-only", o});
+  }
+  {
+    auto o = scc::ecl_loadbalance_levers_off();
+    o.edge_balanced = true;
+    cs.push_back({"edgebal-only", o});
+  }
+  {
+    auto o = scc::ecl_loadbalance_levers_off();
+    o.hub_reorder = true;
+    cs.push_back({"reorder-only", o});
+  }
+  cs.push_back({"all-on", scc::EclOptions{}});
+  return cs;
+}
+
+struct WorkloadRow {
+  std::string family;  ///< "mesh" or "powerlaw"
+  Workload workload;
+  std::vector<double> seconds;    ///< one entry per config
+  std::vector<double> imbalance;  ///< work-weighted max/mean, one per config
+};
+
+double median_seconds(const Workload& workload, const scc::EclOptions& opts,
+                      device::Device& dev) {
+  std::vector<double> samples;
+  samples.reserve(bench_runs());
+  for (std::size_t run = 0; run < bench_runs(); ++run) {
+    Timer timer;
+    for (const auto& g : workload.graphs) {
+      const auto r = scc::ecl_scc(g, dev, opts);
+      if (!r.ok()) throw std::runtime_error("loadbalance: run failed on " + workload.name);
+    }
+    samples.push_back(timer.seconds());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// One untimed pass with freshly reset stats: the device's work-weighted
+/// imbalance metric over exactly this workload/config pair.
+double measured_imbalance(const Workload& workload, const scc::EclOptions& opts,
+                          device::Device& dev) {
+  dev.stats().reset();
+  for (const auto& g : workload.graphs) {
+    const auto r = scc::ecl_scc(g, dev, opts);
+    if (!r.ok()) throw std::runtime_error("loadbalance: run failed on " + workload.name);
+  }
+  const double imbalance = dev.stats().block_imbalance();
+  dev.stats().reset();
+  return imbalance;
+}
+
+void verify_config(const Workload& workload, const scc::EclOptions& opts,
+                   device::Device& dev, const std::string& config) {
+  for (const auto& g : workload.graphs) {
+    const auto r = scc::ecl_scc(g, dev, opts);
+    if (!r.ok() || !scc::same_partition(r.labels, scc::tarjan(g).labels))
+      throw std::runtime_error("loadbalance config '" + config +
+                               "' failed verification on " + workload.name);
+  }
+}
+
+std::string json_escape_free_name(const std::string& s) {
+  // Workload/config names are generated identifiers (letters, digits, -, _);
+  // nothing to escape, but keep the seam explicit.
+  return s;
+}
+
+void write_json(const std::string& path, const std::vector<LeverConfig>& cs,
+                const std::vector<WorkloadRow>& rows, bool smoke, double best,
+                const std::string& best_workload, bool speedup_pass, bool imbalance_pass) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << "{\n";
+  out << "  \"bench\": \"loadbalance\",\n";
+  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"scale\": " << scale_factor() << ",\n";
+  out << "  \"runs\": " << bench_runs() << ",\n";
+  out << "  \"configs\": [";
+  for (std::size_t i = 0; i < cs.size(); ++i)
+    out << (i ? ", " : "") << '"' << json_escape_free_name(cs[i].name) << '"';
+  out << "],\n";
+  out << "  \"workloads\": [\n";
+  for (std::size_t w = 0; w < rows.size(); ++w) {
+    const auto& row = rows[w];
+    out << "    {\"name\": \"" << json_escape_free_name(row.workload.name)
+        << "\", \"family\": \"" << row.family
+        << "\", \"vertices\": " << row.workload.total_vertices()
+        << ", \"edges\": " << row.workload.total_edges() << ",\n";
+    out << "     \"seconds\": {";
+    for (std::size_t c = 0; c < cs.size(); ++c)
+      out << (c ? ", " : "") << '"' << cs[c].name << "\": " << row.seconds[c];
+    out << "},\n     \"speedup_vs_hotpath\": {";
+    for (std::size_t c = 0; c < cs.size(); ++c) {
+      const double speedup = row.seconds[c] > 0 ? row.seconds[0] / row.seconds[c] : 0.0;
+      out << (c ? ", " : "") << '"' << cs[c].name << "\": " << speedup;
+    }
+    out << "},\n     \"block_imbalance\": {";
+    for (std::size_t c = 0; c < cs.size(); ++c)
+      out << (c ? ", " : "") << '"' << cs[c].name << "\": " << row.imbalance[c];
+    out << "}}" << (w + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"contract\": {\"threshold\": " << kContractSpeedup
+      << ", \"family\": \"powerlaw\", \"config\": \"all-on\", \"best\": " << best
+      << ", \"best_workload\": \"" << json_escape_free_name(best_workload)
+      << "\", \"speedup_pass\": " << (speedup_pass ? "true" : "false")
+      << ", \"imbalance_pass\": " << (imbalance_pass ? "true" : "false")
+      << ", \"pass\": " << (speedup_pass && imbalance_pass ? "true" : "false")
+      << ", \"enforced\": " << (smoke ? "false" : "true") << "}\n";
+  out << "}\n";
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const auto cs = configs();
+  std::vector<WorkloadRow> rows;
+  for (auto& w : large_mesh_workloads()) rows.push_back({"mesh", std::move(w), {}, {}});
+  for (auto& w : power_law_workloads()) rows.push_back({"powerlaw", std::move(w), {}, {}});
+  if (smoke) {
+    // Keep one mesh group and three power-law stand-ins: enough to exercise
+    // every lever and the JSON/contract plumbing without a long CI lane.
+    std::vector<WorkloadRow> reduced;
+    std::size_t mesh_kept = 0;
+    std::size_t pl_kept = 0;
+    for (auto& row : rows) {
+      if (row.family == "mesh" && mesh_kept < 1) {
+        reduced.push_back(std::move(row));
+        ++mesh_kept;
+      } else if (row.family == "powerlaw" && pl_kept < 3) {
+        reduced.push_back(std::move(row));
+        ++pl_kept;
+      }
+    }
+    rows = std::move(reduced);
+  }
+
+  device::Device dev(device::a100_profile());
+  for (auto& row : rows) {
+    for (const auto& config : cs) {
+      verify_config(row.workload, config.opts, dev, config.name);
+      row.imbalance.push_back(measured_imbalance(row.workload, config.opts, dev));
+      row.seconds.push_back(median_seconds(row.workload, config.opts, dev));
+    }
+  }
+
+  // Runtime table + per-lever speedups over the hotpath baseline.
+  std::vector<std::string> headers = {"Workload", "family"};
+  for (const auto& c : cs) headers.push_back(c.name + " [s]");
+  for (std::size_t c = 1; c < cs.size(); ++c) headers.push_back(cs[c].name + " x");
+  TextTable table(headers);
+  for (const auto& row : rows) {
+    std::vector<std::string> cells = {row.workload.name, row.family};
+    for (double s : row.seconds) cells.push_back(fixed(s, 4));
+    for (std::size_t c = 1; c < cs.size(); ++c)
+      cells.push_back(fixed(row.seconds[c] > 0 ? row.seconds[0] / row.seconds[c] : 0.0, 2));
+    table.add_row(cells);
+  }
+  std::printf("\n== Load-balance lever ablation (median of %zu; speedups vs hotpath) ==\n%s",
+              bench_runs(), table.render().c_str());
+
+  // Imbalance table: max/mean per-block edge work, work-weighted.
+  std::vector<std::string> iheaders = {"Workload", "family"};
+  for (const auto& c : cs) iheaders.push_back(c.name);
+  TextTable itable(iheaders);
+  for (const auto& row : rows) {
+    std::vector<std::string> cells = {row.workload.name, row.family};
+    for (double im : row.imbalance) cells.push_back(fixed(im, 3));
+    itable.add_row(cells);
+  }
+  std::printf("\n== Per-block imbalance (work-weighted max/mean; 1.0 = balanced) ==\n%s",
+              itable.render().c_str());
+
+  double best = 0.0;
+  std::string best_workload = "none";
+  const std::size_t all_on = cs.size() - 1;
+  bool imbalance_pass = true;
+  for (const auto& row : rows) {
+    if (row.family != "powerlaw") continue;
+    if (row.seconds[all_on] > 0) {
+      const double speedup = row.seconds[0] / row.seconds[all_on];
+      if (speedup > best) {
+        best = speedup;
+        best_workload = row.workload.name;
+      }
+    }
+    // Not worse than the baseline on ANY power-law workload (and strictly
+    // better whenever the baseline shows real skew).
+    const double base = row.imbalance[0];
+    const double on = row.imbalance[all_on];
+    if (on > base + 1e-9 || (base > 1.05 && on >= base)) imbalance_pass = false;
+  }
+  const bool speedup_pass = best >= kContractSpeedup;
+
+  const std::string json_path = env_string("ECL_BENCH_JSON", "BENCH_loadbalance.json");
+  write_json(json_path, cs, rows, smoke, best, best_workload, speedup_pass, imbalance_pass);
+  std::printf("\ncontract: all-on >= %.1fx over hotpath on >= 1 power-law workload: "
+              "best %.2fx on %s -> %s\n"
+              "contract: all-on imbalance <= hotpath on EVERY power-law workload -> %s%s\n"
+              "(json: %s)\n",
+              kContractSpeedup, best, best_workload.c_str(),
+              speedup_pass ? "PASS" : "FAIL", imbalance_pass ? "PASS" : "FAIL",
+              smoke ? " [smoke: not enforced]" : "", json_path.c_str());
+
+  if (!smoke && !(speedup_pass && imbalance_pass)) return 1;
+  return 0;
+}

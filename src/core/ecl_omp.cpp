@@ -35,6 +35,15 @@ SccResult ecl_omp(const Digraph& g, const EclOmpOptions& opts) {
   const int saved_threads = omp_get_max_threads();
   if (opts.num_threads > 0) omp_set_num_threads(static_cast<int>(opts.num_threads));
 
+  // Edge-phase schedule (DESIGN.md §11): equal contiguous spans per thread
+  // (schedule(static)) when edge_balanced, or the classic device layout of
+  // thread-cyclic 512-edge chunks (schedule(static, 512)) for the ablation
+  // baseline. Routed through schedule(runtime) so both loops stay one loop.
+  omp_sched_t saved_sched;
+  int saved_chunk;
+  omp_get_schedule(&saved_sched, &saved_chunk);
+  omp_set_schedule(omp_sched_static, opts.edge_balanced ? 0 : 512);
+
   std::vector<graph::Edge> edges;
   edges.reserve(g.num_edges());
   for (vid u = 0; u < n; ++u) {
@@ -79,7 +88,7 @@ SccResult ecl_omp(const Digraph& g, const EclOmpOptions& opts) {
       ++result.metrics.propagation_rounds;
       const std::uint32_t r = ++round;
       std::uint64_t skipped = 0;
-#pragma omp parallel for schedule(static) reduction(|| : updated) reduction(+ : skipped)
+#pragma omp parallel for schedule(runtime) reduction(|| : updated) reduction(+ : skipped)
       for (std::size_t i = 0; i < edges.size(); ++i) {
         const auto [u, v] = edges[i];
         if (opts.frontier_gating && load_relaxed(epoch[u]) + 1 < r &&
@@ -120,7 +129,7 @@ SccResult ecl_omp(const Digraph& g, const EclOmpOptions& opts) {
 
     // Phase 3: compact the surviving edges into the spare worklist.
     std::atomic<std::size_t> next_size{0};
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(runtime)
     for (std::size_t i = 0; i < edges.size(); ++i) {
       const auto [u, v] = edges[i];
       if (in[u] != in[v] || out[u] != out[v]) continue;
@@ -134,6 +143,7 @@ SccResult ecl_omp(const Digraph& g, const EclOmpOptions& opts) {
     next_edges.resize(std::max(next_edges.size(), new_size));
   }
 
+  omp_set_schedule(saved_sched, saved_chunk);
   if (opts.num_threads > 0) omp_set_num_threads(saved_threads);
 
   result.labels = std::move(labels);

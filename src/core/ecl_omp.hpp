@@ -21,6 +21,11 @@ struct EclOmpOptions {
   /// Per-vertex epoch stamps skip edges whose endpoints are both quiescent
   /// (the CPU translation of the device hot path's gate, DESIGN.md §10).
   bool frontier_gating = true;
+  /// Equal contiguous edge spans per thread in the edge phases (the CPU
+  /// translation of the device edge-balance lever, DESIGN.md §11): plain
+  /// schedule(static). Off mirrors the classic device distribution with
+  /// block-cyclic 512-edge chunks (schedule(static, 512)).
+  bool edge_balanced = true;
 };
 
 /// Runs ECL-SCC on the CPU. Labels are the max vertex ID per component.

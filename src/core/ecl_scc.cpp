@@ -4,9 +4,11 @@
 
 #include "core/tarjan.hpp"
 #include "device/atomics.hpp"
+#include "device/edge_partition.hpp"
 #include "device/signature_store.hpp"
 #include "device/worklist.hpp"
 #include "graph/condensation.hpp"
+#include "graph/permute.hpp"
 #include "graph/subgraph.hpp"
 #include "support/timer.hpp"
 
@@ -155,6 +157,21 @@ unsigned grid_size(device::Device& dev, std::uint64_t items, bool persistent) {
   return dev.blocks_for(items);
 }
 
+/// Work distribution for the edge phases: equal contiguous edge spans
+/// (degenerate merge-path on the flat worklist, DESIGN.md §11) or the
+/// classic block-cyclic chunks. Either way the body sees half-open
+/// [lo, hi) index ranges covering exactly the block's edges.
+template <typename Body>
+void for_each_owned(const BlockContext& ctx, std::uint64_t total, bool edge_balanced,
+                    Body&& body) {
+  if (edge_balanced) {
+    const device::EdgeSpan span = device::equal_edge_span(ctx.block_id, ctx.num_blocks, total);
+    if (!span.empty()) body(span.begin, span.end);
+  } else {
+    ctx.for_each_chunk(total, body);
+  }
+}
+
 void phase1_init(EclState& st, device::Device& dev, const EclOptions& opts) {
   const std::uint64_t n = st.n;
   // Every re-initialized vertex is stamped with this round, so the first
@@ -180,7 +197,7 @@ void phase1_init(EclState& st, device::Device& dev, const EclOptions& opts) {
           }
         });
       },
-      {.idempotent = true});
+      {.idempotent = true, .work_stealing = opts.work_stealing});
 }
 
 /// Runs the Phase-2 fixpoint. Returns false if the watchdog aborted it
@@ -216,12 +233,14 @@ bool phase2_propagate(EclState& st, device::Device& dev, const EclOptions& opts,
         [&, r](const BlockContext& ctx) {
           std::uint64_t local_processed = 0;
           std::uint64_t local_skipped = 0;
+          std::uint64_t local_assigned = 0;
           bool local_changed;
           std::uint64_t local_iters = 0;
           do {
             local_changed = false;
             ++local_iters;
-            ctx.for_each_chunk(m, [&](std::uint64_t lo, std::uint64_t hi) {
+            for_each_owned(ctx, m, opts.edge_balanced, [&](std::uint64_t lo, std::uint64_t hi) {
+              if (local_iters == 1) local_assigned += hi - lo;
               for (std::uint64_t i = lo; i < hi; ++i) {
                 const graph::Edge e = edges[i];
                 if (opts.frontier_gating && st.sigs.epoch_of(e.src) + 1 < r &&
@@ -246,8 +265,13 @@ bool phase2_propagate(EclState& st, device::Device& dev, const EclOptions& opts,
           st.block_iterations.fetch_add(local_iters, std::memory_order_relaxed);
           st.edges_processed.fetch_add(local_processed, std::memory_order_relaxed);
           st.edges_skipped.fetch_add(local_skipped, std::memory_order_relaxed);
+          // The imbalance histogram measures ASSIGNMENT skew — the edges
+          // this block owns per sweep, the quantity the edge-balance lever
+          // controls. Async in-block re-iteration counts are a convergence
+          // property with their own metric (block_iterations).
+          dev.record_block_work(ctx.block_id, local_assigned);
         },
-        {.idempotent = true});
+        {.idempotent = true, .work_stealing = opts.work_stealing});
 
     if (opts.frontier_gating) {
       const std::uint64_t processed =
@@ -297,7 +321,7 @@ void detect_components(EclState& st, device::Device& dev, const EclOptions& opts
         });
         st.labeled.fetch_add(local, std::memory_order_relaxed);
       },
-      {.idempotent = true});
+      {.idempotent = true, .work_stealing = opts.work_stealing});
 }
 
 void phase3_remove_edges(EclState& st, device::Device& dev, const EclOptions& opts,
@@ -305,35 +329,41 @@ void phase3_remove_edges(EclState& st, device::Device& dev, const EclOptions& op
   const auto edges = st.worklist.edges();
   const std::uint64_t m = edges.size();
   if (m == 0) return;
-  dev.launch(grid_size(dev, m, opts.persistent_threads), [&](const BlockContext& ctx) {
-    // Chunked reservation (DESIGN.md §10): survivors are staged per block and
-    // committed with one cursor fetch_add per chunk. The appender's
-    // destructor flushes the partial last chunk before the grid barrier.
-    EdgeWorklist::ChunkAppender chunk(st.worklist);
-    ctx.for_each_chunk(m, [&](std::uint64_t lo, std::uint64_t hi) {
-      for (std::uint64_t i = lo; i < hi; ++i) {
-        const graph::Edge e = edges[i];
-        const std::uint32_t iu = st.sigs.vin(e.src).load(std::memory_order_relaxed);
-        const std::uint32_t iv = st.sigs.vin(e.dst).load(std::memory_order_relaxed);
-        const std::uint32_t ou = st.sigs.vout(e.src).load(std::memory_order_relaxed);
-        const std::uint32_t ov = st.sigs.vout(e.dst).load(std::memory_order_relaxed);
-        if (iu != iv || ou != ov) continue;  // spans SCCs: drop
-        if (opts.min_max_signatures) {
-          const std::uint32_t miu = st.sigs.min_in(e.src).load(std::memory_order_relaxed);
-          const std::uint32_t miv = st.sigs.min_in(e.dst).load(std::memory_order_relaxed);
-          const std::uint32_t mou = st.sigs.min_out(e.src).load(std::memory_order_relaxed);
-          const std::uint32_t mov = st.sigs.min_out(e.dst).load(std::memory_order_relaxed);
-          if (miu != miv || mou != mov) continue;  // min signatures disagree
-        }
-        if (opts.remove_scc_edges && st.labels[e.src] != graph::kInvalidVid)
-          continue;  // inside a completed SCC: no longer needed (§3.3)
-        if (opts.chunked_worklist)
-          chunk.push(e);
-        else
-          st.worklist.push_next(e);
-      }
-    });
-  });
+  dev.launch(
+      grid_size(dev, m, opts.persistent_threads),
+      [&](const BlockContext& ctx) {
+        // Chunked reservation (DESIGN.md §10): survivors are staged per block
+        // and committed with one cursor fetch_add per chunk. The appender's
+        // destructor flushes the partial last chunk before the grid barrier.
+        EdgeWorklist::ChunkAppender chunk(st.worklist);
+        std::uint64_t local_examined = 0;
+        for_each_owned(ctx, m, opts.edge_balanced, [&](std::uint64_t lo, std::uint64_t hi) {
+          local_examined += hi - lo;
+          for (std::uint64_t i = lo; i < hi; ++i) {
+            const graph::Edge e = edges[i];
+            const std::uint32_t iu = st.sigs.vin(e.src).load(std::memory_order_relaxed);
+            const std::uint32_t iv = st.sigs.vin(e.dst).load(std::memory_order_relaxed);
+            const std::uint32_t ou = st.sigs.vout(e.src).load(std::memory_order_relaxed);
+            const std::uint32_t ov = st.sigs.vout(e.dst).load(std::memory_order_relaxed);
+            if (iu != iv || ou != ov) continue;  // spans SCCs: drop
+            if (opts.min_max_signatures) {
+              const std::uint32_t miu = st.sigs.min_in(e.src).load(std::memory_order_relaxed);
+              const std::uint32_t miv = st.sigs.min_in(e.dst).load(std::memory_order_relaxed);
+              const std::uint32_t mou = st.sigs.min_out(e.src).load(std::memory_order_relaxed);
+              const std::uint32_t mov = st.sigs.min_out(e.dst).load(std::memory_order_relaxed);
+              if (miu != miv || mou != mov) continue;  // min signatures disagree
+            }
+            if (opts.remove_scc_edges && st.labels[e.src] != graph::kInvalidVid)
+              continue;  // inside a completed SCC: no longer needed (§3.3)
+            if (opts.chunked_worklist)
+              chunk.push(e);
+            else
+              st.worklist.push_next(e);
+          }
+        });
+        dev.record_block_work(ctx.block_id, local_examined);
+      },
+      {.idempotent = false, .work_stealing = opts.work_stealing});
   const std::size_t before = st.worklist.size();
   st.worklist.swap_buffers();
   metrics.edges_removed += before - st.worklist.size();
@@ -370,6 +400,27 @@ void serial_fallback(const Digraph& g, SccResult& result) {
     result.labels[sub.to_parent[i]] = comp_max[serial.labels[i]];
 }
 
+/// Translates labels computed on the hub-reordered graph back to original
+/// vertex IDs, renaming every component by its maximum ORIGINAL member so
+/// the result is bit-identical to an unreordered run (§3.2.1's max-ID
+/// naming is a function of the graph, not the schedule). Unlabeled
+/// vertices (kInvalidVid, possible under kReturnError) pass through.
+void remap_labels_to_original(SccResult& result, const std::vector<vid>& perm) {
+  const vid n = static_cast<vid>(perm.size());
+  std::vector<vid> name(n, graph::kInvalidVid);  // component (new-ID name) -> max original member
+  for (vid v = 0; v < n; ++v) {
+    const vid c = result.labels[perm[v]];
+    if (c == graph::kInvalidVid) continue;
+    if (name[c] == graph::kInvalidVid || v > name[c]) name[c] = v;
+  }
+  std::vector<vid> original(n, graph::kInvalidVid);
+  for (vid v = 0; v < n; ++v) {
+    const vid c = result.labels[perm[v]];
+    if (c != graph::kInvalidVid) original[v] = name[c];
+  }
+  result.labels = std::move(original);
+}
+
 }  // namespace
 
 EclOptions ecl_all_optimizations_off() {
@@ -382,14 +433,38 @@ EclOptions ecl_all_optimizations_off() {
 }
 
 EclOptions ecl_hotpath_levers_off() {
-  EclOptions opts;
+  EclOptions opts = ecl_loadbalance_levers_off();
   opts.chunked_worklist = false;
   opts.frontier_gating = false;
   opts.padded_signatures = false;
   return opts;
 }
 
+EclOptions ecl_loadbalance_levers_off() {
+  EclOptions opts;
+  opts.work_stealing = false;
+  opts.edge_balanced = false;
+  opts.hub_reorder = false;
+  return opts;
+}
+
 SccResult ecl_scc(const Digraph& g, device::Device& dev, const EclOptions& opts) {
+  // Hub-clustering reorder (DESIGN.md §11): run on the relabeled graph,
+  // then remap labels back. Skipped whenever the permutation would be the
+  // identity (uniform-degree inputs) and under min_max_signatures (see
+  // EclOptions::hub_reorder).
+  if (opts.hub_reorder && !opts.min_max_signatures) {
+    const std::vector<vid> perm = graph::hub_clustering_permutation(g);
+    if (!perm.empty()) {
+      const Digraph reordered = graph::apply_permutation(g, perm);
+      EclOptions inner = opts;
+      inner.hub_reorder = false;
+      SccResult result = ecl_scc(reordered, dev, inner);
+      remap_labels_to_original(result, perm);
+      return result;
+    }
+  }
+
   const vid n = g.num_vertices();
   SccResult result;
   if (n == 0) return result;

@@ -75,6 +75,30 @@ struct EclOptions {
   /// (device/signature_store.hpp) instead of densely packed SoA arrays, so
   /// pool threads never false-share signature cache lines.
   bool padded_signatures = true;
+
+  // --- Load-balance levers (DESIGN.md §11). Like the §10 levers, each is a
+  // pure performance transform: all 8 combinations produce bit-identical
+  // labels, fault semantics unchanged. ------------------------------------
+  /// Distribute kernel blocks over per-worker claim ranges with
+  /// steal-from-most-loaded (device/thread_pool.hpp) instead of one shared
+  /// claim cursor, and use the pool's spin-then-park barrier between
+  /// back-to-back launches.
+  bool work_stealing = true;
+  /// Phases 2/3 partition the flat edge worklist into equal contiguous
+  /// EDGE spans per block (device/edge_partition.hpp) instead of
+  /// block-cyclic thread-width chunks: each sweep scans the worklist once
+  /// in order, and per-block edge work is reported to the device's
+  /// imbalance histogram (LaunchStats::block_imbalance).
+  bool edge_balanced = true;
+  /// Relabel the graph with the hub-clustering permutation
+  /// (graph/permute.hpp) before the run and remap the labels back (naming
+  /// each component by its maximum ORIGINAL member, so raw labels stay
+  /// bit-identical to the unreordered run). Top IDs on the widest-fan-out
+  /// vertices make the winning max-ID saturate power-law clusters in few
+  /// propagation rounds. Skipped when the permutation is the identity and
+  /// under min_max_signatures (min-side labels name by minimum member,
+  /// which a max-member remap cannot reproduce).
+  bool hub_reorder = true;
   /// Safety guard on outer iterations; 0 means |V| + 2 (the theoretical
   /// bound is the number of SCCs). A trip is reported as
   /// SccStatus::kIterationGuard, subject to stall_policy — never thrown.
@@ -89,10 +113,17 @@ struct EclOptions {
 /// levers are left at their defaults: they postdate the paper's ablation.
 EclOptions ecl_all_optimizations_off();
 
-/// Default configuration with the three hot-path levers (chunked_worklist,
-/// frontier_gating, padded_signatures) disabled — the seed implementation's
-/// behavior, and the baseline bench_hotpath measures speedups against.
+/// Default configuration with all six post-paper levers disabled — the
+/// three §10 hot-path levers (chunked_worklist, frontier_gating,
+/// padded_signatures) AND the three §11 load-balance levers
+/// (work_stealing, edge_balanced, hub_reorder). This is the seed
+/// implementation's behavior, registered as `ecl-classic`.
 EclOptions ecl_hotpath_levers_off();
+
+/// Default configuration with only the three §11 load-balance levers
+/// disabled (hot-path levers stay on) — the PR-4 hot path, registered as
+/// `ecl-hotpath`, and the baseline bench_loadbalance measures against.
+EclOptions ecl_loadbalance_levers_off();
 
 /// Runs ECL-SCC on the given virtual device. Labels are the maximum vertex
 /// ID of each component (§3.2.1).

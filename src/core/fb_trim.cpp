@@ -7,6 +7,7 @@
 
 #include "core/ecl_scc.hpp"
 #include "core/trim.hpp"
+#include "device/edge_partition.hpp"
 #include "graph/condensation.hpp"
 #include "support/rng.hpp"
 
@@ -27,11 +28,12 @@ struct Bfs {
   std::unique_ptr<std::atomic<std::uint64_t>[]> tag;
   std::vector<vid> frontier;
   std::vector<vid> next;
+  std::vector<graph::eid> prefix;  ///< frontier degree prefix sums (merge-path mode)
 
   /// Returns the number of BFS levels executed.
   std::uint64_t run(const Digraph& dir, device::Device& dev, std::uint64_t round,
                     std::span<const vid> sources, std::span<const std::uint8_t> active,
-                    std::span<const std::uint64_t> color,
+                    std::span<const std::uint64_t> color, bool edge_balanced,
                     std::atomic<std::uint64_t>& edges_processed) {
     std::size_t frontier_size = 0;
     for (vid s : sources) {
@@ -41,12 +43,25 @@ struct Bfs {
     std::uint64_t levels = 0;
     while (frontier_size > 0) {
       ++levels;
+      std::uint64_t frontier_edges = 0;
+      if (edge_balanced) {
+        // Merge-path split (DESIGN.md §11): the frontier's degree prefix
+        // sums form a frontier sub-CSR; blocks then own equal EDGE spans of
+        // it, found with one upper_bound each — a hub's adjacency is split
+        // across blocks instead of serializing one block.
+        prefix.resize(frontier_size + 1);
+        prefix[0] = 0;
+        for (std::size_t i = 0; i < frontier_size; ++i)
+          prefix[i + 1] = prefix[i] + dir.out_degree(frontier[i]);
+        frontier_edges = prefix[frontier_size];
+        if (frontier_edges == 0) break;  // frontier has no out-edges: done
+      }
       std::atomic<std::size_t> next_size{0};
       // Idempotent: the tag CAS admits each vertex to `next` exactly once,
       // so a spurious replay of a block finds every neighbor already tagged
       // and its staged flush commits nothing.
       dev.launch(
-          dev.blocks_for(frontier_size),
+          edge_balanced ? dev.blocks_for(frontier_edges) : dev.blocks_for(frontier_size),
           [&](const BlockContext& ctx) {
             std::uint64_t local_edges = 0;
             // Chunked reservation (DESIGN.md §10): newly tagged vertices are
@@ -62,24 +77,38 @@ struct Bfs {
               std::copy(staged.begin(), staged.end(), next.begin() + at);
               staged.clear();
             };
-            ctx.for_each_chunk(frontier_size, [&](std::uint64_t lo, std::uint64_t hi) {
-              for (std::uint64_t i = lo; i < hi; ++i) {
-                const vid u = frontier[i];
-                for (vid w : dir.out_neighbors(u)) {
-                  ++local_edges;
-                  if (!active[w] || color[w] != color[u]) continue;
-                  std::uint64_t expected = tag[w].load(std::memory_order_relaxed);
-                  if (expected == round) continue;
-                  if (tag[w].compare_exchange_strong(expected, round,
-                                                     std::memory_order_relaxed)) {
-                    staged.push_back(w);
-                    if (staged.size() >= kChunk) flush();
-                  }
+            auto expand = [&](vid u, std::span<const vid> targets) {
+              for (vid w : targets) {
+                ++local_edges;
+                if (!active[w] || color[w] != color[u]) continue;
+                std::uint64_t expected = tag[w].load(std::memory_order_relaxed);
+                if (expected == round) continue;
+                if (tag[w].compare_exchange_strong(expected, round,
+                                                   std::memory_order_relaxed)) {
+                  staged.push_back(w);
+                  if (staged.size() >= kChunk) flush();
                 }
               }
-            });
+            };
+            if (edge_balanced) {
+              const device::EdgeSpan span =
+                  device::equal_edge_span(ctx.block_id, ctx.num_blocks, frontier_edges);
+              device::for_each_item_span(
+                  std::span<const graph::eid>(prefix.data(), frontier_size + 1), span,
+                  [&](std::size_t item, std::uint64_t lo, std::uint64_t hi) {
+                    const vid u = frontier[item];
+                    const auto nbrs = dir.out_neighbors(u);
+                    expand(u, nbrs.subspan(lo - prefix[item], hi - lo));
+                  });
+            } else {
+              ctx.for_each_chunk(frontier_size, [&](std::uint64_t lo, std::uint64_t hi) {
+                for (std::uint64_t i = lo; i < hi; ++i)
+                  expand(frontier[i], dir.out_neighbors(frontier[i]));
+              });
+            }
             flush();
             edges_processed.fetch_add(local_edges, std::memory_order_relaxed);
+            dev.record_block_work(ctx.block_id, local_edges);
           },
           {.idempotent = true});
       frontier.swap(next);
@@ -191,9 +220,9 @@ SccResult fb_trim(const Digraph& g, device::Device& dev, const FbOptions& opts) 
 
     // --- Forward and backward color-confined BFS (the FB core, [8]). ------
     result.metrics.propagation_rounds +=
-        fwd.run(g, dev, round, pivots, active, color, edges_processed);
+        fwd.run(g, dev, round, pivots, active, color, opts.edge_balanced, edges_processed);
     result.metrics.propagation_rounds +=
-        bwd.run(rev, dev, round, pivots, active, color, edges_processed);
+        bwd.run(rev, dev, round, pivots, active, color, opts.edge_balanced, edges_processed);
 
     // --- Intersection = SCC; recolor the three remainder subgraphs. -------
     std::atomic<std::uint64_t> found{0};

@@ -21,6 +21,12 @@ struct FbOptions {
   bool trim2 = true;
   /// GPU-SCC does not use Trim-3 (that is iSpan's addition); off by default.
   bool trim3 = false;
+  /// Merge-path BFS expansion (DESIGN.md §11): each level prefix-sums the
+  /// frontier's out-degrees into a frontier sub-CSR and blocks own equal
+  /// EDGE spans of it (one upper_bound per block), so a frontier hub no
+  /// longer serializes its whole adjacency into one block. Off = classic
+  /// block-cyclic distribution over frontier VERTICES.
+  bool edge_balanced = true;
   std::uint64_t max_rounds = 0;  ///< 0 = |V| + 2 safety guard
 };
 

@@ -30,10 +30,15 @@ const std::vector<std::pair<std::string, SccAlgorithm>>& table() {
       {"ecl-serial", [](const Digraph& g) { return ecl_serial(g); }},
       {"ecl-a100", [](const Digraph& g) { return ecl_scc(g, shared_device()); }},
       {"ecl-titanv", [](const Digraph& g) { return ecl_scc(g, titanv_device()); }},
-      // The seed hot path (all DESIGN.md §10 levers off) kept runnable by
+      // The seed implementation (all §10 + §11 levers off) kept runnable by
       // name so differential checks can compare against it end to end.
       {"ecl-classic",
        [](const Digraph& g) { return ecl_scc(g, shared_device(), ecl_hotpath_levers_off()); }},
+      // The PR-4 hot path (§10 levers on, §11 load-balance levers off): the
+      // baseline bench_loadbalance measures against, and the side-by-side
+      // partner of the default (reordered, edge-balanced) configuration.
+      {"ecl-hotpath",
+       [](const Digraph& g) { return ecl_scc(g, shared_device(), ecl_loadbalance_levers_off()); }},
       {"gpu-scc-a100", [](const Digraph& g) { return fb_trim(g, shared_device()); }},
       {"gpu-scc-titanv", [](const Digraph& g) { return fb_trim(g, titanv_device()); }},
       {"ispan", [](const Digraph& g) { return ispan(g); }},
@@ -55,6 +60,10 @@ const std::vector<std::pair<std::string, DeviceAlgorithm>>& device_table() {
       {"ecl-classic",
        [](const Digraph& g, device::Device& dev) {
          return ecl_scc(g, dev, ecl_hotpath_levers_off());
+       }},
+      {"ecl-hotpath",
+       [](const Digraph& g, device::Device& dev) {
+         return ecl_scc(g, dev, ecl_loadbalance_levers_off());
        }},
       {"gpu-scc-a100", [](const Digraph& g, device::Device& dev) { return fb_trim(g, dev); }},
       {"gpu-scc-titanv", [](const Digraph& g, device::Device& dev) { return fb_trim(g, dev); }},

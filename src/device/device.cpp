@@ -1,5 +1,7 @@
 #include "device/device.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 
 #include "support/env.hpp"
@@ -17,6 +19,32 @@ Device::Device(DeviceProfile profile, unsigned host_workers)
     : profile_(std::move(profile)), fault_(profile_.fault_plan), pool_(host_workers) {
   effective_overhead_us_ =
       profile_.launch_overhead_us * env_double("ECL_LAUNCH_OVERHEAD", 1.0);
+}
+
+void Device::record_block_work(unsigned block, std::uint64_t amount) noexcept {
+  if (amount == 0 || block >= launch_work_.size()) return;
+  std::atomic_ref<std::uint64_t>(launch_work_[block]).fetch_add(amount,
+                                                                std::memory_order_relaxed);
+}
+
+void Device::begin_block_work(unsigned num_blocks) {
+  if (launch_work_.size() < num_blocks) launch_work_.resize(num_blocks);
+  std::fill_n(launch_work_.begin(), num_blocks, 0);
+}
+
+void Device::fold_block_work(unsigned num_blocks) {
+  std::uint64_t total = 0;
+  std::uint64_t top = 0;
+  for (unsigned b = 0; b < num_blocks; ++b) {
+    total += launch_work_[b];
+    top = std::max(top, launch_work_[b]);
+  }
+  if (total == 0) return;
+  if (stats_.block_edge_work.size() < num_blocks) stats_.block_edge_work.resize(num_blocks, 0);
+  for (unsigned b = 0; b < num_blocks; ++b) stats_.block_edge_work[b] += launch_work_[b];
+  const double mean = static_cast<double>(total) / num_blocks;
+  stats_.imbalance_weighted += (static_cast<double>(top) / mean) * static_cast<double>(total);
+  stats_.imbalance_weight += static_cast<double>(total);
 }
 
 void Device::charge_launch_overhead() {

@@ -98,6 +98,23 @@ struct LaunchStats {
   std::uint64_t block_iterations = 0;  ///< async-kernel internal repeats (§3.3)
   std::uint64_t spurious_replays = 0;  ///< fault-injected block re-executions
 
+  /// Per-block edge-work histogram (DESIGN.md §11): cumulative work units
+  /// reported via Device::record_block_work, indexed by block id and sized
+  /// by the widest reporting grid seen. Kernels that don't report leave it
+  /// untouched.
+  std::vector<std::uint64_t> block_edge_work;
+  /// Work-weighted running sums for the imbalance metric: each reporting
+  /// launch contributes (max block work / mean block work) weighted by its
+  /// total work.
+  double imbalance_weighted = 0.0;
+  double imbalance_weight = 0.0;
+
+  /// Work-weighted mean of per-launch max/mean block-work ratios; 1.0 is
+  /// perfectly balanced, and 1.0 is returned when nothing was recorded.
+  double block_imbalance() const noexcept {
+    return imbalance_weight > 0.0 ? imbalance_weighted / imbalance_weight : 1.0;
+  }
+
   void reset() { *this = LaunchStats{}; }
 };
 
@@ -108,6 +125,9 @@ struct LaunchOptions {
   /// Non-idempotent launches (e.g. worklist appends) are never replayed by
   /// the spurious-reexecution fault.
   bool idempotent = false;
+  /// Distribute this launch's blocks over per-worker claim ranges with
+  /// stealing (thread_pool.hpp) instead of the shared claim cursor.
+  bool work_stealing = true;
 };
 
 /// A simulated GPU device.
@@ -119,6 +139,10 @@ class Device {
   const DeviceProfile& profile() const noexcept { return profile_; }
   LaunchStats& stats() noexcept { return stats_; }
   const LaunchStats& stats() const noexcept { return stats_; }
+
+  /// The host thread pool executing blocks; exposes the work-stealing
+  /// claim/steal counters (DESIGN.md §11).
+  const ThreadPool& pool() const noexcept { return pool_; }
 
   /// The device's fault injector (inactive unless the profile carries an
   /// enabled FaultPlan). Kernels that route signature stores through the
@@ -132,23 +156,30 @@ class Device {
   /// may be permuted, blocks may be delayed, and — for launches declared
   /// idempotent — a bounded random subset of blocks is replayed after the
   /// grid barrier (a re-executed straggler).
+  ///
+  /// A zero-block launch is a no-op: no launch is counted and no launch
+  /// overhead is charged (a real driver never dispatches an empty grid).
+  /// The kernel is dispatched through the pool's templated path, so no
+  /// std::function is constructed per launch.
   template <typename Kernel>
   void launch(unsigned num_blocks, Kernel&& kernel, LaunchOptions attrs = {}) {
+    if (num_blocks == 0) return;
     const std::uint64_t launch_id = ++stats_.kernel_launches;
     stats_.blocks_executed += num_blocks;
     charge_launch_overhead();
+    begin_block_work(num_blocks);
     const bool reverse = profile_.reverse_block_order;
     FaultInjector* fi = fault_.active() ? &fault_ : nullptr;
     const std::vector<unsigned> perm =
         fi ? fi->block_permutation(launch_id, num_blocks) : std::vector<unsigned>{};
-    const std::function<void(std::size_t)> task = [&, reverse](std::size_t b) {
+    const auto task = [&, reverse](std::size_t b) {
       auto block_id = static_cast<unsigned>(reverse ? (num_blocks - 1 - b) : b);
       if (!perm.empty()) block_id = perm[block_id];
       if (fi) fi->schedule_delay(launch_id, block_id);
       BlockContext ctx{block_id, num_blocks, profile_.threads_per_block};
       kernel(ctx);
     };
-    pool_.parallel_for(num_blocks, task);
+    pool_.parallel_for(num_blocks, task, attrs.work_stealing);
     if (fi && attrs.idempotent) {
       const unsigned replays = fi->replay_count(launch_id, num_blocks);
       for (unsigned r = 0; r < replays; ++r) {
@@ -158,7 +189,13 @@ class Device {
         ++stats_.spurious_replays;
       }
     }
+    fold_block_work(num_blocks);
   }
+
+  /// Reports `amount` units of edge work done by `block` in the current
+  /// launch. Callable concurrently from inside kernels; folded into
+  /// stats().block_edge_work and the imbalance metric at the grid barrier.
+  void record_block_work(unsigned block, std::uint64_t amount) noexcept;
 
   /// Persistent-thread launch: grid size = resident_blocks() (§3.4).
   template <typename Kernel>
@@ -166,22 +203,31 @@ class Device {
     launch(profile_.resident_blocks(), std::forward<Kernel>(kernel), attrs);
   }
 
-  /// Grid size for a one-item-per-thread launch over `total` items.
+  /// Grid size for a one-item-per-thread launch over `total` items. Zero
+  /// items need zero blocks: launch(0, ...) is a no-op, so empty worklists
+  /// cost neither a dispatch nor the launch overhead.
   unsigned blocks_for(std::uint64_t total) const noexcept {
     const std::uint64_t tpb = profile_.threads_per_block;
-    const std::uint64_t blocks = (total + tpb - 1) / tpb;
-    return static_cast<unsigned>(blocks == 0 ? 1 : blocks);
+    return static_cast<unsigned>((total + tpb - 1) / tpb);
   }
 
  private:
   /// Spin-waits for the profile's launch latency (µs-accurate).
   void charge_launch_overhead();
+  /// Zeroes the per-launch work scratch for `num_blocks` blocks.
+  void begin_block_work(unsigned num_blocks);
+  /// Folds the per-launch scratch into the cumulative histogram and the
+  /// work-weighted imbalance sums (no-op when nothing was recorded).
+  void fold_block_work(unsigned num_blocks);
 
   DeviceProfile profile_;
   double effective_overhead_us_ = 0.0;
   FaultInjector fault_;
   ThreadPool pool_;
   LaunchStats stats_;
+  /// Per-launch work scratch written by record_block_work via atomic_ref;
+  /// resized only between launches (on the control thread).
+  std::vector<std::uint64_t> launch_work_;
 };
 
 }  // namespace ecl::device

@@ -1,0 +1,85 @@
+#ifndef ECL_DEVICE_EDGE_PARTITION_HPP
+#define ECL_DEVICE_EDGE_PARTITION_HPP
+
+// Edge-balanced work partitioning (DESIGN.md §11).
+//
+// The classic BlockContext::for_each_chunk distribution hands every block
+// equal ITEM chunks, so on skewed inputs a block that owns a hub does
+// orders of magnitude more edge work than its peers. The helpers here give
+// each block an equal EDGE span instead:
+//
+//  * equal_edge_span — the degenerate merge-path split for a flat work
+//    array (one work unit per item): contiguous, equal-size spans, so the
+//    grid scans the array exactly once in order instead of in
+//    block-strided chunks.
+//  * owner_of / for_each_item_span — the CSR form: given an offsets array
+//    (offsets[i]..offsets[i+1] = item i's work units, e.g. a frontier's
+//    degree prefix sums), a block binary-searches the single item that owns
+//    the start of its span (one upper_bound per block — no precomputed
+//    per-edge array) and then walks items forward until the span is
+//    consumed. This is the merge-path diagonal split of Green et al.
+//    specialized to the one-list case.
+//
+// All helpers are pure functions of (block, grid, offsets); they are safe
+// to call concurrently from kernels.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ecl::device {
+
+/// Half-open span of global work-unit indices owned by one block.
+struct EdgeSpan {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  std::uint64_t size() const noexcept { return end - begin; }
+  bool empty() const noexcept { return begin >= end; }
+};
+
+/// Equal contiguous partition of `total` work units over `num_blocks`
+/// blocks; spans differ in size by at most one unit (the remainder goes to
+/// the lowest-numbered blocks). Requires num_blocks > 0 and
+/// block < num_blocks; total == 0 yields empty spans for every block.
+constexpr EdgeSpan equal_edge_span(unsigned block, unsigned num_blocks,
+                                   std::uint64_t total) noexcept {
+  const std::uint64_t q = total / num_blocks;
+  const std::uint64_t r = total % num_blocks;
+  const std::uint64_t begin =
+      static_cast<std::uint64_t>(block) * q + std::min<std::uint64_t>(block, r);
+  return {begin, begin + q + (block < r ? 1 : 0)};
+}
+
+/// The unique item i with offsets[i] <= k < offsets[i+1], for a CSR-style
+/// offsets array (size n + 1, offsets[0] == 0, nondecreasing). Items with
+/// zero work are skipped by construction. Requires k < offsets.back().
+template <typename OffsetT>
+std::size_t owner_of(std::span<const OffsetT> offsets, std::uint64_t k) noexcept {
+  const auto it = std::upper_bound(offsets.begin(), offsets.end(), static_cast<OffsetT>(k));
+  return static_cast<std::size_t>(it - offsets.begin()) - 1;
+}
+
+/// Calls fn(item, lo, hi) for every item whose work range intersects
+/// `span`, where [lo, hi) is the intersection in GLOBAL work coordinates
+/// (item i's local unit j sits at offsets[i] + j). Zero-work items are
+/// never reported. One upper_bound total, then a forward walk.
+template <typename OffsetT, typename Fn>
+void for_each_item_span(std::span<const OffsetT> offsets, EdgeSpan span, Fn&& fn) {
+  if (span.empty() || offsets.size() < 2) return;
+  std::size_t item = owner_of(offsets, span.begin);
+  std::uint64_t pos = span.begin;
+  const std::size_t items = offsets.size() - 1;
+  while (pos < span.end && item < items) {
+    const auto item_end = static_cast<std::uint64_t>(offsets[item + 1]);
+    const std::uint64_t hi = std::min(span.end, item_end);
+    if (pos < hi) fn(item, pos, hi);
+    pos = std::max(pos, hi);
+    ++item;
+  }
+}
+
+}  // namespace ecl::device
+
+#endif  // ECL_DEVICE_EDGE_PARTITION_HPP

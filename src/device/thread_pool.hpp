@@ -4,14 +4,33 @@
 // A minimal blocking thread pool used as the host backend of the virtual
 // GPU (see device.hpp). Work is handed out as dense task indices, which the
 // device layer maps to thread blocks.
+//
+// Two scheduling modes (DESIGN.md §11):
+//
+//  * shared-cursor (classic) — every worker claims indices from one shared
+//    fetch_add cursor. Simple, but all workers contend on one cache line
+//    for every task claimed.
+//  * work-stealing — the index range is pre-split into one contiguous claim
+//    range per worker (64-byte padded, so claims are contention-free), and
+//    a worker that drains its own range steals from the currently
+//    most-loaded peer. The steal reuses the victim's claim cursor, so every
+//    index is still executed exactly once without any range-splitting
+//    handshake.
+//
+// Submission uses a spin-then-park barrier: workers spin briefly on an
+// atomic batch generation before parking on the condition variable, so
+// back-to-back launches (the ECL fixpoint pattern) skip the wake/sleep
+// round trip. The park path re-checks the generation under the mutex, so
+// no wakeup can be missed.
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace ecl::device {
@@ -30,9 +49,35 @@ class ThreadPool {
   /// Runs fn(i) for every i in [0, count), distributing indices dynamically
   /// across the workers (including the calling thread). Blocks until all
   /// tasks complete. Exceptions thrown by fn propagate to the caller.
-  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+  ///
+  /// The callable is invoked through a captured function pointer + context
+  /// pointer, so no std::function (and no heap allocation) is constructed
+  /// on this path — the launch hot path stays allocation-free.
+  template <typename Fn>
+  void parallel_for(std::size_t count, const Fn& fn, bool work_stealing = false) {
+    parallel_for_erased(
+        count, [](const void* ctx, std::size_t i) { (*static_cast<const Fn*>(ctx))(i); },
+        std::addressof(fn), work_stealing);
+  }
+
+  /// Tasks claimed from a worker's own range (or the shared cursor) since
+  /// construction, and tasks stolen from a peer's range. claimed + stolen
+  /// equals the total number of tasks executed. Test/metrics hooks.
+  std::uint64_t claimed_tasks() const noexcept {
+    return claimed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t stolen_tasks() const noexcept { return stolen_.load(std::memory_order_relaxed); }
 
  private:
+  using InvokeFn = void (*)(const void*, std::size_t);
+
+  /// One worker's contiguous claim range. Padded to its own cache line so
+  /// the common case (claiming from your own range) never contends.
+  struct alignas(64) ClaimRange {
+    std::atomic<std::size_t> next{0};
+    std::size_t end = 0;
+  };
+
   // One parallel_for call. The claim/complete counters live with the batch
   // (not the pool) so a straggler worker that snapshotted an old batch can
   // never claim indices from — or run the function of — a newer one: its
@@ -41,24 +86,33 @@ class ThreadPool {
   // claimed index has been completed, and workers finish their last call to
   // fn before publishing that completion.
   struct Batch {
-    const std::function<void(std::size_t)>* fn = nullptr;
+    InvokeFn invoke = nullptr;
+    const void* ctx = nullptr;
     std::size_t count = 0;
+    unsigned slots = 0;  ///< claim ranges when stealing; 0 = shared cursor
+    std::unique_ptr<ClaimRange[]> ranges;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> completed{0};
     std::atomic<bool> failed{false};
   };
 
-  void worker_loop();
-  void run_batch(Batch& batch, bool notify_done);
+  void parallel_for_erased(std::size_t count, InvokeFn invoke, const void* ctx,
+                           bool work_stealing);
+  void worker_loop(unsigned slot);
+  void run_batch(Batch& batch, unsigned slot, bool notify_done);
 
   std::vector<std::thread> threads_;
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
 
-  std::shared_ptr<Batch> batch_;  // guarded by mutex_
-  std::uint64_t generation_ = 0;  // guarded by mutex_
-  bool shutdown_ = false;         // guarded by mutex_
+  std::shared_ptr<Batch> batch_;             // guarded by mutex_
+  std::atomic<std::uint64_t> generation_{0};  // written under mutex_; spin-read lock-free
+  std::atomic<bool> shutdown_{false};         // written under mutex_; spin-read lock-free
+  unsigned parked_ = 0;                       // guarded by mutex_
+
+  std::atomic<std::uint64_t> claimed_{0};
+  std::atomic<std::uint64_t> stolen_{0};
 };
 
 }  // namespace ecl::device

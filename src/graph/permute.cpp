@@ -1,5 +1,6 @@
 #include "graph/permute.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
 
@@ -12,14 +13,59 @@ std::vector<vid> random_permutation(vid n, Rng& rng) {
   return perm;
 }
 
+std::vector<vid> invert_permutation(const std::vector<vid>& perm) {
+  std::vector<vid> inv(perm.size());
+  for (vid v = 0; v < perm.size(); ++v) inv[perm[v]] = v;
+  return inv;
+}
+
+std::vector<vid> hub_clustering_permutation(const Digraph& g, double hub_factor) {
+  const vid n = g.num_vertices();
+  const eid m = g.num_edges();
+  if (n == 0 || m == 0) return {};
+
+  const std::vector<eid> in_deg = g.in_degrees();
+  const double avg = 2.0 * static_cast<double>(m) / static_cast<double>(n);
+  const auto threshold = static_cast<std::uint64_t>(hub_factor * avg);
+
+  // hubs, sorted by total degree descending; ties keep ascending vertex
+  // order (stable), so the permutation is deterministic.
+  std::vector<std::pair<std::uint64_t, vid>> hubs;
+  for (vid v = 0; v < n; ++v) {
+    const std::uint64_t deg = static_cast<std::uint64_t>(g.out_degree(v)) + in_deg[v];
+    if (deg > threshold) hubs.emplace_back(deg, v);
+  }
+  if (hubs.empty()) return {};
+  std::stable_sort(hubs.begin(), hubs.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::vector<vid> perm(n, kInvalidVid);
+  vid next_top = n;
+  for (const auto& [deg, v] : hubs) perm[v] = --next_top;
+  vid next_low = 0;
+  for (vid v = 0; v < n; ++v) {
+    if (perm[v] == kInvalidVid) perm[v] = next_low++;
+  }
+
+  bool identity = true;
+  for (vid v = 0; v < n && identity; ++v) identity = perm[v] == v;
+  return identity ? std::vector<vid>{} : perm;
+}
+
 Digraph apply_permutation(const Digraph& g, const std::vector<vid>& perm) {
   const vid n = g.num_vertices();
   if (perm.size() != n) throw std::invalid_argument("apply_permutation: size mismatch");
-  EdgeList edges;
-  edges.reserve(g.num_edges());
-  for (vid u = 0; u < n; ++u)
-    for (vid v : g.out_neighbors(u)) edges.add(perm[u], perm[v]);
-  return Digraph(n, edges);
+  const std::vector<vid> inv = invert_permutation(perm);
+  std::vector<eid> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (vid nv = 0; nv < n; ++nv) offsets[nv + 1] = offsets[nv] + g.out_degree(inv[nv]);
+  std::vector<vid> targets(offsets[n]);
+  for (vid nv = 0; nv < n; ++nv) {
+    eid at = offsets[nv];
+    for (vid w : g.out_neighbors(inv[nv])) targets[at++] = perm[w];
+    std::sort(targets.begin() + static_cast<std::ptrdiff_t>(offsets[nv]),
+              targets.begin() + static_cast<std::ptrdiff_t>(at));
+  }
+  return Digraph(std::move(offsets), std::move(targets));
 }
 
 PermutedGraph randomly_permute(const Digraph& g, Rng& rng) {

@@ -16,8 +16,24 @@ namespace ecl::graph {
 /// Returns a uniformly random permutation p of [0, n) (p[old] = new).
 std::vector<vid> random_permutation(vid n, Rng& rng);
 
+/// Inverse permutation: returns q with q[perm[v]] = v.
+std::vector<vid> invert_permutation(const std::vector<vid>& perm);
+
+/// Hub-clustering permutation (DESIGN.md §11): vertices whose total degree
+/// (in + out) exceeds hub_factor times the average are "hubs" and are
+/// assigned the TOP vertex IDs, in descending degree order (the heaviest
+/// hub gets n - 1). All other vertices keep their relative order in the
+/// low ID range. Under ECL-SCC's max-ID propagation this makes the winning
+/// IDs the ones with the widest fan-out — they saturate a cluster in few
+/// rounds — and clusters the hot signature slots onto adjacent cache
+/// lines. Returns an EMPTY vector when the permutation would be the
+/// identity (no hubs, e.g. uniform-degree meshes): callers skip the
+/// relabeling entirely.
+std::vector<vid> hub_clustering_permutation(const Digraph& g, double hub_factor = 4.0);
+
 /// Relabels every vertex v of g to perm[v]; perm must be a permutation of
-/// [0, g.num_vertices()).
+/// [0, g.num_vertices()). Rebuilds the CSR directly (gather + per-vertex
+/// sort), no intermediate edge list.
 Digraph apply_permutation(const Digraph& g, const std::vector<vid>& perm);
 
 /// Convenience: relabel with a fresh random permutation, returning both the

@@ -121,6 +121,26 @@ void SccService::worker_loop() {
     Response response = process(pending, dev);
     pending.promise.set_value(std::move(response));
   }
+  // Fold this worker's device launch statistics (including the per-block
+  // edge-work histogram, DESIGN.md §11) into the service-wide aggregate so
+  // tools can report scheduling imbalance after shutdown.
+  std::lock_guard lock(device_stats_mutex_);
+  const device::LaunchStats& s = dev.stats();
+  device_stats_.kernel_launches += s.kernel_launches;
+  device_stats_.blocks_executed += s.blocks_executed;
+  device_stats_.block_iterations += s.block_iterations;
+  device_stats_.spurious_replays += s.spurious_replays;
+  device_stats_.imbalance_weighted += s.imbalance_weighted;
+  device_stats_.imbalance_weight += s.imbalance_weight;
+  if (device_stats_.block_edge_work.size() < s.block_edge_work.size())
+    device_stats_.block_edge_work.resize(s.block_edge_work.size(), 0);
+  for (std::size_t b = 0; b < s.block_edge_work.size(); ++b)
+    device_stats_.block_edge_work[b] += s.block_edge_work[b];
+}
+
+device::LaunchStats SccService::device_stats() const {
+  std::lock_guard lock(device_stats_mutex_);
+  return device_stats_;
 }
 
 Response SccService::process(Pending& pending, device::Device& dev) {

@@ -128,6 +128,13 @@ class SccService {
   /// Breaker state per backend (observability; order matches config().backends).
   std::vector<std::pair<std::string, BreakerState>> breaker_states() const;
 
+  /// Aggregated launch statistics of all per-worker devices, including the
+  /// per-block edge-work histogram and the weighted imbalance metric
+  /// (DESIGN.md §11). Workers fold their device's stats in as they exit, so
+  /// the full picture is available after shutdown(); mid-run it covers only
+  /// already-exited workers.
+  device::LaunchStats device_stats() const;
+
   /// The owned engine (test/tool access; the service stays in charge of
   /// writes — use update_batch requests to mutate).
   dynamic::DynamicScc& engine() noexcept { return *engine_; }
@@ -191,6 +198,9 @@ class SccService {
   std::atomic<bool> stopped_{false};
   std::mutex shutdown_mutex_;
   AtomicStats stats_;
+
+  mutable std::mutex device_stats_mutex_;
+  device::LaunchStats device_stats_;  // guarded by device_stats_mutex_
 };
 
 }  // namespace ecl::service

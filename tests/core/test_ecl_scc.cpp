@@ -103,6 +103,18 @@ TEST(EclScc, AsyncModeReducesKernelLaunches) {
   EXPECT_TRUE(scc::same_partition(sync_result.labels, async_result.labels));
 }
 
+TEST(EclScc, ConvergedGraphSkipsEmptyLaunches) {
+  // An edgeless graph converges immediately: Phase 2 and Phase 3 have zero
+  // edges, blocks_for(0) is a zero grid, and a zero-grid launch is a no-op
+  // (DESIGN.md §11). Only Phase 1 and the detect kernel may launch.
+  device::Device dev(device::a100_profile());
+  const auto g = graph::Digraph(64, {});
+  const auto r = scc::ecl_scc(g, dev);
+  EXPECT_EQ(r.num_components, 64u);
+  EXPECT_EQ(r.metrics.outer_iterations, 1u);
+  EXPECT_EQ(r.metrics.kernel_launches, 2u);  // phase1 + detect, nothing else
+}
+
 TEST(EclScc, PathCompressionReducesPropagationRounds) {
   // A long cycle is the worst case for plain propagation (c in O(d c |E|));
   // compression traverses it in ~log(c) rounds (§3.3). Compare in sync mode

@@ -1,0 +1,197 @@
+// Load-balance differential suite (ctest label: perf).
+//
+// The DESIGN.md §11 levers — work-stealing persistent workers, merge-path
+// edge partitioning, hub-clustering reorder — are pure performance
+// transforms: every one of the 8 lever combinations must produce
+// BIT-IDENTICAL labels to the seed (all-levers-off) configuration, on every
+// graph family, both fault-free and under seeded chaos plans. Identity of
+// raw labels (not just partitions) holds because ECL-SCC's max-ID labeling
+// is a function of the graph alone: partitioning only changes WHICH block
+// visits an edge, stealing only changes WHEN, and the reordered run renames
+// every component back to its maximum ORIGINAL member.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/test_graphs.hpp"
+#include "core/ecl_scc.hpp"
+#include "core/tarjan.hpp"
+#include "device/fault.hpp"
+
+namespace ecl::test {
+namespace {
+
+using device::FaultPlan;
+using scc::EclOptions;
+using scc::SccResult;
+
+struct Family {
+  std::string name;
+  Digraph graph;
+};
+
+std::vector<Family> families() {
+  std::vector<Family> fs;
+  fs.push_back({"cycle_chain_12x6", graph::cycle_chain(12, 6)});
+  fs.push_back({"grid_dag_10x10", graph::grid_dag(10, 10)});
+  {
+    Rng rng(0x40710'01);
+    fs.push_back({"er_n150_m450", graph::random_digraph(150, 450, rng)});
+  }
+  {
+    Rng rng(0x40710'02);
+    graph::SccProfile profile;
+    profile.num_vertices = 200;
+    profile.giant_fraction = 0.4;
+    profile.size2_sccs = 10;
+    profile.mid_sccs = 3;
+    profile.dag_depth = 6;
+    fs.push_back({"powerlaw_giant", graph::scc_profile_graph(profile, rng)});
+  }
+  return fs;
+}
+
+/// The §11 lever cube on top of the full PR-4 hot path: bit 0 = work
+/// stealing, bit 1 = merge-path edge balance, bit 2 = hub reorder. Mask 0
+/// is the `ecl-hotpath` baseline configuration; mask 7 is the default.
+EclOptions lever_combo(unsigned mask) {
+  EclOptions opts = scc::ecl_loadbalance_levers_off();
+  opts.work_stealing = mask & 1;
+  opts.edge_balanced = mask & 2;
+  opts.hub_reorder = mask & 4;
+  return opts;
+}
+
+std::string combo_name(unsigned mask) {
+  return std::string(mask & 1 ? "steal" : "-") + "/" + (mask & 2 ? "edgebal" : "-") + "/" +
+         (mask & 4 ? "reorder" : "-");
+}
+
+device::DeviceProfile loadbalance_profile(FaultPlan plan = {}) {
+  device::DeviceProfile profile = device::tiny_profile();  // zero launch overhead
+  profile.fault_plan = plan;
+  return profile;
+}
+
+TEST(LoadbalanceDifferential, AllLeverCombosMatchSeedLabelsBitForBit) {
+  for (const auto& family : families()) {
+    device::Device dev(loadbalance_profile(), /*workers=*/4);
+    const SccResult seed = scc::ecl_scc(family.graph, dev, lever_combo(0));
+    ASSERT_TRUE(seed.ok()) << family.name;
+    const SccResult oracle = scc::tarjan(family.graph);
+    ASSERT_TRUE(scc::same_partition(seed.labels, oracle.labels)) << family.name;
+
+    for (unsigned mask = 1; mask < 8; ++mask) {
+      const SccResult r = scc::ecl_scc(family.graph, dev, lever_combo(mask));
+      ASSERT_TRUE(r.ok()) << family.name << " " << combo_name(mask);
+      EXPECT_EQ(r.labels, seed.labels)
+          << family.name << ": combo " << combo_name(mask)
+          << " changed the labeling (levers must be pure perf transforms)";
+      EXPECT_EQ(r.num_components, seed.num_components) << family.name;
+    }
+  }
+}
+
+TEST(LoadbalanceDifferential, CombosAlsoMatchTheFullSeedConfiguration) {
+  // Transitively: every §11 combo must also agree with the all-six-levers-
+  // off seed (ecl-classic), pinning the whole lever stack to one labeling.
+  for (const auto& family : families()) {
+    device::Device dev(loadbalance_profile(), /*workers=*/4);
+    const SccResult classic = scc::ecl_scc(family.graph, dev, scc::ecl_hotpath_levers_off());
+    ASSERT_TRUE(classic.ok()) << family.name;
+    const SccResult all_on = scc::ecl_scc(family.graph, dev, EclOptions{});
+    ASSERT_TRUE(all_on.ok()) << family.name;
+    EXPECT_EQ(all_on.labels, classic.labels) << family.name;
+  }
+}
+
+TEST(LoadbalanceDifferential, ChaosPlansPreserveLabelsAcrossLevers) {
+  // Same seeded fault plan, each §11 combo vs the hotpath baseline: the
+  // fault draw sequences diverge (different blocks make different store
+  // sequences), but the converged labeling may not. Recovered runs (serial
+  // fallback) keep the max-ID convention, so raw labels stay comparable
+  // even when a plan trips the watchdog.
+  for (const auto& family : families()) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const FaultPlan plan = FaultPlan::from_seed(seed);
+      device::Device dev_off(loadbalance_profile(plan), /*workers=*/4);
+      const SccResult off = scc::ecl_scc(family.graph, dev_off, lever_combo(0));
+      ASSERT_EQ(off.labels.size(), family.graph.num_vertices());
+      for (unsigned mask = 1; mask < 8; ++mask) {
+        device::Device dev_on(loadbalance_profile(plan), /*workers=*/4);
+        const SccResult on = scc::ecl_scc(family.graph, dev_on, lever_combo(mask));
+        const std::string ctx = family.name + " " + combo_name(mask) + " " + plan.describe();
+        ASSERT_EQ(on.labels.size(), family.graph.num_vertices()) << ctx;
+        // Default stall policy completes every labeling (serial fallback).
+        EXPECT_EQ(on.labels, off.labels) << ctx;
+      }
+      const SccResult oracle = scc::tarjan(family.graph);
+      EXPECT_TRUE(scc::same_partition(off.labels, oracle.labels)) << family.name;
+    }
+  }
+}
+
+TEST(LoadbalanceDifferential, Phase3RemovalsIdenticalAcrossSchedulingLevers) {
+  // Holding the graph fixed (hub_reorder off — a reordered run legitimately
+  // converges in different rounds), the scheduling levers may change which
+  // block removes an edge but never WHICH edges get removed or how many
+  // outer iterations the fixpoint takes.
+  for (const auto& family : families()) {
+    device::Device dev(loadbalance_profile(), /*workers=*/4);
+    const SccResult base = scc::ecl_scc(family.graph, dev, lever_combo(0));
+    ASSERT_TRUE(base.ok()) << family.name;
+    for (unsigned mask = 1; mask < 4; ++mask) {  // steal, edgebal, both
+      const SccResult r = scc::ecl_scc(family.graph, dev, lever_combo(mask));
+      ASSERT_TRUE(r.ok()) << family.name << " " << combo_name(mask);
+      EXPECT_EQ(r.metrics.edges_removed, base.metrics.edges_removed)
+          << family.name << " " << combo_name(mask);
+      EXPECT_EQ(r.metrics.outer_iterations, base.metrics.outer_iterations)
+          << family.name << " " << combo_name(mask);
+      EXPECT_EQ(r.metrics.edges_dropped, 0u) << family.name;
+    }
+  }
+}
+
+TEST(LoadbalanceDifferential, WorkStealingCountersAccountForEveryBlock) {
+  // With stealing on, every launched block is claimed exactly once — owned
+  // or stolen — and the pool-level counters prove the path was exercised.
+  device::Device dev(loadbalance_profile(), /*workers=*/4);
+  const auto g = graph::cycle_chain(12, 6);
+  const std::uint64_t claimed_before = dev.pool().claimed_tasks();
+  const std::uint64_t stolen_before = dev.pool().stolen_tasks();
+  const std::uint64_t blocks_before = dev.stats().blocks_executed;
+  const SccResult r = scc::ecl_scc(g, dev, lever_combo(1));  // stealing only
+  ASSERT_TRUE(r.ok());
+  const std::uint64_t claimed = dev.pool().claimed_tasks() - claimed_before;
+  const std::uint64_t stolen = dev.pool().stolen_tasks() - stolen_before;
+  const std::uint64_t blocks = dev.stats().blocks_executed - blocks_before;
+  EXPECT_GT(blocks, 0u);
+  EXPECT_EQ(claimed + stolen, blocks);
+}
+
+TEST(LoadbalanceDifferential, EdgeBalanceReducesRecordedImbalance) {
+  // A hub-heavy graph under the classic block-cyclic distribution leaves
+  // the imbalance metric above the balanced run's: equal contiguous spans
+  // bound every block's share at ceil(m / blocks).
+  Rng rng(0x40710'03);
+  graph::SccProfile profile;
+  profile.num_vertices = 400;
+  profile.giant_fraction = 0.5;
+  profile.power_law = true;
+  const auto g = graph::scc_profile_graph(profile, rng);
+
+  device::Device balanced(loadbalance_profile());
+  EclOptions on = lever_combo(2);
+  ASSERT_TRUE(scc::ecl_scc(g, balanced, on).ok());
+
+  device::Device classic(loadbalance_profile());
+  ASSERT_TRUE(scc::ecl_scc(g, classic, lever_combo(0)).ok());
+
+  EXPECT_LE(balanced.stats().block_imbalance(), classic.stats().block_imbalance() + 1e-9);
+  EXPECT_FALSE(balanced.stats().block_edge_work.empty());
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -45,11 +45,60 @@ TEST(Device, LaunchStatsAccumulate) {
 
 TEST(Device, BlocksForRoundsUp) {
   Device dev(device::a100_profile());  // 512 threads/block
-  EXPECT_EQ(dev.blocks_for(0), 1u);
+  EXPECT_EQ(dev.blocks_for(0), 0u);  // zero work maps to a zero grid (no-op launch)
   EXPECT_EQ(dev.blocks_for(1), 1u);
   EXPECT_EQ(dev.blocks_for(512), 1u);
   EXPECT_EQ(dev.blocks_for(513), 2u);
   EXPECT_EQ(dev.blocks_for(5120), 10u);
+}
+
+TEST(Device, ZeroBlockLaunchIsANoOp) {
+  // A zero-grid launch (blocks_for(0)) must execute nothing and charge
+  // nothing: a fixpoint loop that has converged skips the kernel entirely.
+  Device dev(device::tiny_profile());
+  std::atomic<unsigned> calls{0};
+  dev.launch(0, [&](const BlockContext&) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0u);
+  EXPECT_EQ(dev.stats().kernel_launches, 0u);
+  EXPECT_EQ(dev.stats().blocks_executed, 0u);
+}
+
+TEST(Device, WorkStealingLaunchCoversAllBlocksOnce) {
+  Device dev(device::tiny_profile(), 4);
+  std::vector<std::atomic<int>> hits(129);
+  dev.launch(
+      129,
+      [&](const BlockContext& ctx) {
+        ASSERT_LT(ctx.block_id, 129u);
+        hits[ctx.block_id].fetch_add(1);
+      },
+      {.work_stealing = true});
+  for (std::size_t b = 0; b < hits.size(); ++b)
+    ASSERT_EQ(hits[b].load(), 1) << "block " << b;
+  EXPECT_EQ(dev.stats().blocks_executed, 129u);
+}
+
+TEST(Device, RecordBlockWorkFeedsImbalanceStats) {
+  Device dev(device::tiny_profile());
+  // Launch 4 blocks where block 0 does 70 units and the rest 10 each:
+  // max/mean = 70 / 25 = 2.8.
+  dev.launch(4, [&](const BlockContext& ctx) {
+    dev.record_block_work(ctx.block_id, ctx.block_id == 0 ? 70 : 10);
+  });
+  ASSERT_EQ(dev.stats().block_edge_work.size(), 4u);
+  EXPECT_EQ(dev.stats().block_edge_work[0], 70u);
+  EXPECT_EQ(dev.stats().block_edge_work[1], 10u);
+  EXPECT_DOUBLE_EQ(dev.stats().block_imbalance(), 2.8);
+
+  // A perfectly balanced launch pulls the weighted mean toward 1.0.
+  dev.launch(4, [&](const BlockContext& ctx) { dev.record_block_work(ctx.block_id, 25); });
+  EXPECT_EQ(dev.stats().block_edge_work[0], 95u);
+  EXPECT_GT(dev.stats().block_imbalance(), 1.0);
+  EXPECT_LT(dev.stats().block_imbalance(), 2.8);
+
+  dev.stats().reset();
+  EXPECT_TRUE(dev.stats().block_edge_work.empty());
+  EXPECT_DOUBLE_EQ(dev.stats().block_imbalance(), 1.0);  // nothing recorded
 }
 
 TEST(Device, ChunkDistributionCoversAllItemsOnce) {

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "device/edge_partition.hpp"
+
+namespace ecl::test {
+namespace {
+
+using device::EdgeSpan;
+using device::equal_edge_span;
+using device::for_each_item_span;
+using device::owner_of;
+
+TEST(EdgePartition, EqualSpansCoverTotalInOrder) {
+  for (std::uint64_t total : {0ull, 1ull, 7ull, 8ull, 100ull, 12345ull}) {
+    for (unsigned blocks : {1u, 2u, 3u, 8u, 17u}) {
+      std::uint64_t expect_begin = 0;
+      for (unsigned b = 0; b < blocks; ++b) {
+        const EdgeSpan span = equal_edge_span(b, blocks, total);
+        EXPECT_EQ(span.begin, expect_begin) << total << "/" << blocks << " block " << b;
+        EXPECT_LE(span.begin, span.end);
+        expect_begin = span.end;
+      }
+      EXPECT_EQ(expect_begin, total) << total << "/" << blocks;
+    }
+  }
+}
+
+TEST(EdgePartition, EqualSpansDifferByAtMostOne) {
+  const std::uint64_t total = 1000;
+  const unsigned blocks = 7;
+  std::uint64_t lo = total, hi = 0;
+  for (unsigned b = 0; b < blocks; ++b) {
+    const EdgeSpan span = equal_edge_span(b, blocks, total);
+    lo = std::min(lo, span.size());
+    hi = std::max(hi, span.size());
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(EdgePartition, MoreBlocksThanWorkLeavesTailEmpty) {
+  const EdgeSpan busy = equal_edge_span(2, 8, 3);
+  EXPECT_EQ(busy.size(), 1u);
+  const EdgeSpan idle = equal_edge_span(7, 8, 3);
+  EXPECT_TRUE(idle.empty());
+  EXPECT_TRUE(equal_edge_span(0, 4, 0).empty());
+}
+
+TEST(EdgePartition, OwnerOfFindsContainingItem) {
+  // CSR-style offsets for degrees {2, 0, 3, 1}.
+  const std::vector<std::uint64_t> offsets = {0, 2, 2, 5, 6};
+  const std::span<const std::uint64_t> view(offsets);
+  EXPECT_EQ(owner_of(view, 0), 0u);
+  EXPECT_EQ(owner_of(view, 1), 0u);
+  EXPECT_EQ(owner_of(view, 2), 2u);  // vertex 1 has degree 0 and owns nothing
+  EXPECT_EQ(owner_of(view, 4), 2u);
+  EXPECT_EQ(owner_of(view, 5), 3u);
+}
+
+TEST(EdgePartition, EmptyGraphVisitsNothing) {
+  const std::vector<std::uint64_t> offsets = {0};  // zero vertices, zero edges
+  unsigned calls = 0;
+  for_each_item_span(std::span<const std::uint64_t>(offsets), equal_edge_span(0, 4, 0),
+                     [&](std::size_t, std::uint64_t, std::uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+}
+
+TEST(EdgePartition, AllIsolatedVerticesVisitNothing) {
+  const std::vector<std::uint64_t> offsets = {0, 0, 0, 0};  // 3 vertices, no edges
+  unsigned calls = 0;
+  for_each_item_span(std::span<const std::uint64_t>(offsets), equal_edge_span(0, 2, 0),
+                     [&](std::size_t, std::uint64_t, std::uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+}
+
+TEST(EdgePartition, SingleHubSplitsAcrossBlocks) {
+  // One vertex owning all 100 edges: every block must get a slice of the
+  // SAME item — the scenario where vertex partitioning degenerates.
+  const std::vector<std::uint64_t> offsets = {0, 100, 100};
+  const unsigned blocks = 4;
+  std::vector<int> hit(100, 0);
+  for (unsigned b = 0; b < blocks; ++b) {
+    for_each_item_span(std::span<const std::uint64_t>(offsets),
+                       equal_edge_span(b, blocks, 100),
+                       [&](std::size_t item, std::uint64_t lo, std::uint64_t hi) {
+                         EXPECT_EQ(item, 0u);  // always the hub
+                         EXPECT_EQ(hi - lo, 25u);
+                         for (std::uint64_t k = lo; k < hi; ++k) ++hit[k];
+                       });
+  }
+  for (int h : hit) EXPECT_EQ(h, 1);
+}
+
+TEST(EdgePartition, RandomCsrCoveredExactlyOnce) {
+  std::mt19937 rng(0x5cc);
+  std::uniform_int_distribution<int> deg(0, 9);
+  std::vector<std::uint64_t> offsets = {0};
+  for (int v = 0; v < 200; ++v) offsets.push_back(offsets.back() + deg(rng));
+  const std::uint64_t total = offsets.back();
+  ASSERT_GT(total, 0u);
+
+  std::vector<int> hit(total, 0);
+  const unsigned blocks = 13;
+  for (unsigned b = 0; b < blocks; ++b) {
+    for_each_item_span(std::span<const std::uint64_t>(offsets),
+                       equal_edge_span(b, blocks, total),
+                       [&](std::size_t item, std::uint64_t lo, std::uint64_t hi) {
+                         ASSERT_LT(item, 200u);
+                         ASSERT_LE(offsets[item], lo);
+                         ASSERT_LT(lo, hi);
+                         ASSERT_LE(hi, offsets[item + 1]);
+                         for (std::uint64_t k = lo; k < hi; ++k) ++hit[k];
+                       });
+  }
+  for (std::uint64_t k = 0; k < total; ++k) ASSERT_EQ(hit[k], 1) << "edge " << k;
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -51,5 +51,59 @@ TEST(Permute, RandomlyPermuteReturnsConsistentPair) {
   for (vid v = 0; v + 1 < 30; ++v) EXPECT_TRUE(h.has_edge(perm[v], perm[v + 1]));
 }
 
+TEST(Permute, InvertPermutationRoundTrips) {
+  Rng rng(4);
+  const auto perm = graph::random_permutation(64, rng);
+  const auto inv = graph::invert_permutation(perm);
+  for (vid v = 0; v < 64; ++v) {
+    EXPECT_EQ(inv[perm[v]], v);
+    EXPECT_EQ(perm[inv[v]], v);
+  }
+}
+
+TEST(Permute, HubClusteringIsIdentityOnUniformGraphs) {
+  // Every vertex of a cycle has total degree 2: no hubs, nothing to move,
+  // and the function signals "identity" with an empty vector so callers can
+  // skip the graph rebuild entirely.
+  EXPECT_TRUE(graph::hub_clustering_permutation(graph::cycle_graph(50)).empty());
+  EXPECT_TRUE(graph::hub_clustering_permutation(graph::Digraph(10, {})).empty());
+}
+
+TEST(Permute, HubClusteringMovesHubsToTopIds) {
+  // A star: vertex 0 points at 1..40 and each points back. Vertex 0's total
+  // degree (80) is far above the mean, so it must receive the TOP vertex ID.
+  const vid n = 41;
+  graph::EdgeList edges;
+  for (vid v = 1; v < n; ++v) {
+    edges.add(0, v);
+    edges.add(v, 0);
+  }
+  const auto g = graph::Digraph(n, edges);
+  const auto perm = graph::hub_clustering_permutation(g);
+  ASSERT_EQ(perm.size(), n);
+  EXPECT_EQ(perm[0], n - 1);
+
+  // And it is a valid permutation: non-hubs keep their relative order.
+  std::vector<vid> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (vid i = 0; i < n; ++i) ASSERT_EQ(sorted[i], i);
+  for (vid v = 1; v + 1 < n; ++v) EXPECT_LT(perm[v], perm[v + 1]);
+}
+
+TEST(Permute, HubClusteringOrdersHubsByDegreeDescending) {
+  // Two hubs of different fan-out on a sea of low-degree vertices: the
+  // bigger hub must land on the bigger ID, clustering the hottest signature
+  // slots at the very top of the ID range.
+  const vid n = 60;
+  graph::EdgeList edges;
+  for (vid v = 10; v < n; ++v) edges.add(3, v);  // fan-out 50
+  for (vid v = 20; v < n; ++v) edges.add(7, v);  // fan-out 40
+  const auto g = graph::Digraph(n, edges);
+  const auto perm = graph::hub_clustering_permutation(g);
+  ASSERT_EQ(perm.size(), n);
+  EXPECT_EQ(perm[3], n - 1);
+  EXPECT_EQ(perm[7], n - 2);
+}
+
 }  // namespace
 }  // namespace ecl::test

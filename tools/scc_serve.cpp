@@ -6,7 +6,11 @@
 //
 //   scc_serve [<graph-file>] [--requests N] [--rate RPS] [--deadline-ms D]
 //             [--staleness N] [--workers N] [--queue N] [--backends a,b,c]
-//             [--chaos] [--no-breakers] [--no-degradation] [--seed S]
+//             [--chaos] [--no-breakers] [--no-degradation] [--seed S] [--stats]
+//
+// --stats additionally prints the aggregated per-worker device launch
+// statistics after shutdown: launch counts, the work-weighted block
+// imbalance metric, and a per-block edge-work histogram (DESIGN.md §11).
 
 #include <algorithm>
 #include <chrono>
@@ -64,6 +68,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   ServiceConfig cfg;
   bool chaos = false;
+  bool show_device_stats = false;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -95,13 +100,15 @@ int main(int argc, char** argv) {
       cfg.enable_degradation = false;
     } else if (!std::strcmp(argv[i], "--seed")) {
       seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--stats")) {
+      show_device_stats = true;
     } else if (argv[i][0] != '-' && graph_file.empty()) {
       graph_file = argv[i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [<graph-file>] [--requests N] [--rate RPS] [--deadline-ms D]\n"
                    "          [--staleness N] [--workers N] [--queue N] [--backends a,b,c]\n"
-                   "          [--chaos] [--no-breakers] [--no-degradation] [--seed S]\n",
+                   "          [--chaos] [--no-breakers] [--no-degradation] [--seed S] [--stats]\n",
                    argv[0]);
       return 2;
     }
@@ -198,5 +205,33 @@ int main(int argc, char** argv) {
   for (const auto& [backend, state] : svc.breaker_states())
     std::printf("breaker[%s] = %s\n", backend.c_str(), service::breaker_state_name(state));
   svc.shutdown();
+
+  if (show_device_stats) {
+    // Workers fold their device stats in as they exit, so this is complete
+    // only after shutdown().
+    const device::LaunchStats ds = svc.device_stats();
+    std::printf("\ndevice: %llu launches, %llu blocks, %llu replays; "
+                "block imbalance (max/mean, work-weighted) %.3f\n",
+                static_cast<unsigned long long>(ds.kernel_launches),
+                static_cast<unsigned long long>(ds.blocks_executed),
+                static_cast<unsigned long long>(ds.spurious_replays), ds.block_imbalance());
+    if (!ds.block_edge_work.empty()) {
+      const std::uint64_t top =
+          *std::max_element(ds.block_edge_work.begin(), ds.block_edge_work.end());
+      TextTable hist({"block", "edge work", ""});
+      // Print the first 32 blocks (the interesting skew is at low IDs, where
+      // block-cyclic remainders land); the scale bar is relative to the max.
+      const std::size_t shown = std::min<std::size_t>(ds.block_edge_work.size(), 32);
+      for (std::size_t b = 0; b < shown; ++b) {
+        const std::uint64_t w = ds.block_edge_work[b];
+        const std::size_t bars =
+            top > 0 ? static_cast<std::size_t>((w * 40 + top - 1) / top) : 0;
+        hist.add_row({std::to_string(b), std::to_string(w), std::string(bars, '#')});
+      }
+      std::printf("%s\n", hist.render().c_str());
+      if (ds.block_edge_work.size() > shown)
+        std::printf("(%zu more blocks)\n", ds.block_edge_work.size() - shown);
+    }
+  }
   return 0;
 }
