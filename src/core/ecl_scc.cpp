@@ -1,6 +1,7 @@
 #include "core/ecl_scc.hpp"
 
 #include <memory>
+#include <optional>
 
 #include "core/tarjan.hpp"
 #include "device/atomics.hpp"
@@ -51,6 +52,9 @@ struct EclState {
 /// deferred: dropped this round but reported as movement when it would have
 /// changed the slot, so the propagation loop retries until it lands —
 /// exactly the lost-update tolerance the monotonic store relies on.
+/// Under the lost-update fault the store is dropped AND reported as no
+/// movement: the fixpoint silently converges short of the true one, which
+/// only the online certifier (core/verify.hpp) can detect downstream.
 ///
 /// `owner` is the vertex whose signature the slot belongs to. Any reported
 /// movement — including a deferred store's, so the retry round still sees
@@ -59,6 +63,7 @@ struct EclState {
 bool store_max(EclState& st, AtomicU32& slot, vid owner, std::uint32_t value,
                const EclOptions& opts, std::uint32_t round) noexcept {
   bool moved;
+  if (st.fault && st.fault->lose_store()) return false;
   if (st.fault && st.fault->defer_store())
     moved = value > slot.load(std::memory_order_relaxed);
   else
@@ -72,6 +77,7 @@ bool store_max(EclState& st, AtomicU32& slot, vid owner, std::uint32_t value,
 bool store_min(EclState& st, AtomicU32& slot, vid owner, std::uint32_t value,
                const EclOptions& opts, std::uint32_t round) noexcept {
   bool moved;
+  if (st.fault && st.fault->lose_store()) return false;
   if (st.fault && st.fault->defer_store())
     moved = value < slot.load(std::memory_order_relaxed);
   else
@@ -80,6 +86,71 @@ bool store_min(EclState& st, AtomicU32& slot, vid owner, std::uint32_t value,
   if (moved && opts.frontier_gating)
     st.sigs.epoch(owner).store(round, std::memory_order_relaxed);
   return moved;
+}
+
+// --- Checkpointed resume (DESIGN.md §12) -----------------------------------
+//
+// Snapshots are taken only on the control thread at grid-barrier quiescent
+// points (after a launch returns, before the next one), so signatures,
+// labels, and the worklist are mutually consistent. The fixpoint is
+// monotone, so replaying Phase 2 from any such snapshot reaches the same
+// labeling an uninterrupted run would.
+
+/// A checkpoint slot plus the sweep count accumulated since it was taken
+/// (the work a resume replays — reported as SccMetrics::rounds_replayed).
+struct CheckpointState {
+  FixpointCheckpoint snap;
+  std::uint64_t sweeps_since = 0;
+};
+
+void take_checkpoint(EclState& st, const EclOptions& opts, CheckpointState& ckpt,
+                     std::uint64_t outer_iteration, SccMetrics& metrics) {
+  FixpointCheckpoint& c = ckpt.snap;
+  c.valid = true;
+  c.outer_iteration = outer_iteration;
+  c.labels = st.labels;
+  const auto edges = st.worklist.edges();
+  c.worklist.assign(edges.begin(), edges.end());
+  const vid n = st.n;
+  c.vin.resize(n);
+  c.vout.resize(n);
+  if (opts.min_max_signatures) {
+    c.min_in.resize(n);
+    c.min_out.resize(n);
+  }
+  for (vid v = 0; v < n; ++v) {
+    c.vin[v] = st.sigs.vin(v).load(std::memory_order_relaxed);
+    c.vout[v] = st.sigs.vout(v).load(std::memory_order_relaxed);
+    if (opts.min_max_signatures) {
+      c.min_in[v] = st.sigs.min_in(v).load(std::memory_order_relaxed);
+      c.min_out[v] = st.sigs.min_out(v).load(std::memory_order_relaxed);
+    }
+  }
+  ckpt.sweeps_since = 0;
+  ++metrics.checkpoints_taken;
+}
+
+/// Restores the snapshot into the live state. Every vertex epoch is stamped
+/// with the CURRENT round so the next sweep treats the whole worklist as
+/// active under frontier gating (the snapshot predates the current clock).
+void restore_checkpoint(EclState& st, const EclOptions& opts, const CheckpointState& ckpt) {
+  const FixpointCheckpoint& c = ckpt.snap;
+  st.labels = c.labels;
+  st.worklist.reset(c.worklist);
+  const vid n = st.n;
+  std::uint64_t labeled = 0;
+  for (vid v = 0; v < n; ++v) {
+    st.sigs.vin(v).store(c.vin[v], std::memory_order_relaxed);
+    st.sigs.vout(v).store(c.vout[v], std::memory_order_relaxed);
+    if (opts.min_max_signatures) {
+      st.sigs.min_in(v).store(c.min_in[v], std::memory_order_relaxed);
+      st.sigs.min_out(v).store(c.min_out[v], std::memory_order_relaxed);
+    }
+    if (opts.frontier_gating) st.sigs.epoch(v).store(st.round, std::memory_order_relaxed);
+    if (st.labels[v] != graph::kInvalidVid) ++labeled;
+  }
+  st.labeled.store(labeled, std::memory_order_relaxed);
+  st.changed.store(0, std::memory_order_relaxed);
 }
 
 /// Minimum-ID propagation for one edge (the 4-signature variant): the
@@ -202,9 +273,13 @@ void phase1_init(EclState& st, device::Device& dev, const EclOptions& opts) {
 
 /// Runs the Phase-2 fixpoint. Returns false if the watchdog aborted it
 /// (sweep budget exhausted or wall-clock expiry): signatures are then
-/// unreliable and the caller must not label from them.
+/// unreliable and the caller must not label from them — but the last
+/// checkpoint (if `ckpt` is non-null, snapshotted every
+/// checkpoint.sweep_interval sweeps at the grid barrier) remains a sound
+/// restart state.
 bool phase2_propagate(EclState& st, device::Device& dev, const EclOptions& opts,
-                      SccMetrics& metrics, FixpointWatchdog& watchdog) {
+                      SccMetrics& metrics, FixpointWatchdog& watchdog, CheckpointState* ckpt,
+                      std::uint64_t outer_iteration) {
   const auto edges = st.worklist.edges();
   const std::uint64_t m = edges.size();
   if (m == 0) return true;
@@ -285,6 +360,17 @@ bool phase2_propagate(EclState& st, device::Device& dev, const EclOptions& opts,
     }
 
     if (st.changed.load(std::memory_order_relaxed) == 0) break;
+
+    // Another sweep is coming: this grid barrier is a quiescent point, so
+    // snapshot here if the cadence is due. Signatures mid-Phase-2 are a
+    // legal restart state (monotone fixpoint); labels and the worklist are
+    // frozen until Phase 3, so they are consistent with the signatures.
+    if (ckpt) {
+      ++ckpt->sweeps_since;
+      if (opts.checkpoint.sweep_interval > 0 &&
+          ckpt->sweeps_since >= opts.checkpoint.sweep_interval)
+        take_checkpoint(st, opts, *ckpt, outer_iteration, metrics);
+    }
   }
   return true;
 }
@@ -470,12 +556,48 @@ SccResult ecl_scc(const Digraph& g, device::Device& dev, const EclOptions& opts)
   if (n == 0) return result;
 
   EclState st(g, opts);
-  if (dev.fault_active() && dev.fault().plan().delayed_visibility) st.fault = &dev.fault();
+  if (dev.fault_active() &&
+      (dev.fault().plan().delayed_visibility || dev.fault().plan().lost_update))
+    st.fault = &dev.fault();
   const std::uint64_t launches_before = dev.stats().kernel_launches;
 
   const std::uint64_t guard =
       opts.max_outer_iterations ? opts.max_outer_iterations : static_cast<std::uint64_t>(n) + 2;
-  FixpointWatchdog watchdog(opts.watchdog, n);
+  // FixpointWatchdog holds atomics, so a resume re-arms it by re-emplacing:
+  // same config (and thus the same ABSOLUTE deadline — the budget is shared
+  // across all resume attempts), fresh stall counters.
+  std::optional<FixpointWatchdog> watchdog;
+  watchdog.emplace(opts.watchdog, n);
+
+  // Recovery ladder rung 1 (DESIGN.md §12): on a stall or overflow, restore
+  // the last quiescent snapshot and replay, at most max_resumes times.
+  CheckpointState ckpt;
+  const bool checkpointing = opts.checkpoint.enabled;
+  unsigned resumes_left = checkpointing ? opts.checkpoint.max_resumes : 0;
+  bool skip_phase1 = false;  // set on resume: Phase 1 would reset the restored signatures
+  Timer run_timer;
+  double first_trip_seconds = -1.0;
+  std::uint64_t dropped_edges_total = 0;
+
+  auto note_trip = [&] {
+    if (first_trip_seconds < 0) first_trip_seconds = run_timer.seconds();
+  };
+  // Restores the last checkpoint and re-arms the watchdog. Returns false
+  // when the ladder rung is exhausted (no snapshot, no resumes left, or the
+  // absolute deadline has expired — replaying would only burn the budget).
+  auto try_resume = [&]() -> bool {
+    if (!ckpt.snap.valid || resumes_left == 0) return false;
+    if (watchdog->deadline_expired()) return false;
+    --resumes_left;
+    ++result.metrics.resumes;
+    result.metrics.rounds_replayed += ckpt.sweeps_since;
+    ckpt.sweeps_since = 0;
+    dropped_edges_total += st.worklist.dropped_edges();
+    restore_checkpoint(st, opts, ckpt);
+    skip_phase1 = true;
+    watchdog.emplace(opts.watchdog, n);
+    return true;
+  };
 
   while (st.labeled.load(std::memory_order_relaxed) < n) {
     if (++result.metrics.outer_iterations > guard) {
@@ -483,30 +605,51 @@ SccResult ecl_scc(const Digraph& g, device::Device& dev, const EclOptions& opts)
                       "ecl_scc: outer loop exceeded iteration guard"};
       break;
     }
-    if (watchdog.deadline_expired()) {
-      watchdog.mark_stalled();
+    if (watchdog->deadline_expired()) {
+      watchdog->mark_stalled();
       ++result.metrics.watchdog_trips;
+      note_trip();
       result.error = {SccStatus::kDeadlineExceeded,
                       "ecl_scc: request deadline expired between iterations"};
       break;
     }
 
     Timer phase_timer;
-    phase1_init(st, dev, opts);
+    if (skip_phase1) {
+      // Resumed: the restored signatures ARE the phase-1-initialized state
+      // of the snapshot's iteration (possibly advanced by later sweeps);
+      // re-running Phase 1 would reset every unlabeled signature to self
+      // and discard the checkpointed propagation progress.
+      skip_phase1 = false;
+    } else {
+      phase1_init(st, dev, opts);
+    }
+    // Outer-boundary snapshot, AFTER Phase 1: labels and worklist are at
+    // their iteration-start values and signatures are freshly initialized,
+    // so restoring here and skipping Phase 1 replays this iteration
+    // exactly. (Snapshotting before Phase 1 would capture the PREVIOUS
+    // iteration's converged signatures, from which Phase 2 would trivially
+    // re-converge with no new labels — an instant stall.)
+    if (checkpointing)
+      take_checkpoint(st, opts, ckpt, result.metrics.outer_iterations, result.metrics);
     result.metrics.phase1_seconds += phase_timer.seconds();
     phase_timer.reset();
-    const bool converged = phase2_propagate(st, dev, opts, result.metrics, watchdog);
+    const bool converged =
+        phase2_propagate(st, dev, opts, result.metrics, *watchdog,
+                         checkpointing ? &ckpt : nullptr, result.metrics.outer_iterations);
     result.metrics.phase2_seconds += phase_timer.seconds();
     if (!converged) {
       ++result.metrics.watchdog_trips;
+      note_trip();
+      const bool deadline = watchdog->deadline_expired();
+      if (!deadline && try_resume()) continue;
       // A deadline trip aborts the same way a stall does but is reported
       // distinctly: the run was cancelled, not necessarily stuck.
       result.error =
-          watchdog.deadline_expired()
-              ? SccError{SccStatus::kDeadlineExceeded,
-                         "ecl_scc: request deadline expired mid-fixpoint"}
-              : SccError{SccStatus::kStalled,
-                         "ecl_scc: phase-2 propagation exceeded its sweep budget"};
+          deadline ? SccError{SccStatus::kDeadlineExceeded,
+                              "ecl_scc: request deadline expired mid-fixpoint"}
+                   : SccError{SccStatus::kStalled,
+                              "ecl_scc: phase-2 propagation exceeded its sweep budget"};
       break;
     }
     phase_timer.reset();
@@ -518,14 +661,19 @@ SccResult ecl_scc(const Digraph& g, device::Device& dev, const EclOptions& opts)
       // The next-iteration worklist dropped edges; labels assigned so far
       // came from the intact pre-overflow worklist and remain sound, but
       // further propagation over the truncated edge set would not be.
+      note_trip();
+      const std::uint64_t dropped = st.worklist.dropped_edges();
+      if (try_resume()) continue;
       result.error = {SccStatus::kWorklistOverflow,
                       "ecl_scc: edge worklist overflowed during phase 3 (" +
-                          std::to_string(st.worklist.dropped_edges()) + " edges dropped)"};
+                          std::to_string(dropped) + " edges dropped)"};
       break;
     }
-    if (watchdog.observe_iteration(st.labeled.load(std::memory_order_relaxed),
-                                   st.worklist.size())) {
+    if (watchdog->observe_iteration(st.labeled.load(std::memory_order_relaxed),
+                                    st.worklist.size())) {
       ++result.metrics.watchdog_trips;
+      note_trip();
+      if (try_resume()) continue;
       result.error = {SccStatus::kStalled,
                       "ecl_scc: no new labels and no worklist shrinkage for " +
                           std::to_string(opts.watchdog.stall_rounds) + " iterations"};
@@ -535,7 +683,7 @@ SccResult ecl_scc(const Digraph& g, device::Device& dev, const EclOptions& opts)
 
   result.metrics.edges_processed = st.edges_processed.load(std::memory_order_relaxed);
   result.metrics.edges_skipped = st.edges_skipped.load(std::memory_order_relaxed);
-  result.metrics.edges_dropped = st.worklist.dropped_edges();
+  result.metrics.edges_dropped = dropped_edges_total + st.worklist.dropped_edges();
   result.metrics.kernel_launches = dev.stats().kernel_launches - launches_before;
   result.metrics.block_iterations = st.block_iterations.load(std::memory_order_relaxed);
   dev.stats().block_iterations += result.metrics.block_iterations;
@@ -547,6 +695,11 @@ SccResult ecl_scc(const Digraph& g, device::Device& dev, const EclOptions& opts)
     std::vector<vid> dense(result.labels.begin(), result.labels.end());
     result.num_components = graph::normalize_labels(dense);
   }
+  // Time-to-good-result after the FIRST fault manifestation, including any
+  // serial fallback: the quantity bench_chaos_recovery compares between the
+  // resume path and the discard-and-recompute path.
+  if (first_trip_seconds >= 0)
+    result.metrics.recovery_seconds = run_timer.seconds() - first_trip_seconds;
   return result;
 }
 

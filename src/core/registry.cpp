@@ -25,8 +25,24 @@ device::Device& titanv_device() {
 
 const std::vector<std::pair<std::string, SccAlgorithm>>& table() {
   static const std::vector<std::pair<std::string, SccAlgorithm>> algorithms = {
-      {"tarjan", [](const Digraph& g) { return tarjan(g); }},
-      {"kosaraju", [](const Digraph& g) { return kosaraju(g); }},
+      // Tarjan and Kosaraju name components by discovery index; every other
+      // configuration names them by a member vertex. The online certifier's
+      // O(V) completeness check (core/verify.hpp) relies on member naming
+      // (labels[label] == label), so the two index-named configurations are
+      // canonicalized at the registry boundary — an O(V) rewrite that does
+      // not change the partition or the component count.
+      {"tarjan",
+       [](const Digraph& g) {
+         SccResult r = tarjan(g);
+         canonicalize_labels(r.labels);
+         return r;
+       }},
+      {"kosaraju",
+       [](const Digraph& g) {
+         SccResult r = kosaraju(g);
+         canonicalize_labels(r.labels);
+         return r;
+       }},
       {"ecl-serial", [](const Digraph& g) { return ecl_serial(g); }},
       {"ecl-a100", [](const Digraph& g) { return ecl_scc(g, shared_device()); }},
       {"ecl-titanv", [](const Digraph& g) { return ecl_scc(g, titanv_device()); }},
@@ -110,31 +126,103 @@ SccResult run_algorithm_on(const std::string& name, const Digraph& g, device::De
 
 namespace {
 
-/// Shared tail of the resilient entry points: catch, verify, and recover
-/// with serial Tarjan when the primary labeling is missing, partial, or
-/// rejected.
-SccResult run_resilient_impl(const SccAlgorithm& algorithm, const Digraph& g) {
-  SccResult result;
+SccResult run_attempt(const SccAlgorithm& algorithm, const Digraph& g) {
   try {
-    result = algorithm(g);
+    return algorithm(g);
   } catch (const std::exception& e) {
-    result = SccResult{};
+    SccResult result;
     result.error = {SccStatus::kException, e.what()};
+    return result;
   }
+}
 
-  const bool complete = result.labels.size() == g.num_vertices() &&
-                        std::none_of(result.labels.begin(), result.labels.end(),
-                                     [](vid l) { return l == graph::kInvalidVid; });
-  if (complete && verify_scc(g, result.labels).ok) return result;
+bool complete_labeling(const SccResult& result, const Digraph& g) {
+  return result.labels.size() == g.num_vertices() &&
+         std::none_of(result.labels.begin(), result.labels.end(),
+                      [](vid l) { return l == graph::kInvalidVid; });
+}
 
-  if (result.ok())
-    result.error = {SccStatus::kVerifyFailed, "labeling failed intrinsic verification"};
+/// Certification gate: a result may only leave the ladder when its labeling
+/// is complete AND passes the online certificate. On failure the result's
+/// error is upgraded to the structured cause (incomplete → kVerifyFailed if
+/// nothing worse is recorded; certificate rejection → kCertificationFailed,
+/// the silent-corruption signal) so the caller's retry chain can act on it.
+bool certified(const Digraph& g, SccResult& result, const Digraph* reverse_hint = nullptr) {
+  if (!complete_labeling(result, g)) {
+    if (result.ok())
+      result.error = {SccStatus::kVerifyFailed, "labeling is incomplete"};
+    return false;
+  }
+  CertifyOptions opts;
+  opts.reverse_hint = reverse_hint;
+  const CertifyReport cert = certify_scc(g, result.labels, opts);
+  result.metrics.certify_seconds += cert.seconds;
+  if (cert.ok) {
+    result.metrics.certified = true;
+    return true;
+  }
+  result.error = {SccStatus::kCertificationFailed, cert.message};
+  return false;
+}
+
+/// Recovery bookkeeping carried across ladder rungs so the served result
+/// accounts for everything spent reaching it.
+void merge_recovery_metrics(SccMetrics& into, const SccMetrics& from) {
+  into.checkpoints_taken += from.checkpoints_taken;
+  into.resumes += from.resumes;
+  into.rounds_replayed += from.rounds_replayed;
+  into.watchdog_trips += from.watchdog_trips;
+  into.certify_seconds += from.certify_seconds;
+  into.fresh_reruns += from.fresh_reruns;
+  into.recovery_seconds += from.recovery_seconds;
+}
+
+/// Shared tail of the resilient entry points — the bounded recovery ladder
+/// (DESIGN.md §12). Rung 1, checkpointed replay, lives INSIDE the solver
+/// (EclOptions::checkpoint); this wrapper adds the outer rungs:
+///
+///   primary attempt ──certify──> serve
+///        │ (incomplete / uncertified)
+///   fresh rerun     ──certify──> serve   (new schedule; transient faults
+///        │                               may have passed)
+///   serial Tarjan   ──certify──> serve
+///
+/// A result that has a recorded error but complete, certified labels (the
+/// solver's own serial fallback) is served as-is: the error documents what
+/// was survived. A result that fails certification is NEVER served as
+/// trustworthy — the final rung's labels travel with kCertificationFailed
+/// and metrics.certified == false so service layers refuse them.
+SccResult run_resilient_impl(const SccAlgorithm& algorithm, const Digraph& g) {
+  SccResult result = run_attempt(algorithm, g);
+  // Every rung certifies against the same graph, so the reverse adjacency
+  // (labeling-independent) is built once and shared. On the clean path this
+  // is exactly the build certify_scc would have done internally; on the
+  // recovery rungs it cuts each extra certification by one O(V+E) pass.
+  const Digraph reverse = g.reverse();
+  if (certified(g, result, &reverse)) return result;
+
+  // Rung 2: one full fresh rerun. The schedule, launch ordering, and any
+  // transient fault window differ, so a corruption that slipped past the
+  // solver's internal replay often clears here.
+  SccResult rerun = run_attempt(algorithm, g);
+  merge_recovery_metrics(rerun.metrics, result.metrics);
+  ++rerun.metrics.fresh_reruns;
+  if (certified(g, rerun, &reverse)) return rerun;
+
+  // Rung 3: serial Tarjan on the host — no device, no faults. Certified
+  // like every other rung; a rejection here (which would mean the reference
+  // implementation itself is wrong) is surfaced, not masked.
+  SccResult final = std::move(rerun);
   SccResult serial = tarjan(g);
-  result.labels = std::move(serial.labels);
-  result.num_components = serial.num_components;
-  result.metrics.serial_fallback = true;
-  result.metrics.fallback_vertices = g.num_vertices();
-  return result;
+  canonicalize_labels(serial.labels);  // certifier requires member naming
+  final.labels = std::move(serial.labels);
+  final.num_components = serial.num_components;
+  final.metrics.serial_fallback = true;
+  final.metrics.fallback_vertices = g.num_vertices();
+  final.metrics.certified = false;
+  if (const SccError ladder_error = final.error; certified(g, final, &reverse))
+    final.error = ladder_error;  // keep what was survived, labels are good
+  return final;
 }
 
 }  // namespace

@@ -15,6 +15,7 @@ const char* status_name(SccStatus status) {
     case SccStatus::kException: return "exception";
     case SccStatus::kVerifyFailed: return "verify-failed";
     case SccStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case SccStatus::kCertificationFailed: return "certification-failed";
   }
   return "unknown";
 }

@@ -28,6 +28,10 @@ enum class SccStatus : std::uint8_t {
   kVerifyFailed,      ///< labeling rejected by verify_scc (run_resilient)
   kDeadlineExceeded,  ///< the run's wall-clock deadline passed (watchdog /
                       ///< run_with_deadline); labels may be partial
+  kCertificationFailed,  ///< labeling rejected by the online certifier
+                         ///< (certify_scc): structurally complete but NOT a
+                         ///< valid SCC decomposition — a silently corrupted
+                         ///< run. Feeds the recovery ladder; never served.
 };
 
 /// Stable short name ("ok", "stalled", ...) for logs and tables.
@@ -71,6 +75,26 @@ struct SccMetrics {
   bool serial_fallback = false;
   std::uint64_t fallback_vertices = 0;  ///< residual size handed to the fallback
   std::uint64_t watchdog_trips = 0;     ///< stalls detected by the watchdog
+
+  /// Self-healing accounting (DESIGN.md §12): quiescent-round checkpoints
+  /// taken, watchdog/overflow trips recovered by replaying from the last
+  /// checkpoint, and the Phase-2 sweeps that were discarded at those
+  /// replay points (work re-done because it postdated the snapshot).
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t resumes = 0;
+  std::uint64_t rounds_replayed = 0;
+  /// Wall-clock from the FIRST fault detection (watchdog trip / overflow)
+  /// to the end of the run — the recovery latency bench_chaos_recovery
+  /// compares across the ladder's rungs. 0 when the run never tripped.
+  double recovery_seconds = 0.0;
+  /// Ladder accounting (core/registry.hpp run_resilient): full fresh
+  /// reruns performed after the primary attempt's result was rejected.
+  std::uint64_t fresh_reruns = 0;
+  /// Online certification (core/verify.hpp certify_scc): set when the
+  /// labels in this result passed the certificate check, plus the time the
+  /// check took (the fault-free overhead bench_chaos_recovery bounds).
+  bool certified = false;
+  double certify_seconds = 0.0;
 };
 
 /// An SCC decomposition: labels[v] identifies v's component. Label values

@@ -1,10 +1,18 @@
 #include "core/verify.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <optional>
 #include <sstream>
 #include <vector>
 
 #include "graph/condensation.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 namespace ecl::scc {
 namespace {
@@ -91,6 +99,237 @@ VerifyReport verify_scc(const Digraph& g, std::span<const vid> labels) {
 VerifyReport verify_against(std::span<const vid> labels, std::span<const vid> oracle) {
   if (!same_partition(labels, oracle)) return fail("labeling disagrees with oracle partition");
   return {};
+}
+
+CertifyReport certify_scc(const Digraph& g, std::span<const vid> labels,
+                          const CertifyOptions& opts) {
+  Timer timer;
+  CertifyReport report;
+  auto reject = [&](std::string message) {
+    report.ok = false;
+    report.message = std::move(message);
+    report.seconds = timer.seconds();
+    return report;
+  };
+
+  const vid n = g.num_vertices();
+  if (labels.size() != n) return reject("certify: label count != vertex count");
+
+  // Completeness + canonical form: every vertex labeled with a vertex ID
+  // whose own label is itself (label values are class representatives).
+  for (vid v = 0; v < n; ++v) {
+    const vid label = labels[v];
+    if (label >= n) return reject("certify: unlabeled vertex or non-vertex label value");
+    if (labels[label] != label) return reject("certify: label value is not in its own class");
+  }
+  if (opts.require_max_id_labels) {
+    const VerifyReport max_id = verify_max_id_labels(labels);
+    if (!max_id.ok) return reject("certify: " + max_id.message);
+  }
+
+  // Dense renumber + member grouping (same CSR-of-classes layout as
+  // verify_scc, kept O(V)).
+  std::vector<vid> dense(labels.begin(), labels.end());
+  vid k = 0;
+  try {
+    k = graph::normalize_labels(dense);
+  } catch (const std::exception& e) {
+    return reject(std::string("certify: ") + e.what());
+  }
+  report.classes = k;
+
+  std::vector<vid> count(k, 0);
+  for (vid c : dense) ++count[c];
+  std::vector<eid> start(k + 1, 0);
+  for (vid c = 0; c < k; ++c) start[c + 1] = start[c] + count[c];
+  std::vector<vid> members(n);
+  {
+    std::vector<eid> cursor(start.begin(), start.end() - 1);
+    for (vid v = 0; v < n; ++v) members[cursor[dense[v]]++] = v;
+  }
+
+  // Class coverage, parallel over classes. The visited mark is fused INTO
+  // the dense label array instead of a separate `seen` vector: class c's
+  // members hold c while unvisited and c + k once reached (comp ids live in
+  // [0, k), marks in [k, 2k) — disjoint). The BFS inner loop then costs ONE
+  // random load per edge instead of two, which matters because the certifier
+  // runs on every served result (the ≤5% fault-free overhead contract in
+  // bench_chaos_recovery). The backward sweep walks marked -> unmarked, so
+  // a class that passes both directions leaves `dense` exactly as it found
+  // it — the Kahn stage below reads it afterwards. Classes partition the
+  // vertex set and each class's BFS writes only its own members' slots, so
+  // concurrent class traversals never touch the same slot.
+  std::optional<Digraph> rev_local;
+  if (!opts.reverse_hint) rev_local.emplace(g.reverse());
+  const Digraph& rev = opts.reverse_hint ? *opts.reverse_hint : *rev_local;
+  std::atomic<vid> failed_class{graph::kInvalidVid};
+
+  // Cross-class in-edge counts for the Kahn stage below, piggybacked on the
+  // backward sweep: it already scans every in-edge of every multi-member
+  // class, and the class of the far endpoint is the value the BFS loads
+  // anyway, so counting costs one extra compare per edge instead of a
+  // separate O(E) pass. Accumulated in a class-local counter (one slot
+  // store per class, race-free under the class-parallel sweep).
+  std::vector<eid> indegree(k, 0);
+
+  auto class_covered = [&](const Digraph& graph_dir, vid comp, vid unvisited, vid visited,
+                           std::vector<vid>& frontier, bool count_cross) {
+    const eid lo = start[comp];
+    const eid hi = start[comp + 1];
+    if (hi - lo <= 1) return true;
+    const vid source = members[lo];
+    frontier.clear();
+    frontier.push_back(source);
+    dense[source] = visited;
+    vid covered = 1;
+    eid cross = 0;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      for (vid w : graph_dir.out_neighbors(frontier[i])) {
+        const vid dw = dense[w];
+        if (dw == unvisited) {
+          dense[w] = visited;
+          frontier.push_back(w);
+          ++covered;
+        } else if (count_cross && dw != visited) {
+          ++cross;  // endpoint in another class (marked or not): cross edge
+        }
+      }
+    }
+    if (count_cross) indegree[comp] += cross;
+    return covered == static_cast<vid>(hi - lo);
+  };
+
+  // forward = true marks (c -> c + k) along g; forward = false unmarks
+  // (c + k -> c) along the reverse graph, counting cross in-edges as it
+  // goes. A class that passes both directions leaves `dense` as it found it.
+  auto sweep_classes = [&](bool forward) {
+    const Digraph& graph_dir = forward ? g : rev;
+#ifdef _OPENMP
+#pragma omp parallel if (k > 64)
+    {
+      std::vector<vid> frontier;
+#pragma omp for schedule(dynamic, 16)
+      for (std::int64_t comp = 0; comp < static_cast<std::int64_t>(k); ++comp) {
+        if (failed_class.load(std::memory_order_relaxed) != graph::kInvalidVid) continue;
+        const vid c = static_cast<vid>(comp);
+        if (!class_covered(graph_dir, c, forward ? c : c + k, forward ? c + k : c, frontier,
+                           !forward)) {
+          vid expected = graph::kInvalidVid;
+          failed_class.compare_exchange_strong(expected, c, std::memory_order_relaxed);
+        }
+      }
+    }
+#else
+    std::vector<vid> frontier;
+    for (vid comp = 0; comp < k; ++comp) {
+      if (failed_class.load(std::memory_order_relaxed) != graph::kInvalidVid) break;
+      if (!class_covered(graph_dir, comp, forward ? comp : comp + k, forward ? comp + k : comp,
+                         frontier, !forward))
+        failed_class.store(comp, std::memory_order_relaxed);
+    }
+#endif
+  };
+
+  sweep_classes(true);
+  if (failed_class.load(std::memory_order_relaxed) != graph::kInvalidVid) {
+    std::ostringstream msg;
+    msg << "certify: class " << failed_class.load() << " is not strongly connected (forward)";
+    return reject(msg.str());
+  }
+  sweep_classes(false);
+  if (failed_class.load(std::memory_order_relaxed) != graph::kInvalidVid) {
+    std::ostringstream msg;
+    msg << "certify: class " << failed_class.load() << " is not strongly connected (backward)";
+    return reject(msg.str());
+  }
+
+  // Maximality: the condensation must be acyclic (a cycle means two
+  // classes are mutually reachable and should have been one SCC — the
+  // "merged labels stayed apart" corruption). Kahn's algorithm directly
+  // over the cross-class edges of g: materializing the condensation graph
+  // (allocate + dedup) costs about as much as both coverage sweeps
+  // combined. Multi-member classes had their cross in-edges counted by the
+  // backward sweep; singletons (skipped there) get a one-vertex scan here.
+  // Parallel cross-edges just make the indegree an edge count; the zero
+  // test fires exactly once per class either way.
+  {
+    for (vid c = 0; c < k; ++c) {
+      if (start[c + 1] - start[c] != 1) continue;
+      for (vid u : rev.out_neighbors(members[start[c]]))
+        if (dense[u] != c) ++indegree[c];
+    }
+    std::vector<vid> order;
+    order.reserve(k);
+    for (vid c = 0; c < k; ++c)
+      if (indegree[c] == 0) order.push_back(c);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const vid c = order[i];
+      for (eid e = start[c]; e < start[c + 1]; ++e) {
+        for (vid w : g.out_neighbors(members[e])) {
+          const vid cw = dense[w];
+          if (cw != c && --indegree[cw] == 0) order.push_back(cw);
+        }
+      }
+    }
+    if (order.size() != k)
+      return reject("certify: condensation has a cycle (two classes mutually reachable)");
+  }
+
+  // Sampled witness pairs, certified by a class-confined traversal from a
+  // RANDOM member (the coverage sweeps above always start from the first
+  // member, so this exercises different source vertices and frontier
+  // orders). Restricting the walk to the class is sound: for endpoints that
+  // truly share an SCC, every vertex on a u->v path also lies on a cycle
+  // through u and v and therefore belongs to the same SCC, so a witness path
+  // never needs to leave the class — and staying inside it keeps each sample
+  // O(class) instead of O(V + E), which is what holds the certifier under
+  // the fault-free overhead budget (bench_chaos_recovery's third contract).
+  if (opts.witness_samples > 0 && k > 0) {
+    Rng rng(opts.seed);
+    std::vector<vid> frontier;
+    // Marks c -> c + k like the coverage sweeps, then restores from the
+    // frontier (which holds exactly the marked vertices) so `dense` is
+    // clean for the next sample. O(visited) per sample, not O(V).
+    auto reaches_in_class = [&](const Digraph& graph_dir, vid comp, vid from, vid to) {
+      frontier.clear();
+      frontier.push_back(from);
+      dense[from] = comp + k;
+      bool found = false;
+      for (std::size_t i = 0; i < frontier.size() && !found; ++i) {
+        if (frontier[i] == to) {
+          found = true;
+          break;
+        }
+        for (vid w : graph_dir.out_neighbors(frontier[i])) {
+          if (dense[w] == comp) {
+            dense[w] = comp + k;
+            frontier.push_back(w);
+          }
+        }
+      }
+      for (vid v : frontier) dense[v] = comp;
+      return found;
+    };
+    for (std::size_t s = 0; s < opts.witness_samples; ++s) {
+      const vid comp = static_cast<vid>(rng.bounded(k));
+      const eid lo = start[comp];
+      const eid hi = start[comp + 1];
+      if (hi - lo <= 1) continue;  // singleton: nothing to witness
+      const vid u = members[lo + rng.bounded(hi - lo)];
+      vid w = members[lo + rng.bounded(hi - lo)];
+      if (w == u) w = members[lo + (u == members[lo] ? 1 : 0)];
+      ++report.witnesses;
+      if (!reaches_in_class(g, comp, u, w) || !reaches_in_class(rev, comp, w, u)) {
+        std::ostringstream msg;
+        msg << "certify: witness pair (" << u << ", " << w << ") of class " << comp
+            << " is not mutually reachable";
+        return reject(msg.str());
+      }
+    }
+  }
+
+  report.seconds = timer.seconds();
+  return report;
 }
 
 VerifyReport verify_max_id_labels(std::span<const vid> labels) {

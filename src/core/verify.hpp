@@ -32,6 +32,62 @@ VerifyReport verify_against(std::span<const vid> labels, std::span<const vid> or
 /// vertex ID among its members (§3.2.1).
 VerifyReport verify_max_id_labels(std::span<const vid> labels);
 
+// --- Online certification (DESIGN.md §12) ---------------------------------
+//
+// certify_scc is the hot-path cousin of verify_scc: the same intrinsic
+// certificate (every label class strongly connected, condensation acyclic),
+// engineered to run on EVERY served result rather than only in tests:
+//
+//  * completeness + canonical form — labels present for every vertex, each
+//    class's label value a member of the class (O(V));
+//  * class coverage — per-class forward/backward BFS confined to the class,
+//    parallelized over classes with OpenMP (classes are disjoint, so the
+//    shared class-state array is written race-free) (O(V+E) total);
+//  * condensation acyclicity — maximality, checked by Kahn's algorithm run
+//    directly over the cross-class edges of g (no condensation graph is
+//    materialized; the certifier is on the serving path and the explicit
+//    build cost ~doubles this stage) (O(V+E));
+//  * sampled reachability witnesses — for a seeded sample of multi-member
+//    classes, two distinct representatives u, v are checked mutually
+//    reachable by a class-confined BFS from a random member. This is an
+//    independent spot-check through different source vertices and frontier
+//    orders (Wang et al.'s witness idea, PAPERS.md), so a single bad
+//    coverage traversal cannot self-certify.
+//
+// A result that fails certification must never be served; callers map a
+// failure to SccStatus::kCertificationFailed and re-enter the recovery
+// ladder (core/registry.hpp, service/scc_service.hpp).
+
+struct CertifyOptions {
+  /// Multi-member classes spot-checked with class-confined reachability
+  /// witnesses (0 disables the witness stage).
+  std::size_t witness_samples = 4;
+  /// Also require the ECL max-ID naming invariant (§3.2.1). Off by
+  /// default: the certificate is about partition validity, and serial
+  /// Tarjan rungs of the ladder use different label names.
+  bool require_max_id_labels = false;
+  /// Seed for the witness sample (deterministic certification).
+  std::uint64_t seed = 0x5eedcafe;
+  /// Precomputed g.reverse(), or nullptr to build it in-line. The reverse
+  /// adjacency depends only on the graph, not on the labeling, so callers
+  /// that certify the same graph more than once (the recovery ladder's
+  /// rungs, a service re-certifying an epoch) pass it to amortize the
+  /// build. The caller is responsible for it actually being g's reverse.
+  const Digraph* reverse_hint = nullptr;
+};
+
+struct CertifyReport {
+  bool ok = true;
+  std::string message;            ///< empty when ok
+  double seconds = 0.0;           ///< wall-clock cost of the check
+  std::uint64_t classes = 0;      ///< label classes examined
+  std::uint64_t witnesses = 0;    ///< reachability witnesses checked
+};
+
+/// O(V+E) parallel certificate check; see the block comment above.
+CertifyReport certify_scc(const Digraph& g, std::span<const vid> labels,
+                          const CertifyOptions& opts = {});
+
 }  // namespace ecl::scc
 
 #endif  // ECL_CORE_VERIFY_HPP

@@ -170,6 +170,8 @@ class Device {
     begin_block_work(num_blocks);
     const bool reverse = profile_.reverse_block_order;
     FaultInjector* fi = fault_.active() ? &fault_ : nullptr;
+    // Windowed store faults (fault.hpp) key off the launch counter.
+    if (fi) fi->begin_launch(launch_id);
     const std::vector<unsigned> perm =
         fi ? fi->block_permutation(launch_id, num_blocks) : std::vector<unsigned>{};
     const auto task = [&, reverse](std::size_t b) {

@@ -62,6 +62,17 @@ std::string FaultPlan::describe() const {
     d << "defer=" << store_defer_probability;
     item(d.str());
   }
+  if (lost_update) {
+    std::ostringstream l;
+    l << "lose=" << store_lose_probability;
+    item(l.str());
+  }
+  if (window_launches > 0) {
+    std::ostringstream w;
+    w << "window=[" << window_start_launch << ','
+      << (window_start_launch + window_launches) << ')';
+    item(w.str());
+  }
   if (first) item("disabled");
   out << ']';
   return out.str();
@@ -165,7 +176,7 @@ unsigned FaultInjector::replay_block(std::uint64_t launch_id, unsigned index,
 }
 
 bool FaultInjector::defer_store() noexcept {
-  if (!plan_.delayed_visibility) return false;
+  if (!plan_.delayed_visibility || !window_open()) return false;
   if (plan_.store_defer_probability >= 1.0) {
     deferred_.fetch_add(1, std::memory_order_relaxed);
     return true;
@@ -174,6 +185,21 @@ bool FaultInjector::defer_store() noexcept {
   const bool defer = unit_double(mix(plan_.seed, draw)) < plan_.store_defer_probability;
   if (defer) deferred_.fetch_add(1, std::memory_order_relaxed);
   return defer;
+}
+
+bool FaultInjector::lose_store() noexcept {
+  if (!plan_.lost_update || !window_open()) return false;
+  if (plan_.store_lose_probability >= 1.0) {
+    lost_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  // Salted separately from the defer stream so a plan carrying both axes
+  // makes decorrelated decisions.
+  const std::uint64_t draw = draws_.fetch_add(1, std::memory_order_relaxed);
+  const bool lose =
+      unit_double(mix(plan_.seed ^ 0x105e'105eULL, draw)) < plan_.store_lose_probability;
+  if (lose) lost_.fetch_add(1, std::memory_order_relaxed);
+  return lose;
 }
 
 }  // namespace ecl::device

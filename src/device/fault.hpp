@@ -23,12 +23,33 @@
 //                            (the store is dropped this round but reported
 //                            as movement, so the propagation loop retries
 //                            until it lands) — an aggressive form of the
-//                            lost-update race of Nasre et al. [17].
+//                            lost-update race of Nasre et al. [17];
+//  * lost_update           — silently drop a fraction of monotonic stores:
+//                            the store neither lands NOR reports movement,
+//                            so the fixpoint converges to WRONG signatures.
+//                            This is the fault class the benign-race
+//                            argument does NOT cover; it exists to exercise
+//                            the online certifier (core/verify.hpp), which
+//                            must reject the corrupted labeling before it
+//                            is served.
+//
+// The delayed-visibility and lost-update axes can additionally be confined
+// to a launch window [window_start_launch, window_start_launch +
+// window_launches): outside the window the stores behave normally. A
+// windowed burst models a transient glitch (thermal throttle, preempted
+// SM): the watchdog trips mid-run, and the checkpointed-resume machinery
+// (DESIGN.md §12) recovers once the burst passes.
 //
 // Every plan is derived from a 64-bit seed, so a failing sweep entry is
 // reproducible from its seed alone. `store_defer_probability = 1.0` is the
 // adversarial limit: no store ever lands, progress is suppressed, and the
 // core's fixpoint watchdog must trip (see core/watchdog.hpp).
+//
+// NOTE: lost_update is deliberately excluded from FaultPlan::from_seed and
+// chaos_suite() — those feed sweeps that assert correct RESULTS under
+// chaos, while lost_update produces wrong results by design and is only
+// meaningful alongside the certifier (tests/core/test_certify.cpp,
+// bench/bench_chaos_recovery.cpp).
 
 #include <atomic>
 #include <cstdint>
@@ -58,9 +79,22 @@ struct FaultPlan {
   bool delayed_visibility = false;
   double store_defer_probability = 0.25;
 
+  /// Silently LOSE monotonic signature stores with the given probability:
+  /// dropped and reported as no movement, corrupting the fixpoint (the
+  /// certifier's adversary; see the file comment).
+  bool lost_update = false;
+  double store_lose_probability = 0.25;
+
+  /// Launch window confining the store faults (delayed_visibility and
+  /// lost_update). window_launches == 0 means unbounded: the faults apply
+  /// to every launch, the pre-window behavior of older plans.
+  std::uint64_t window_start_launch = 0;
+  std::uint64_t window_launches = 0;
+
   /// True if any fault axis is enabled.
   bool any() const noexcept {
-    return permute_blocks || scheduling_jitter || spurious_reexecution || delayed_visibility;
+    return permute_blocks || scheduling_jitter || spurious_reexecution ||
+           delayed_visibility || lost_update;
   }
 
   /// Derives a randomized plan from a seed: which axes are on and their
@@ -111,12 +145,42 @@ class FaultInjector {
   /// Delayed-visibility draw: true when the caller's monotonic store should
   /// be deferred to a later retry. The caller must report the store as
   /// movement so its fixpoint loop runs again (monotonicity then guarantees
-  /// eventual convergence for probabilities < 1).
+  /// eventual convergence for probabilities < 1). Honors the plan's launch
+  /// window: outside it, never defers.
   bool defer_store() noexcept;
+
+  /// Lost-update draw: true when the caller's monotonic store should be
+  /// silently dropped — no store, no reported movement. The resulting
+  /// fixpoint is corrupt; only the online certifier can catch it. Honors
+  /// the plan's launch window.
+  bool lose_store() noexcept;
+
+  /// Launch-window bookkeeping: the device reports each launch ID as it
+  /// dispatches, so windowed store faults know whether they are live.
+  /// Called from the control thread between grid barriers.
+  void begin_launch(std::uint64_t launch_id) noexcept {
+    current_launch_.store(launch_id, std::memory_order_relaxed);
+  }
+  std::uint64_t current_launch() const noexcept {
+    return current_launch_.load(std::memory_order_relaxed);
+  }
+
+  /// True when the plan's launch window (if any) covers the current launch.
+  bool window_open() const noexcept {
+    if (plan_.window_launches == 0) return true;
+    const std::uint64_t launch = current_launch_.load(std::memory_order_relaxed);
+    return launch >= plan_.window_start_launch &&
+           launch < plan_.window_start_launch + plan_.window_launches;
+  }
 
   /// Total stores deferred so far (test observability).
   std::uint64_t deferred_stores() const noexcept {
     return deferred_.load(std::memory_order_relaxed);
+  }
+
+  /// Total stores silently lost so far (test observability).
+  std::uint64_t lost_stores() const noexcept {
+    return lost_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -124,6 +188,8 @@ class FaultInjector {
   bool active_ = false;
   std::atomic<std::uint64_t> draws_{0};
   std::atomic<std::uint64_t> deferred_{0};
+  std::atomic<std::uint64_t> lost_{0};
+  std::atomic<std::uint64_t> current_launch_{0};
 };
 
 }  // namespace ecl::device

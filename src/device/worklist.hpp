@@ -151,6 +151,21 @@ class EdgeWorklist {
     return dropped_.load(std::memory_order_acquire);
   }
 
+  /// Rewinds the worklist to an explicit edge set (checkpoint restore,
+  /// DESIGN.md §12): the current buffer is overwritten with `edges`, the
+  /// next-buffer cursor is reset, and the overflow record is cleared (the
+  /// restored state predates whatever overflowed). Edges beyond the fixed
+  /// capacity are ignored — impossible for a checkpoint, which snapshots a
+  /// buffer of the same capacity. Not thread-safe; control thread only.
+  void reset(std::span<const graph::Edge> edges) noexcept {
+    auto& cur = buffers_[cur_];
+    const std::size_t count = std::min(edges.size(), cur.size());
+    std::copy_n(edges.data(), count, cur.data());
+    size_.store(count, std::memory_order_release);
+    next_size_.store(0, std::memory_order_relaxed);
+    clear_overflow();
+  }
+
   /// Pointer swap: the next buffer becomes current; the old current buffer
   /// becomes the (logically empty) next buffer. Not thread-safe; call at a
   /// grid barrier only. A cursor past capacity here means appends were

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/registry.hpp"
+#include "core/verify.hpp"
 #include "support/timer.hpp"
 
 namespace ecl::service {
@@ -36,9 +37,11 @@ SccService::SccService(const Digraph& g, ServiceConfig config) : config_(std::mo
   overload_threshold_ = std::max<std::size_t>(
       1, static_cast<std::size_t>(config_.overload_fraction *
                                   static_cast<double>(config_.queue_capacity)));
-  breakers_.reserve(config_.backends.size());
-  for (std::size_t i = 0; i < config_.backends.size(); ++i)
-    breakers_.push_back(std::make_unique<CircuitBreaker>(config_.breaker));
+  // The health registry's window/threshold/cool-down tuning comes from the
+  // legacy breaker field so existing configurations keep their semantics.
+  HealthConfig health_config = config_.health;
+  health_config.breaker = config_.breaker;
+  health_ = std::make_unique<BackendHealthRegistry>(config_.backends, health_config);
   cached_snapshot_ = engine_->snapshot();  // epoch-0 answer for the stale tier
   workers_.reserve(config_.workers);
   for (unsigned i = 0; i < config_.workers; ++i)
@@ -107,8 +110,27 @@ std::vector<std::pair<std::string, BreakerState>> SccService::breaker_states() c
   std::vector<std::pair<std::string, BreakerState>> states;
   states.reserve(config_.backends.size());
   for (std::size_t i = 0; i < config_.backends.size(); ++i)
-    states.emplace_back(config_.backends[i], breakers_[i]->state());
+    states.emplace_back(config_.backends[i], health_->breaker_state(i));
   return states;
+}
+
+std::vector<BackendHealthSnapshot> SccService::backend_health() const {
+  return health_->snapshot();
+}
+
+RecoveryStats SccService::recovery_stats() const {
+  RecoveryStats r;
+  r.checkpoints_taken = stats_.checkpoints_taken.load(std::memory_order_relaxed);
+  r.resumes = stats_.resumes.load(std::memory_order_relaxed);
+  r.rounds_replayed = stats_.rounds_replayed.load(std::memory_order_relaxed);
+  r.certifications = stats_.certifications.load(std::memory_order_relaxed);
+  r.certification_failures = stats_.certification_failures.load(std::memory_order_relaxed);
+  r.certify_seconds =
+      static_cast<double>(stats_.certify_micros.load(std::memory_order_relaxed)) * 1e-6;
+  r.quarantines = health_->quarantines();
+  r.probations = health_->probations();
+  r.readmissions = health_->readmissions();
+  return r;
 }
 
 void SccService::worker_loop() {
@@ -205,6 +227,9 @@ void SccService::serve_labels(Pending& pending, device::Device& dev, Response& r
       sb.backend = "snapshot";
       sb.epoch = snap->epoch;
       sb.staleness_epochs = delta;
+      // Snapshots are only cached from certified results (or the engine's
+      // own maintained labeling), so this answer inherits certification.
+      sb.certified = true;
       response.status = ServiceStatus::kOk;
       return;
     }
@@ -212,12 +237,14 @@ void SccService::serve_labels(Pending& pending, device::Device& dev, Response& r
 
   // Tier 3: exact serial recompute, bypassing breakers (Tarjan needs no
   // device and cannot stall; it is only "degraded" in the latency sense).
+  // Its labeling still passes the certificate before it is served — the
+  // no-uncertified-results invariant has no exceptions.
   if (!(request.has_deadline() && ServiceClock::now() >= request.deadline)) {
     auto [g, epoch] = engine_->graph_with_epoch();
     const scc::SccResult serial = request.has_deadline()
                                       ? scc::run_with_deadline("tarjan", g, request.deadline)
                                       : scc::run_algorithm("tarjan", g);
-    if (serial.ok()) {
+    if (serial.ok() && certify_for_serving(g, epoch, serial, sb)) {
       auto snap = snapshot_from_result(epoch, serial);
       store_cached_snapshot(snap);
       response.labels = std::move(snap);
@@ -304,8 +331,7 @@ bool SccService::try_fresh(Pending& pending, device::Device& dev, Response& resp
       const double remaining = remaining_seconds(request);
       if (remaining <= 0.0) return false;
 
-      CircuitBreaker* breaker = breakers_[b].get();
-      if (config_.enable_breakers && !breaker->allow()) {
+      if (config_.enable_breakers && !health_->allow(b)) {
         ++sb.breaker_skips;
         stats_.breaker_skips.fetch_add(1, std::memory_order_relaxed);
         continue;
@@ -332,10 +358,27 @@ bool SccService::try_fresh(Pending& pending, device::Device& dev, Response& resp
         }
       }
 
-      const bool success = result.ok();
+      // Solver-level self-healing accounting travels with every attempt,
+      // successful or not.
+      stats_.checkpoints_taken.fetch_add(result.metrics.checkpoints_taken,
+                                         std::memory_order_relaxed);
+      stats_.resumes.fetch_add(result.metrics.resumes, std::memory_order_relaxed);
+      stats_.rounds_replayed.fetch_add(result.metrics.rounds_replayed,
+                                       std::memory_order_relaxed);
+
+      // Certification gate: an ok-looking labeling that fails the
+      // certificate is a SILENT corruption — scored as its own fault kind,
+      // never served, and the chain continues.
+      bool success = result.ok();
+      FaultKind fault = fault_kind_from_status(result.error.code);
+      if (success && !certify_for_serving(*graph, epoch, result, sb)) {
+        success = false;
+        fault = FaultKind::kCertification;
+      }
       if (config_.enable_breakers)
-        success ? breaker->record_success() : breaker->record_failure();
+        health_->record(b, success ? FaultKind::kNone : fault);
       if (success) {
+        sb.resumes += result.metrics.resumes;
         auto snap = snapshot_from_result(epoch, result);
         store_cached_snapshot(snap);
         response.labels = std::move(snap);
@@ -357,6 +400,28 @@ bool SccService::try_fresh(Pending& pending, device::Device& dev, Response& resp
     }
     if (!routed_any) return false;  // every breaker open: degrade immediately
   }
+  return false;
+}
+
+bool SccService::certify_for_serving(const Digraph& g, std::uint64_t epoch,
+                                     const scc::SccResult& result, ServedBy& sb) {
+  if (!config_.enable_certification) return true;
+  // The reverse adjacency is labeling-independent, so all certifications of
+  // the same graph epoch share one build via the cache.
+  const std::shared_ptr<const Digraph> rev = epoch_reverse(g, epoch);
+  scc::CertifyOptions opts;
+  opts.reverse_hint = rev.get();
+  const scc::CertifyReport cert = scc::certify_scc(g, result.labels, opts);
+  sb.certify_seconds += cert.seconds;
+  stats_.certifications.fetch_add(1, std::memory_order_relaxed);
+  stats_.certify_micros.fetch_add(static_cast<std::uint64_t>(cert.seconds * 1e6),
+                                  std::memory_order_relaxed);
+  if (cert.ok) {
+    sb.certified = true;
+    return true;
+  }
+  ++sb.certify_failures;
+  stats_.certification_failures.fetch_add(1, std::memory_order_relaxed);
   return false;
 }
 
@@ -421,6 +486,24 @@ std::pair<std::shared_ptr<const Digraph>, std::uint64_t> SccService::current_gra
     }
   }
   return {shared, actual_epoch};
+}
+
+std::shared_ptr<const Digraph> SccService::epoch_reverse(const Digraph& g, std::uint64_t epoch) {
+  {
+    std::lock_guard lock(cache_mutex_);
+    if (reverse_cache_ && reverse_cache_epoch_ == epoch) return reverse_cache_;
+  }
+  // Built outside the lock: the reverse of a big graph is an O(V+E) pass
+  // and must not serialize the whole worker pool behind cache_mutex_.
+  auto shared = std::make_shared<const Digraph>(g.reverse());
+  {
+    std::lock_guard lock(cache_mutex_);
+    if (!reverse_cache_ || epoch >= reverse_cache_epoch_) {
+      reverse_cache_ = shared;
+      reverse_cache_epoch_ = epoch;
+    }
+  }
+  return shared;
 }
 
 double SccService::remaining_seconds(const Request& request) const {

@@ -20,10 +20,18 @@
 //  * retry with exponential backoff + jitter — a failed fresh compute walks
 //    the backend chain (default ecl -> ecl-omp -> tarjan), pacing retries
 //    with seeded-deterministic jitter (backoff.hpp);
-//  * per-backend circuit breakers — SccError / timeout outcomes feed a
-//    failure-rate window per backend; a chaos-degraded backend stops
-//    receiving traffic until a half-open probe proves it healthy
-//    (circuit_breaker.hpp);
+//  * online result certification — every fresh or serial labeling passes
+//    the O(V+E) certificate (core/verify.hpp certify_scc) before it is
+//    served or cached; a labeling that fails is treated as a
+//    kCertificationFailed backend fault and the retry chain continues.
+//    Uncertified results are never served (DESIGN.md §12). The graph's
+//    reverse adjacency — labeling-independent — is cached per epoch, so
+//    every certification after the first shares one build;
+//  * health-scored backend quarantine — SccError / timeout / certification
+//    outcomes feed a weighted sliding window per backend
+//    (health_registry.hpp); a degraded backend is quarantined and stops
+//    receiving traffic until a probation probe proves it healthy. The
+//    legacy breaker_states() view maps onto the registry;
 //  * tiered graceful degradation — when the fresh tier is shed (overload),
 //    exhausted, or breaker-blocked, the ladder serves an epoch-stamped
 //    stale snapshot if it is within the request's staleness_budget, then a
@@ -48,6 +56,7 @@
 #include "service/admission_queue.hpp"
 #include "service/backoff.hpp"
 #include "service/circuit_breaker.hpp"
+#include "service/health_registry.hpp"
 #include "service/service_types.hpp"
 
 namespace ecl::service {
@@ -70,8 +79,17 @@ struct ServiceConfig {
   /// later tiers.
   double attempt_deadline_fraction = 0.5;
   BackoffPolicy backoff;
+  /// Window / threshold / cool-down tuning for the health registry. Kept
+  /// under the breaker name (and vocabulary) so existing configurations
+  /// carry over; `health` below adds the taxonomy weights on top.
   CircuitBreakerConfig breaker;
+  /// Taxonomy weights + quarantine escalation for the health registry. Its
+  /// embedded breaker config is overridden by `breaker` above.
+  HealthConfig health;
   bool enable_breakers = true;
+  /// Online certification of fresh/serial labelings before they are served
+  /// (certify_scc). Disable only in benchmarks measuring its overhead.
+  bool enable_certification = true;
   bool enable_degradation = true;
   /// Seed for retry jitter (decorrelated per request, reproducible).
   std::uint64_t seed = 0x5e11ce;
@@ -102,6 +120,21 @@ struct ServiceStats {
   std::uint64_t overload_sheds = 0;
 };
 
+/// Self-healing counters (DESIGN.md §12), aggregated across all requests
+/// and workers: solver checkpoint/replay work, certifier activity, and
+/// quarantine lifecycle transitions from the health registry.
+struct RecoveryStats {
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t resumes = 0;
+  std::uint64_t rounds_replayed = 0;
+  std::uint64_t certifications = 0;          ///< certificate checks run
+  std::uint64_t certification_failures = 0;  ///< results rejected by the certifier
+  double certify_seconds = 0.0;              ///< total wall-clock spent certifying
+  std::uint64_t quarantines = 0;             ///< backends quarantined
+  std::uint64_t probations = 0;              ///< quarantine -> probation transitions
+  std::uint64_t readmissions = 0;            ///< probation -> healthy transitions
+};
+
 class SccService {
  public:
   explicit SccService(const Digraph& g, ServiceConfig config = {});
@@ -125,8 +158,18 @@ class SccService {
   ServiceStats stats() const;
   std::size_t queue_depth() const { return queue_->size(); }
 
-  /// Breaker state per backend (observability; order matches config().backends).
+  /// Breaker state per backend (observability; order matches
+  /// config().backends). A legacy view of the health registry: healthy ->
+  /// closed, quarantined -> open, probation -> half-open.
   std::vector<std::pair<std::string, BreakerState>> breaker_states() const;
+
+  /// Full health-registry view per backend (scores, fault taxonomy counts,
+  /// quarantine lifecycle counters).
+  std::vector<BackendHealthSnapshot> backend_health() const;
+
+  /// Aggregated self-healing counters (checkpoints, resumes, certifier
+  /// activity, quarantine transitions).
+  RecoveryStats recovery_stats() const;
 
   /// Aggregated launch statistics of all per-worker devices, including the
   /// per-block edge-work histogram and the weighted imbalance metric
@@ -162,6 +205,12 @@ class SccService {
     std::atomic<std::uint64_t> backend_failures{0};
     std::atomic<std::uint64_t> breaker_skips{0};
     std::atomic<std::uint64_t> overload_sheds{0};
+    std::atomic<std::uint64_t> checkpoints_taken{0};
+    std::atomic<std::uint64_t> resumes{0};
+    std::atomic<std::uint64_t> rounds_replayed{0};
+    std::atomic<std::uint64_t> certifications{0};
+    std::atomic<std::uint64_t> certification_failures{0};
+    std::atomic<std::uint64_t> certify_micros{0};  ///< certifier wall-clock, microseconds
   };
 
   void worker_loop();
@@ -182,10 +231,21 @@ class SccService {
   std::pair<std::shared_ptr<const Digraph>, std::uint64_t> current_graph();
   double remaining_seconds(const Request& request) const;
 
+  /// Runs the certificate on a fresh/serial labeling (when enabled),
+  /// recording outcome + cost into the trace and counters. True when the
+  /// labeling may be served. `epoch` keys the reverse-adjacency cache.
+  bool certify_for_serving(const Digraph& g, std::uint64_t epoch, const scc::SccResult& result,
+                           ServedBy& sb);
+  /// Epoch-cached g.reverse() for the certifier: the reverse adjacency
+  /// depends only on the graph, so every certification of the same epoch
+  /// shares one build (the certifier's steady-state per-request cost drops
+  /// by an O(V+E) pass).
+  std::shared_ptr<const Digraph> epoch_reverse(const Digraph& g, std::uint64_t epoch);
+
   ServiceConfig config_;
   std::unique_ptr<dynamic::DynamicScc> engine_;
   std::unique_ptr<AdmissionQueue<std::unique_ptr<Pending>>> queue_;
-  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;  // parallel to config_.backends
+  std::unique_ptr<BackendHealthRegistry> health_;  // entries parallel config_.backends
   std::vector<std::thread> workers_;
   std::size_t overload_threshold_ = 0;
 
@@ -193,6 +253,8 @@ class SccService {
   std::shared_ptr<const dynamic::LabelSnapshot> cached_snapshot_;
   std::shared_ptr<const Digraph> graph_cache_;
   std::uint64_t graph_cache_epoch_ = 0;
+  std::shared_ptr<const Digraph> reverse_cache_;  // certifier hint, keyed like graph_cache_
+  std::uint64_t reverse_cache_epoch_ = 0;
 
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<bool> stopped_{false};

@@ -91,6 +91,16 @@ struct ServedBy {
   double compute_seconds = 0.0;     ///< dequeue-to-answer work time
   std::uint64_t epoch = 0;            ///< graph epoch the payload reflects
   std::uint64_t staleness_epochs = 0; ///< engine epoch minus payload epoch at serve time
+
+  // Self-healing provenance (DESIGN.md §12): was this labeling certified
+  // before it was served, how long the certificate check took (summed over
+  // all attempts of this request), and how much checkpointed replay the
+  // producing run needed. Snapshot-tier answers carry certified = true via
+  // the snapshot they were cut from (only certified results are cached).
+  bool certified = false;
+  double certify_seconds = 0.0;
+  std::uint64_t resumes = 0;           ///< checkpoint replays inside the producing run
+  std::uint64_t certify_failures = 0;  ///< attempts rejected by the certifier for this request
 };
 
 /// One service response. Payload fields are populated according to the

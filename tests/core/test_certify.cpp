@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/test_graphs.hpp"
+#include "core/result.hpp"
+#include "core/tarjan.hpp"
+#include "core/verify.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+// Adversarial suite for the online certifier (DESIGN.md §12). The
+// certificate guards the serving path, so these tests attack it the way a
+// corrupted parallel run would: split an SCC, merge two, remap labels
+// off-by-one, violate the canonical member-naming form — across several
+// graph families — and assert every mutant is rejected while every honest
+// labeling (including ones reached through the reverse_hint fast path)
+// passes.
+
+namespace ecl::test {
+namespace {
+
+using graph::Digraph;
+using graph::vid;
+
+/// Member-named (canonical) oracle labeling, as the certifier requires.
+std::vector<vid> canonical_oracle(const Digraph& g) {
+  scc::SccResult r = scc::tarjan(g);
+  scc::canonicalize_labels(r.labels);
+  return r.labels;
+}
+
+/// The four families the adversarial sweeps run over: a pure cycle (one
+/// big SCC), an SCC chain (many equal classes), a sparse random digraph
+/// (mixed sizes), and the paper's Fig. 3 example (two disconnected
+/// clusters).
+std::vector<std::pair<std::string, Digraph>> certify_families() {
+  std::vector<std::pair<std::string, Digraph>> fams;
+  fams.emplace_back("cycle_96", graph::cycle_graph(96));
+  fams.emplace_back("cycle_chain_8x12", graph::cycle_chain(8, 12));
+  Rng rng(0xce47f);
+  fams.emplace_back("er_n200_m700", graph::random_digraph(200, 700, rng));
+  fams.emplace_back("fig3", fig3_graph());
+  return fams;
+}
+
+TEST(Certify, AcceptsHonestLabelingOnAllFamilies) {
+  for (const auto& [name, g] : certify_families()) {
+    const auto labels = canonical_oracle(g);
+    const auto report = scc::certify_scc(g, labels);
+    EXPECT_TRUE(report.ok) << name << ": " << report.message;
+    EXPECT_EQ(report.classes, scc::tarjan(g).num_components) << name;
+  }
+}
+
+TEST(Certify, ReverseHintPathMatchesInlineBuild) {
+  // Passing a precomputed reverse (the recovery ladder / service epoch
+  // cache configuration) must change nothing about the verdict, on honest
+  // and corrupted labelings alike.
+  for (const auto& [name, g] : certify_families()) {
+    const Digraph rev = g.reverse();
+    scc::CertifyOptions opts;
+    opts.reverse_hint = &rev;
+    auto labels = canonical_oracle(g);
+    EXPECT_TRUE(scc::certify_scc(g, labels, opts).ok) << name;
+    if (g.num_vertices() < 2) continue;
+    // Corrupt: move vertex 0 into some other class (or split it off).
+    const vid other = labels[0] == labels[1] ? labels[1] : labels[0];
+    labels[0] = labels[0] == other ? labels[1] : other;
+    const auto inline_report = scc::certify_scc(g, labels);
+    const auto hinted_report = scc::certify_scc(g, labels, opts);
+    EXPECT_EQ(inline_report.ok, hinted_report.ok) << name;
+  }
+}
+
+TEST(Certify, RejectsSplitScc) {
+  // Carve one member out of a multi-member SCC into its own class. The
+  // split class pair stays mutually reachable, so Kahn must find the
+  // condensation cyclic (or a coverage sweep must fail).
+  for (const auto& [name, g] : certify_families()) {
+    auto labels = canonical_oracle(g);
+    // Find a multi-member class and a member that is not its name.
+    vid victim = graph::kInvalidVid;
+    for (vid v = 0; v < g.num_vertices(); ++v) {
+      if (labels[v] != v) {
+        victim = v;
+        break;
+      }
+    }
+    if (victim == graph::kInvalidVid) continue;  // all singletons: nothing to split
+    labels[victim] = victim;  // canonical-form-preserving split
+    const auto report = scc::certify_scc(g, labels);
+    EXPECT_FALSE(report.ok) << name << ": split of vertex " << victim << " not caught";
+  }
+}
+
+TEST(Certify, RejectsMergedSccs) {
+  // Rename one entire class to another class's label: the merged class is
+  // not strongly connected (or, for mutually reachable classes, would have
+  // been one SCC to begin with — impossible in an oracle labeling).
+  for (const auto& [name, g] : certify_families()) {
+    auto labels = canonical_oracle(g);
+    std::vector<vid> classes;
+    for (vid v = 0; v < g.num_vertices(); ++v)
+      if (labels[v] == v) classes.push_back(v);
+    if (classes.size() < 2) continue;  // single SCC: nothing to merge
+    const vid from = classes[0], into = classes[1];
+    for (vid v = 0; v < g.num_vertices(); ++v)
+      if (labels[v] == from) labels[v] = into;
+    const auto report = scc::certify_scc(g, labels);
+    EXPECT_FALSE(report.ok) << name << ": merge " << from << " -> " << into << " not caught";
+  }
+}
+
+TEST(Certify, RejectsOffByOneRemap) {
+  // Shift every label by one (mod n): the classic stale-read remap. The
+  // shift never changes which vertices SHARE a label, so it is a pure
+  // renaming — acceptable exactly when every shifted name still lands
+  // inside its own class (e.g. a single cycle renamed 0 -> 1), and
+  // rejectable by the canonical-form stage (labels[label] == label) the
+  // moment any name crosses a class boundary.
+  int rejections = 0;
+  for (const auto& [name, g] : certify_families()) {
+    auto labels = canonical_oracle(g);
+    const vid n = g.num_vertices();
+    for (vid v = 0; v < n; ++v) labels[v] = (labels[v] + 1) % n;
+    bool member_named = true;
+    for (vid v = 0; v < n; ++v) member_named &= labels[labels[v]] == labels[v];
+    const auto report = scc::certify_scc(g, labels);
+    EXPECT_EQ(report.ok, member_named) << name << ": " << report.message;
+    if (!report.ok) ++rejections;
+  }
+  EXPECT_GE(rejections, 2) << "the sweep must exercise the rejection path";
+}
+
+TEST(Certify, RejectsIndexNamedLabelsUntilCanonicalized) {
+  // Raw Tarjan labels are dense component indices, not member names. The
+  // certifier's canonical-form contract rejects them; canonicalize_labels
+  // (the registry-boundary rewrite) makes the same partition acceptable.
+  const Digraph g = fig3_graph();
+  scc::SccResult r = scc::tarjan(g);
+  const auto raw = scc::certify_scc(g, r.labels);
+  // fig3's class count (7) differs from its vertex count (12), so dense
+  // indices cannot all be self-named.
+  EXPECT_FALSE(raw.ok);
+  EXPECT_NE(raw.message.find("not in its own class"), std::string::npos) << raw.message;
+  scc::canonicalize_labels(r.labels);
+  EXPECT_TRUE(scc::certify_scc(g, r.labels).ok);
+}
+
+TEST(Certify, RejectsIncompleteAndOutOfRangeLabels) {
+  const Digraph g = graph::cycle_graph(8);
+  std::vector<vid> short_labels(7, 0);
+  EXPECT_FALSE(scc::certify_scc(g, short_labels).ok);
+  auto labels = canonical_oracle(g);
+  labels[3] = graph::kInvalidVid;  // unlabeled vertex (a discarded partial run)
+  EXPECT_FALSE(scc::certify_scc(g, labels).ok);
+  labels[3] = 8;  // non-vertex label value
+  EXPECT_FALSE(scc::certify_scc(g, labels).ok);
+}
+
+TEST(Certify, SingletonChainAndSelfLoops) {
+  // A pure DAG path = all singleton classes: exercises the singleton Kahn
+  // seeding (no BFS runs at all). Self-loops must not confuse the
+  // cross-edge count.
+  graph::EdgeList e;
+  for (vid v = 0; v + 1 < 6; ++v) e.add(v, v + 1);
+  e.add(2, 2);  // self-loop inside a singleton class
+  const Digraph g(6, e);
+  std::vector<vid> labels{0, 1, 2, 3, 4, 5};
+  const auto report = scc::certify_scc(g, labels);
+  EXPECT_TRUE(report.ok) << report.message;
+  EXPECT_EQ(report.classes, 6u);
+  // Collapsing the whole path into one class must fail coverage.
+  EXPECT_FALSE(scc::certify_scc(g, std::vector<vid>(6, 5)).ok);
+}
+
+TEST(Certify, CatchesCycleSplitIntoArcs) {
+  // Split a single cycle into two arcs, each named by a member: every
+  // class covers its members in the subgraph-union sense only through the
+  // other class, so the confined coverage sweeps must fail.
+  const Digraph g = graph::cycle_graph(10);
+  std::vector<vid> labels(10);
+  for (vid v = 0; v < 10; ++v) labels[v] = v < 5 ? 4 : 9;
+  const auto report = scc::certify_scc(g, labels);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.message.find("not strongly connected"), std::string::npos) << report.message;
+}
+
+TEST(Certify, WitnessStageRunsOnMultiMemberClasses) {
+  const Digraph g = graph::cycle_chain(4, 8);  // four 8-cycles in a chain
+  const auto labels = canonical_oracle(g);
+  scc::CertifyOptions opts;
+  opts.witness_samples = 3;
+  const auto report = scc::certify_scc(g, labels, opts);
+  EXPECT_TRUE(report.ok) << report.message;
+  EXPECT_GT(report.witnesses, 0u);
+  opts.witness_samples = 0;  // stage disabled
+  EXPECT_EQ(scc::certify_scc(g, labels, opts).witnesses, 0u);
+}
+
+TEST(Certify, MaxIdModeRejectsNonMaxNames) {
+  // ECL-mode certification additionally pins the §3.2.1 naming invariant.
+  const Digraph g = graph::cycle_graph(4);
+  std::vector<vid> min_named(4, 0);  // {0..3} named by its minimum member
+  scc::CertifyOptions opts;
+  EXPECT_TRUE(scc::certify_scc(g, min_named, opts).ok) << "partition itself is valid";
+  opts.require_max_id_labels = true;
+  EXPECT_FALSE(scc::certify_scc(g, min_named, opts).ok);
+  EXPECT_TRUE(scc::certify_scc(g, std::vector<vid>(4, 3), opts).ok);
+}
+
+TEST(Certify, RandomizedFlipSweepIsAlwaysCaught) {
+  // Single-vertex label flips across families and seeds: each flip either
+  // splits a class, merges into a neighbor, or breaks canonical naming —
+  // the certifier must reject all of them.
+  Rng rng(0xf1a6c0de);
+  for (const auto& [name, g] : certify_families()) {
+    const auto oracle = canonical_oracle(g);
+    const vid n = g.num_vertices();
+    std::vector<vid> classes;
+    for (vid v = 0; v < n; ++v)
+      if (oracle[v] == v) classes.push_back(v);
+    if (classes.size() < 2) continue;
+    for (int trial = 0; trial < 6; ++trial) {
+      auto labels = oracle;
+      const vid victim = static_cast<vid>(rng.bounded(n));
+      vid donor = victim;
+      while (labels[donor] == labels[victim]) donor = static_cast<vid>(rng.bounded(n));
+      labels[victim] = labels[donor];
+      EXPECT_FALSE(scc::certify_scc(g, labels).ok)
+          << name << ": moved vertex " << victim << " into class " << labels[donor];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -6,11 +6,18 @@
 //
 //   scc_serve [<graph-file>] [--requests N] [--rate RPS] [--deadline-ms D]
 //             [--staleness N] [--workers N] [--queue N] [--backends a,b,c]
-//             [--chaos] [--no-breakers] [--no-degradation] [--seed S] [--stats]
+//             [--chaos SEED] [--no-breakers] [--no-degradation] [--seed S] [--stats]
+//
+// --chaos SEED installs the seeded composite FaultPlan (FaultPlan::
+// from_seed) on every worker's device, so the live backends misbehave the
+// same reproducible way the chaos test suite exercises — and the breaker /
+// certifier / quarantine machinery can be watched doing its job.
 //
 // --stats additionally prints the aggregated per-worker device launch
-// statistics after shutdown: launch counts, the work-weighted block
-// imbalance metric, and a per-block edge-work histogram (DESIGN.md §11).
+// statistics after shutdown (launch counts, the work-weighted block
+// imbalance metric, a per-block edge-work histogram, DESIGN.md §11) plus
+// the self-healing counters: checkpoints, resumes, certifier activity, and
+// per-backend health/quarantine state (DESIGN.md §12).
 
 #include <algorithm>
 #include <chrono>
@@ -22,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "device/fault.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "service/scc_service.hpp"
@@ -68,6 +76,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   ServiceConfig cfg;
   bool chaos = false;
+  std::uint64_t chaos_seed = 0;
   bool show_device_stats = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -94,6 +103,7 @@ int main(int argc, char** argv) {
       cfg.backends = split_names(next("--backends"));
     } else if (!std::strcmp(argv[i], "--chaos")) {
       chaos = true;
+      chaos_seed = std::strtoull(next("--chaos"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--no-breakers")) {
       cfg.enable_breakers = false;
     } else if (!std::strcmp(argv[i], "--no-degradation")) {
@@ -105,20 +115,23 @@ int main(int argc, char** argv) {
     } else if (argv[i][0] != '-' && graph_file.empty()) {
       graph_file = argv[i];
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [<graph-file>] [--requests N] [--rate RPS] [--deadline-ms D]\n"
-                   "          [--staleness N] [--workers N] [--queue N] [--backends a,b,c]\n"
-                   "          [--chaos] [--no-breakers] [--no-degradation] [--seed S] [--stats]\n",
-                   argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s [<graph-file>] [--requests N] [--rate RPS] [--deadline-ms D]\n"
+          "          [--staleness N] [--workers N] [--queue N] [--backends a,b,c]\n"
+          "          [--chaos SEED] [--no-breakers] [--no-degradation] [--seed S] [--stats]\n",
+          argv[0]);
       return 2;
     }
   }
 
   cfg.seed = seed;
+  std::string chaos_banner;
   if (chaos) {
-    cfg.device_profile.fault_plan.seed = seed;
-    cfg.device_profile.fault_plan.delayed_visibility = true;
-    cfg.device_profile.fault_plan.store_defer_probability = 1.0;
+    // The same seeded composite plans the chaos test suite draws from: the
+    // seed picks which fault axes are armed and how hard.
+    cfg.device_profile.fault_plan = device::FaultPlan::from_seed(chaos_seed);
+    chaos_banner = ", chaos [" + cfg.device_profile.fault_plan.describe() + "]";
   }
 
   Rng rng(seed);
@@ -133,7 +146,7 @@ int main(int argc, char** argv) {
   std::printf("serving %u vertices / %llu edges; %zu requests at %.0f rps, "
               "deadline %.0fms%s\n",
               g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
-              num_requests, rate, deadline_ms, chaos ? ", chaos defer p=1.0" : "");
+              num_requests, rate, deadline_ms, chaos_banner.c_str());
 
   SccService svc(g, cfg);
   struct InFlight {
@@ -202,8 +215,32 @@ int main(int argc, char** argv) {
               percentile(latencies_ms, 0.50), percentile(latencies_ms, 0.99),
               percentile(latencies_ms, 0.999),
               latencies_ms.empty() ? 0.0 : latencies_ms.back());
-  for (const auto& [backend, state] : svc.breaker_states())
-    std::printf("breaker[%s] = %s\n", backend.c_str(), service::breaker_state_name(state));
+  for (const auto& h : svc.backend_health())
+    std::printf("health[%s] = %s (score %.2f/%zu; stall %llu, overflow %llu, cert %llu, "
+                "deadline %llu; quarantined %llu, readmitted %llu)\n",
+                h.name.c_str(), service::backend_health_name(h.health), h.score, h.samples,
+                static_cast<unsigned long long>(
+                    h.faults[static_cast<std::size_t>(service::FaultKind::kStall)]),
+                static_cast<unsigned long long>(
+                    h.faults[static_cast<std::size_t>(service::FaultKind::kOverflow)]),
+                static_cast<unsigned long long>(
+                    h.faults[static_cast<std::size_t>(service::FaultKind::kCertification)]),
+                static_cast<unsigned long long>(
+                    h.faults[static_cast<std::size_t>(service::FaultKind::kDeadline)]),
+                static_cast<unsigned long long>(h.quarantines),
+                static_cast<unsigned long long>(h.readmissions));
+  const service::RecoveryStats rec = svc.recovery_stats();
+  std::printf("recovery: %llu checkpoints, %llu resumes, %llu rounds replayed; "
+              "certifier %llu runs / %llu rejections / %.3fs; "
+              "quarantines %llu, probations %llu, readmissions %llu\n",
+              static_cast<unsigned long long>(rec.checkpoints_taken),
+              static_cast<unsigned long long>(rec.resumes),
+              static_cast<unsigned long long>(rec.rounds_replayed),
+              static_cast<unsigned long long>(rec.certifications),
+              static_cast<unsigned long long>(rec.certification_failures), rec.certify_seconds,
+              static_cast<unsigned long long>(rec.quarantines),
+              static_cast<unsigned long long>(rec.probations),
+              static_cast<unsigned long long>(rec.readmissions));
   svc.shutdown();
 
   if (show_device_stats) {
