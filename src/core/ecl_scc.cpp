@@ -3,6 +3,7 @@
 #include <memory>
 #include <optional>
 
+#include "core/propagate.hpp"
 #include "core/tarjan.hpp"
 #include "device/atomics.hpp"
 #include "device/edge_partition.hpp"
@@ -16,7 +17,6 @@
 namespace ecl::scc {
 namespace {
 
-using device::AtomicU32;
 using device::BlockContext;
 using device::EdgeWorklist;
 using device::SignatureStore;
@@ -47,46 +47,10 @@ struct EclState {
   std::atomic<std::uint64_t> block_iterations{0};
 };
 
-/// Signature store dispatch: the paper's atomic-free monotonic store or a
-/// CAS atomic max (§3.4). Under the delayed-visibility fault a store may be
-/// deferred: dropped this round but reported as movement when it would have
-/// changed the slot, so the propagation loop retries until it lands —
-/// exactly the lost-update tolerance the monotonic store relies on.
-/// Under the lost-update fault the store is dropped AND reported as no
-/// movement: the fixpoint silently converges short of the true one, which
-/// only the online certifier (core/verify.hpp) can detect downstream.
-///
-/// `owner` is the vertex whose signature the slot belongs to. Any reported
-/// movement — including a deferred store's, so the retry round still sees
-/// the edge as active — stamps the owner's frontier epoch with the current
-/// round, keeping its incident edges in the active frontier.
-bool store_max(EclState& st, AtomicU32& slot, vid owner, std::uint32_t value,
-               const EclOptions& opts, std::uint32_t round) noexcept {
-  bool moved;
-  if (st.fault && st.fault->lose_store()) return false;
-  if (st.fault && st.fault->defer_store())
-    moved = value > slot.load(std::memory_order_relaxed);
-  else
-    moved = opts.use_atomic_max ? device::atomic_fetch_max(slot, value)
-                                : device::racy_store_max(slot, value);
-  if (moved && opts.frontier_gating)
-    st.sigs.epoch(owner).store(round, std::memory_order_relaxed);
-  return moved;
-}
-
-bool store_min(EclState& st, AtomicU32& slot, vid owner, std::uint32_t value,
-               const EclOptions& opts, std::uint32_t round) noexcept {
-  bool moved;
-  if (st.fault && st.fault->lose_store()) return false;
-  if (st.fault && st.fault->defer_store())
-    moved = value < slot.load(std::memory_order_relaxed);
-  else
-    moved = opts.use_atomic_max ? device::atomic_fetch_min(slot, value)
-                                : device::racy_store_min(slot, value);
-  if (moved && opts.frontier_gating)
-    st.sigs.epoch(owner).store(round, std::memory_order_relaxed);
-  return moved;
-}
+// The per-edge propagation bodies (monotone store dispatch, path
+// compression, fault semantics) live in core/propagate.hpp, shared with the
+// fleet's sharded engine (DESIGN.md §13) so both run the exact same update
+// rule. These wrappers adapt them to the solver's EclState.
 
 // --- Checkpointed resume (DESIGN.md §12) -----------------------------------
 //
@@ -153,95 +117,20 @@ void restore_checkpoint(EclState& st, const EclOptions& opts, const CheckpointSt
   st.changed.store(0, std::memory_order_relaxed);
 }
 
-/// Minimum-ID propagation for one edge (the 4-signature variant): the
-/// exact mirror of the maximum propagation, including path compression
-/// (min_in[min_in[u]] <= min_in[u] stays an ancestor-or-self of v).
 bool propagate_edge_min(EclState& st, graph::Edge e, const EclOptions& opts,
                         std::uint32_t round) noexcept {
-  const vid u = e.src;
-  const vid v = e.dst;
-  bool any = false;
-
-  std::uint32_t ov = st.sigs.min_out(v).load(std::memory_order_relaxed);
-  if (opts.path_compression) ov = st.sigs.min_out(ov).load(std::memory_order_relaxed);
-  const std::uint32_t ou = st.sigs.min_out(u).load(std::memory_order_relaxed);
-  if (ov < ou) {
-    if (opts.path_compression && ou != u) {
-      const std::uint32_t iu = st.sigs.min_in(u).load(std::memory_order_relaxed);
-      any |= store_min(st, st.sigs.min_in(ou), ou, iu, opts, round);
-    }
-    any |= store_min(st, st.sigs.min_out(u), u, ov, opts, round);
-  }
-
-  std::uint32_t iu = st.sigs.min_in(u).load(std::memory_order_relaxed);
-  if (opts.path_compression) iu = st.sigs.min_in(iu).load(std::memory_order_relaxed);
-  const std::uint32_t iv = st.sigs.min_in(v).load(std::memory_order_relaxed);
-  if (iu < iv) {
-    if (opts.path_compression && iv != v) {
-      const std::uint32_t ovv = st.sigs.min_out(v).load(std::memory_order_relaxed);
-      any |= store_min(st, st.sigs.min_out(iv), iv, ovv, opts, round);
-    }
-    any |= store_min(st, st.sigs.min_in(v), v, iu, opts, round);
-  }
-  return any;
+  return detail::propagate_edge_min({st.sigs, st.fault}, e, opts, round);
 }
 
-/// Phase-2 body for one edge (u -> v). Returns true if any signature moved.
 bool propagate_edge(EclState& st, graph::Edge e, const EclOptions& opts,
                     std::uint32_t round) noexcept {
-  const vid u = e.src;
-  const vid v = e.dst;
-  bool any = false;
-
-  // out[u] <- max(out[u], out[v])   (compressed: out[out[v]], §3.3)
-  std::uint32_t ov = st.sigs.vout(v).load(std::memory_order_relaxed);
-  if (opts.path_compression) ov = st.sigs.vout(ov).load(std::memory_order_relaxed);
-  const std::uint32_t ou = st.sigs.vout(u).load(std::memory_order_relaxed);
-  if (ov > ou) {
-    if (opts.path_compression && ou != u) {
-      // Lift: ou is a descendant of u, so u's ancestors are ou's ancestors.
-      const std::uint32_t iu = st.sigs.vin(u).load(std::memory_order_relaxed);
-      any |= store_max(st, st.sigs.vin(ou), ou, iu, opts, round);
-    }
-    any |= store_max(st, st.sigs.vout(u), u, ov, opts, round);
-  }
-
-  // in[v] <- max(in[v], in[u])   (compressed: in[in[u]])
-  std::uint32_t iu = st.sigs.vin(u).load(std::memory_order_relaxed);
-  if (opts.path_compression) iu = st.sigs.vin(iu).load(std::memory_order_relaxed);
-  const std::uint32_t iv = st.sigs.vin(v).load(std::memory_order_relaxed);
-  if (iu > iv) {
-    if (opts.path_compression && iv != v) {
-      // Lift: iv is an ancestor of v, so v's descendants are iv's descendants.
-      const std::uint32_t ovv = st.sigs.vout(v).load(std::memory_order_relaxed);
-      any |= store_max(st, st.sigs.vout(iv), iv, ovv, opts, round);
-    }
-    any |= store_max(st, st.sigs.vin(v), v, iu, opts, round);
-  }
-  return any;
+  return detail::propagate_edge({st.sigs, st.fault}, e, opts, round);
 }
 
-/// Grid size for an edge/vertex kernel under the selected threading mode.
-unsigned grid_size(device::Device& dev, std::uint64_t items, bool persistent) {
-  if (persistent) return std::min<std::uint64_t>(dev.profile().resident_blocks(),
-                                                 std::max<std::uint64_t>(1, dev.blocks_for(items)));
-  return dev.blocks_for(items);
-}
-
-/// Work distribution for the edge phases: equal contiguous edge spans
-/// (degenerate merge-path on the flat worklist, DESIGN.md §11) or the
-/// classic block-cyclic chunks. Either way the body sees half-open
-/// [lo, hi) index ranges covering exactly the block's edges.
-template <typename Body>
-void for_each_owned(const BlockContext& ctx, std::uint64_t total, bool edge_balanced,
-                    Body&& body) {
-  if (edge_balanced) {
-    const device::EdgeSpan span = device::equal_edge_span(ctx.block_id, ctx.num_blocks, total);
-    if (!span.empty()) body(span.begin, span.end);
-  } else {
-    ctx.for_each_chunk(total, body);
-  }
-}
+// grid_size and for_each_owned live in core/propagate.hpp (shared with the
+// fleet's per-shard kernels).
+using detail::for_each_owned;
+using detail::grid_size;
 
 void phase1_init(EclState& st, device::Device& dev, const EclOptions& opts) {
   const std::uint64_t n = st.n;
@@ -359,7 +248,13 @@ bool phase2_propagate(EclState& st, device::Device& dev, const EclOptions& opts,
       watchdog.observe_phase2_round(processed);
     }
 
-    if (st.changed.load(std::memory_order_relaxed) == 0) break;
+    // Fleet fixpoint hook (DESIGN.md §13): at this grid barrier an external
+    // coordinator may merge boundary signatures into the store and replace
+    // the local movement flag with a GLOBAL quiescence verdict, keeping the
+    // sweep loop alive while any peer shard still moves.
+    bool sweep_again = st.changed.load(std::memory_order_relaxed) != 0;
+    if (opts.phase2_hook) sweep_again = opts.phase2_hook(sweep_again, st.round);
+    if (!sweep_again) break;
 
     // Another sweep is coming: this grid barrier is a quiescent point, so
     // snapshot here if the cadence is due. Signatures mid-Phase-2 are a

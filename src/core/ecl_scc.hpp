@@ -27,6 +27,7 @@
 // lifted with out[v]; symmetrically for out[u]. The fixed point then equals
 // Algorithm 1's exactly (see DESIGN.md).
 
+#include <functional>
 #include <vector>
 
 #include "core/result.hpp"
@@ -150,6 +151,21 @@ struct EclOptions {
   /// Checkpointed resume (DESIGN.md §12): snapshot cadence and the bounded
   /// replay count attempted before a trip escalates to stall_policy.
   CheckpointConfig checkpoint;
+
+  /// Fixpoint round hook (DESIGN.md §13): invoked on the control thread at
+  /// every Phase-2 grid barrier, after the sweep's movement flag is read
+  /// and before the loop decides whether to run another sweep.
+  /// `local_changed` is this solver's own movement; the return value
+  /// REPLACES it as the continue condition. An external coordinator can
+  /// merge boundary signatures into the store here (the grid barrier makes
+  /// it race-free) and keep the sweep loop alive until GLOBAL — not merely
+  /// local — quiescence: max-merges commute with the in-kernel monotone
+  /// stores, so a merge at this barrier is equivalent to the merged edges
+  /// having been processed by the sweep itself. `round` is the global
+  /// round clock; a hook that raises a signature under frontier_gating
+  /// must stamp the vertex's epoch with it. Null = local movement decides
+  /// (single-device behavior).
+  std::function<bool(bool local_changed, std::uint32_t round)> phase2_hook;
 };
 
 /// All-off configuration (the "disable all 4" bar of Fig. 14). The hot-path

@@ -1,6 +1,7 @@
 #include "core/registry.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -192,13 +193,22 @@ void merge_recovery_metrics(SccMetrics& into, const SccMetrics& from) {
 /// was survived. A result that fails certification is NEVER served as
 /// trustworthy — the final rung's labels travel with kCertificationFailed
 /// and metrics.certified == false so service layers refuse them.
-SccResult run_resilient_impl(const SccAlgorithm& algorithm, const Digraph& g) {
+SccResult run_resilient_impl(const SccAlgorithm& algorithm, const Digraph& g,
+                             const Digraph* reverse_hint = nullptr) {
   SccResult result = run_attempt(algorithm, g);
   // Every rung certifies against the same graph, so the reverse adjacency
   // (labeling-independent) is built once and shared. On the clean path this
   // is exactly the build certify_scc would have done internally; on the
   // recovery rungs it cuts each extra certification by one O(V+E) pass.
-  const Digraph reverse = g.reverse();
+  // A caller that already holds the reverse (the fleet's stitched-shard
+  // certification, the service's per-epoch cache) passes it as
+  // `reverse_hint` so it is not rebuilt per call.
+  std::optional<Digraph> local_reverse;
+  if (reverse_hint == nullptr) {
+    local_reverse.emplace(g.reverse());
+    reverse_hint = &*local_reverse;
+  }
+  const Digraph& reverse = *reverse_hint;
   if (certified(g, result, &reverse)) return result;
 
   // Rung 2: one full fresh rerun. The schedule, launch ordering, and any
@@ -227,15 +237,18 @@ SccResult run_resilient_impl(const SccAlgorithm& algorithm, const Digraph& g) {
 
 }  // namespace
 
-SccResult run_resilient(const std::string& name, const Digraph& g) {
+SccResult run_resilient(const std::string& name, const Digraph& g,
+                        const Digraph* reverse_hint) {
   const SccAlgorithm algorithm = find_algorithm(name);  // unknown name: throws
-  return run_resilient_impl(algorithm, g);
+  return run_resilient_impl(algorithm, g, reverse_hint);
 }
 
-SccResult run_resilient_on(const std::string& name, const Digraph& g, device::Device& dev) {
+SccResult run_resilient_on(const std::string& name, const Digraph& g, device::Device& dev,
+                           const Digraph* reverse_hint) {
   (void)find_algorithm(name);  // unknown name: throws before we touch the device
   return run_resilient_impl(
-      [&name, &dev](const Digraph& graph) { return run_algorithm_on(name, graph, dev); }, g);
+      [&name, &dev](const Digraph& graph) { return run_algorithm_on(name, graph, dev); }, g,
+      reverse_hint);
 }
 
 SccResult run_with_deadline(const std::string& name, const Digraph& g,

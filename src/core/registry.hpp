@@ -46,13 +46,22 @@ SccResult run_algorithm_on(const std::string& name, const Digraph& g, device::De
 /// fallback in SccMetrics. Always returns a complete, verified labeling;
 /// `error` still reports what went wrong with the primary run. Unknown
 /// names still throw std::invalid_argument (a caller bug, not a fault).
-SccResult run_resilient(const std::string& name, const Digraph& g);
+///
+/// `reverse_hint`, when non-null, must be the reverse of `g`; the
+/// certification rungs then skip their own O(V+E) reverse build. Callers
+/// that certify many results against one graph (the fleet's stitched-shard
+/// certificate, the service's per-epoch cache) build the reverse exactly
+/// once and thread it through here.
+SccResult run_resilient(const std::string& name, const Digraph& g,
+                        const Digraph* reverse_hint = nullptr);
 
 /// run_resilient with the caller's device: device-backed configurations run
 /// on `dev` (honoring its fault plan — the hook the dynamic subsystem's
 /// chaos tests use to perturb full rebuilds), CPU configurations ignore it.
-/// The same always-complete, always-verified contract as run_resilient.
-SccResult run_resilient_on(const std::string& name, const Digraph& g, device::Device& dev);
+/// The same always-complete, always-verified contract as run_resilient,
+/// including the shared `reverse_hint` amortization.
+SccResult run_resilient_on(const std::string& name, const Digraph& g, device::Device& dev,
+                           const Digraph* reverse_hint = nullptr);
 
 /// Runs the named configuration under an absolute wall-clock deadline — the
 /// entry point of the request pipeline (src/service). ECL-SCC

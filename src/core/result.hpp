@@ -95,6 +95,15 @@ struct SccMetrics {
   /// check took (the fault-free overhead bench_chaos_recovery bounds).
   bool certified = false;
   double certify_seconds = 0.0;
+
+  /// Fleet accounting (DESIGN.md §13, src/fleet/): shard count the run was
+  /// partitioned into (0 = not a sharded run), distinct boundary vertices
+  /// whose signatures were exchanged between shards, and the number of
+  /// cross-shard max-reduce exchange rounds performed before global
+  /// quiescence (summed over outer iterations).
+  std::uint64_t shards = 0;
+  std::uint64_t boundary_vertices = 0;
+  std::uint64_t exchange_rounds = 0;
 };
 
 /// An SCC decomposition: labels[v] identifies v's component. Label values

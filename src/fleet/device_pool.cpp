@@ -1,0 +1,55 @@
+#include "fleet/device_pool.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace ecl::fleet {
+
+DevicePool::DevicePool(DevicePoolConfig config) {
+  const unsigned count = std::max(1u, config.devices);
+  unsigned budget = config.thread_budget;
+  if (budget == 0) budget = std::max(1u, std::thread::hardware_concurrency());
+  // The budget counts WORKERS; each device's pool also runs blocks on the
+  // launching thread (ThreadPool worker 0), which the divided share below
+  // accounts for by flooring at 1.
+  workers_per_device_ = std::max(1u, budget / count);
+
+  devices_.reserve(count);
+  names_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    device::DeviceProfile profile = config.profile;
+    if (i < config.fault_plans.size()) profile.fault_plan = config.fault_plans[i];
+    devices_.push_back(std::make_unique<device::Device>(profile, workers_per_device_));
+    guards_.push_back(std::make_unique<std::mutex>());
+    names_.push_back("device-" + std::to_string(i));
+  }
+  health_ = std::make_unique<service::BackendHealthRegistry>(names_, config.health);
+}
+
+std::vector<std::unique_lock<std::mutex>> DevicePool::acquire_all() {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(guards_.size());
+  for (auto& guard : guards_) locks.emplace_back(*guard);
+  return locks;
+}
+
+device::LaunchStats DevicePool::aggregate_stats() const {
+  device::LaunchStats total;
+  for (const auto& dev : devices_) merge_launch_stats(total, dev->stats());
+  return total;
+}
+
+void merge_launch_stats(device::LaunchStats& into, const device::LaunchStats& from) {
+  into.kernel_launches += from.kernel_launches;
+  into.blocks_executed += from.blocks_executed;
+  into.block_iterations += from.block_iterations;
+  into.spurious_replays += from.spurious_replays;
+  into.imbalance_weighted += from.imbalance_weighted;
+  into.imbalance_weight += from.imbalance_weight;
+  if (into.block_edge_work.size() < from.block_edge_work.size())
+    into.block_edge_work.resize(from.block_edge_work.size(), 0);
+  for (std::size_t b = 0; b < from.block_edge_work.size(); ++b)
+    into.block_edge_work[b] += from.block_edge_work[b];
+}
+
+}  // namespace ecl::fleet

@@ -1,0 +1,571 @@
+#include "fleet/sharded_scc.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/propagate.hpp"
+#include "core/tarjan.hpp"
+#include "core/verify.hpp"
+#include "core/watchdog.hpp"
+#include "device/signature_store.hpp"
+#include "device/worklist.hpp"
+#include "graph/condensation.hpp"
+#include "graph/subgraph.hpp"
+#include "support/timer.hpp"
+
+namespace ecl::fleet {
+namespace {
+
+using device::BlockContext;
+using device::EdgeWorklist;
+using device::SignatureStore;
+using graph::eid;
+using graph::vid;
+using scc::EclOptions;
+using scc::SccError;
+using scc::SccMetrics;
+using scc::SccStatus;
+using Timer = ecl::Timer;
+
+/// One shard's private state: its owned vertex range, its worklist of owned
+/// edges (src in range), and a FULL-SIZE replica of the signature arrays —
+/// propagation reads and writes foreign vertices (targets, path-compression
+/// lifts) in the shard's own replica; only the boundary exchange moves
+/// values between replicas.
+struct Shard {
+  vid begin = 0;
+  vid end = 0;
+  std::size_t device = 0;  ///< pool device index
+  std::unique_ptr<EdgeWorklist> worklist;
+  std::unique_ptr<SignatureStore> sigs;
+  std::atomic<std::uint32_t> changed{0};
+  std::atomic<std::uint64_t> edges_processed{0};
+  std::atomic<std::uint64_t> block_iterations{0};
+};
+
+/// Completes a partial labeling with Tarjan on the unlabeled residual,
+/// naming each residual component by its maximum parent member — the same
+/// degradation the single-device solver applies, so even a tripped sharded
+/// run returns labels in ECL's max-ID namespace.
+void serial_fallback_max(const Digraph& g, SccResult& result) {
+  const vid n = g.num_vertices();
+  std::vector<std::uint8_t> active(n, 0);
+  std::uint64_t residual = 0;
+  for (vid v = 0; v < n; ++v) {
+    if (result.labels[v] == graph::kInvalidVid) {
+      active[v] = 1;
+      ++residual;
+    }
+  }
+  result.metrics.serial_fallback = true;
+  result.metrics.fallback_vertices = residual;
+  if (residual == 0) return;
+  const graph::Subgraph sub = graph::induced_subgraph(g, active);
+  const SccResult serial = scc::tarjan(sub.graph);
+  std::vector<vid> comp_max(serial.num_components, 0);
+  for (std::size_t i = 0; i < sub.to_parent.size(); ++i) {
+    vid& top = comp_max[serial.labels[i]];
+    top = std::max(top, sub.to_parent[i]);
+  }
+  for (std::size_t i = 0; i < sub.to_parent.size(); ++i)
+    result.labels[sub.to_parent[i]] = comp_max[serial.labels[i]];
+}
+
+/// Certification gate, mirroring the registry ladder's: complete labels AND
+/// a passing certificate, errors upgraded to the structured cause.
+bool certified(const Digraph& g, SccResult& result, const Digraph* reverse_hint) {
+  const bool complete =
+      result.labels.size() == g.num_vertices() &&
+      std::none_of(result.labels.begin(), result.labels.end(),
+                   [](vid l) { return l == graph::kInvalidVid; });
+  if (!complete) {
+    if (result.ok()) result.error = {SccStatus::kVerifyFailed, "labeling is incomplete"};
+    return false;
+  }
+  scc::CertifyOptions copts;
+  copts.reverse_hint = reverse_hint;
+  const scc::CertifyReport cert = scc::certify_scc(g, result.labels, copts);
+  result.metrics.certify_seconds += cert.seconds;
+  if (cert.ok) {
+    result.metrics.certified = true;
+    return true;
+  }
+  result.error = {SccStatus::kCertificationFailed, cert.message};
+  return false;
+}
+
+void merge_recovery_metrics(SccMetrics& into, const SccMetrics& from) {
+  into.watchdog_trips += from.watchdog_trips;
+  into.certify_seconds += from.certify_seconds;
+  into.fresh_reruns += from.fresh_reruns;
+  into.exchange_rounds += from.exchange_rounds;
+}
+
+/// One full lockstep sharded run (no certification — the ladder wraps it).
+SccResult run_sharded_once(const Digraph& g, DevicePool& pool, unsigned num_shards,
+                           const EclOptions& eo) {
+  const vid n = g.num_vertices();
+  SccResult result;
+  result.metrics.shards = num_shards;
+  if (n == 0) return result;
+
+  // Devices admitted by the pool's health registry; a fully-quarantined
+  // pool still serves (somewhere beats nowhere — the service chain's rule).
+  std::vector<std::size_t> admitted;
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    if (pool.allow(i)) admitted.push_back(i);
+  if (admitted.empty())
+    for (std::size_t i = 0; i < pool.size(); ++i) admitted.push_back(i);
+
+  const std::vector<vid> cuts = shard_cuts(g, num_shards);
+  const std::span<const eid> offsets = g.offsets();
+  const std::span<const vid> targets = g.targets();
+
+  std::vector<Shard> shards(num_shards);
+  for (unsigned k = 0; k < num_shards; ++k) {
+    Shard& sh = shards[k];
+    sh.begin = cuts[k];
+    sh.end = cuts[k + 1];
+    sh.device = admitted[k % admitted.size()];
+    std::vector<graph::Edge> owned;
+    owned.reserve(static_cast<std::size_t>(offsets[sh.end] - offsets[sh.begin]));
+    for (vid u = sh.begin; u < sh.end; ++u)
+      for (eid j = offsets[u]; j < offsets[u + 1]; ++j) owned.push_back({u, targets[j]});
+    sh.worklist = std::make_unique<EdgeWorklist>(std::span<const graph::Edge>(owned));
+    sh.sigs = std::make_unique<SignatureStore>(n, /*with_min=*/false, eo.padded_signatures);
+  }
+
+  // Boundary set: targets of cross-shard edges — the only vertices whose
+  // values must move between replicas (see the header's correctness note).
+  std::vector<vid> boundary;
+  {
+    std::vector<std::uint8_t> is_boundary(n, 0);
+    for (const Shard& sh : shards)
+      for (vid u = sh.begin; u < sh.end; ++u)
+        for (eid j = offsets[u]; j < offsets[u + 1]; ++j) {
+          const vid v = targets[j];
+          if (v < sh.begin || v >= sh.end) is_boundary[v] = 1;
+        }
+    for (vid v = 0; v < n; ++v)
+      if (is_boundary[v]) boundary.push_back(v);
+  }
+  result.metrics.boundary_vertices = boundary.size();
+
+  std::vector<vid> labels(n, graph::kInvalidVid);
+  std::atomic<std::uint64_t> labeled{0};
+  std::atomic<std::uint64_t> edges_removed{0};
+
+  // Shards grouped by device: a device is not re-entrant, so its shards run
+  // sequentially inside each lockstep step, on one host thread per device.
+  std::vector<std::vector<std::size_t>> groups;
+  {
+    std::vector<std::size_t> slot(pool.size(), static_cast<std::size_t>(-1));
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      if (slot[shards[s].device] == static_cast<std::size_t>(-1)) {
+        slot[shards[s].device] = groups.size();
+        groups.emplace_back();
+      }
+      groups[slot[shards[s].device]].push_back(s);
+    }
+  }
+
+  // Runs fn(shard) for every shard, devices in parallel. The join is the
+  // lockstep barrier: every cross-replica read below happens strictly
+  // after it, so the coordinator's exchange needs no further locking.
+  const auto par = [&](auto&& fn) {
+    if (groups.size() == 1) {
+      for (std::size_t s : groups[0]) fn(shards[s]);
+      return;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(groups.size());
+    for (const auto& group : groups)
+      threads.emplace_back([&fn, &shards, &group] {
+        for (std::size_t s : group) fn(shards[s]);
+      });
+    for (auto& t : threads) t.join();
+  };
+
+  const auto fault_of = [&](const Shard& sh) -> device::FaultInjector* {
+    device::Device& dev = pool.at(sh.device);
+    if (dev.fault_active() &&
+        (dev.fault().plan().delayed_visibility || dev.fault().plan().lost_update))
+      return &dev.fault();
+    return nullptr;
+  };
+
+  scc::FixpointWatchdog watchdog(eo.watchdog, n);
+  const std::uint64_t guard =
+      eo.max_outer_iterations ? eo.max_outer_iterations : static_cast<std::uint64_t>(n) + 2;
+  const std::uint64_t sweep_budget = watchdog.phase2_round_budget();
+
+  std::vector<std::uint64_t> launches_before(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    launches_before[i] = pool.at(i).stats().kernel_launches;
+
+  // Every shard re-initializes ALL unlabeled vertices of its replica (it
+  // reads foreign signatures through its own copy), to the same self-ID
+  // values — so replicas enter each iteration's Phase 2 identical.
+  const auto phase1 = [&](Shard& sh) {
+    device::Device& dev = pool.at(sh.device);
+    dev.launch(
+        scc::detail::grid_size(dev, n, eo.persistent_threads),
+        [&](const BlockContext& ctx) {
+          ctx.for_each_chunk(n, [&](std::uint64_t lo, std::uint64_t hi) {
+            for (std::uint64_t v = lo; v < hi; ++v) {
+              if (labels[v] == graph::kInvalidVid) {
+                sh.sigs->vin(v).store(static_cast<std::uint32_t>(v), std::memory_order_relaxed);
+                sh.sigs->vout(v).store(static_cast<std::uint32_t>(v), std::memory_order_relaxed);
+              }
+            }
+          });
+        },
+        {.idempotent = true, .work_stealing = eo.work_stealing});
+  };
+
+  // One propagation sweep over the shard's own edges (async mode re-iterates
+  // blocks to a local fixed point, exactly like the single-device kernel).
+  const auto sweep = [&](Shard& sh) {
+    const auto edges = sh.worklist->edges();
+    const std::uint64_t m = edges.size();
+    sh.changed.store(0, std::memory_order_relaxed);
+    if (m == 0) return;
+    device::Device& dev = pool.at(sh.device);
+    device::FaultInjector* fault = fault_of(sh);
+    dev.launch(
+        scc::detail::grid_size(dev, m, eo.persistent_threads),
+        [&](const BlockContext& ctx) {
+          const scc::detail::SigView view{*sh.sigs, fault};
+          std::uint64_t local_processed = 0;
+          std::uint64_t local_assigned = 0;
+          std::uint64_t local_iters = 0;
+          bool local_changed;
+          do {
+            local_changed = false;
+            ++local_iters;
+            scc::detail::for_each_owned(
+                ctx, m, eo.edge_balanced, [&](std::uint64_t lo, std::uint64_t hi) {
+                  if (local_iters == 1) local_assigned += hi - lo;
+                  for (std::uint64_t i = lo; i < hi; ++i) {
+                    ++local_processed;
+                    local_changed |= scc::detail::propagate_edge(view, edges[i], eo, 0);
+                  }
+                });
+          } while (eo.async_phase2 && local_changed && local_iters < sweep_budget &&
+                   !watchdog.expired());
+          if (local_changed || (eo.async_phase2 && local_iters > 1))
+            sh.changed.store(1, std::memory_order_relaxed);
+          sh.block_iterations.fetch_add(local_iters, std::memory_order_relaxed);
+          sh.edges_processed.fetch_add(local_processed, std::memory_order_relaxed);
+          dev.record_block_work(ctx.block_id, local_assigned);
+        },
+        {.idempotent = true, .work_stealing = eo.work_stealing});
+  };
+
+  // Cross-shard boundary exchange: a symmetric max-reduce over every
+  // replica's copy of each (still unlabeled) boundary vertex. Runs on the
+  // coordinator between sweep joins, so it is race-free by construction;
+  // max-ID propagation is monotone, so the merge commutes with the
+  // in-kernel stores and the shard/merge order is irrelevant.
+  const auto exchange = [&]() -> bool {
+    bool any = false;
+    for (const vid v : boundary) {
+      if (labels[v] != graph::kInvalidVid) continue;
+      std::uint32_t best_in = 0;
+      std::uint32_t best_out = 0;
+      for (const Shard& sh : shards) {
+        best_in = std::max(best_in, sh.sigs->vin(v).load(std::memory_order_relaxed));
+        best_out = std::max(best_out, sh.sigs->vout(v).load(std::memory_order_relaxed));
+      }
+      for (const Shard& sh : shards) {
+        if (sh.sigs->vin(v).load(std::memory_order_relaxed) < best_in) {
+          sh.sigs->vin(v).store(best_in, std::memory_order_relaxed);
+          any = true;
+        }
+        if (sh.sigs->vout(v).load(std::memory_order_relaxed) < best_out) {
+          sh.sigs->vout(v).store(best_out, std::memory_order_relaxed);
+          any = true;
+        }
+      }
+    }
+    return any;
+  };
+
+  // Detection over OWNED vertices only: at global quiescence the owner
+  // replica holds the true fixpoint for its range, and owned ranges are
+  // disjoint so the shared label array is written race-free.
+  const auto detect = [&](Shard& sh) {
+    const std::uint64_t span = sh.end - sh.begin;
+    if (span == 0) return;
+    device::Device& dev = pool.at(sh.device);
+    dev.launch(
+        scc::detail::grid_size(dev, span, eo.persistent_threads),
+        [&](const BlockContext& ctx) {
+          std::uint64_t local = 0;
+          ctx.for_each_chunk(span, [&](std::uint64_t lo, std::uint64_t hi) {
+            for (std::uint64_t i = lo; i < hi; ++i) {
+              const vid v = sh.begin + static_cast<vid>(i);
+              if (labels[v] != graph::kInvalidVid) continue;
+              const std::uint32_t in = sh.sigs->vin(v).load(std::memory_order_relaxed);
+              const std::uint32_t out = sh.sigs->vout(v).load(std::memory_order_relaxed);
+              if (in == out) {
+                labels[v] = in;
+                ++local;
+              }
+            }
+          });
+          labeled.fetch_add(local, std::memory_order_relaxed);
+        },
+        {.idempotent = true, .work_stealing = eo.work_stealing});
+  };
+
+  // Phase 3 on the shard's own worklist. Cross-shard targets are boundary
+  // vertices, so the shard's replica holds fixpoint-correct signatures for
+  // BOTH endpoints of every owned edge — the drop predicate is evaluated on
+  // exactly the values a single-device run would use.
+  const auto phase3 = [&](Shard& sh) {
+    const auto edges = sh.worklist->edges();
+    const std::uint64_t m = edges.size();
+    if (m == 0) return;
+    device::Device& dev = pool.at(sh.device);
+    dev.launch(
+        scc::detail::grid_size(dev, m, eo.persistent_threads),
+        [&](const BlockContext& ctx) {
+          EdgeWorklist::ChunkAppender chunk(*sh.worklist);
+          std::uint64_t local_examined = 0;
+          scc::detail::for_each_owned(
+              ctx, m, eo.edge_balanced, [&](std::uint64_t lo, std::uint64_t hi) {
+                local_examined += hi - lo;
+                for (std::uint64_t i = lo; i < hi; ++i) {
+                  const graph::Edge e = edges[i];
+                  const std::uint32_t iu = sh.sigs->vin(e.src).load(std::memory_order_relaxed);
+                  const std::uint32_t iv = sh.sigs->vin(e.dst).load(std::memory_order_relaxed);
+                  const std::uint32_t ou = sh.sigs->vout(e.src).load(std::memory_order_relaxed);
+                  const std::uint32_t ov = sh.sigs->vout(e.dst).load(std::memory_order_relaxed);
+                  if (iu != iv || ou != ov) continue;  // spans SCCs: drop
+                  if (eo.remove_scc_edges && labels[e.src] != graph::kInvalidVid)
+                    continue;  // inside a completed SCC (§3.3)
+                  if (eo.chunked_worklist)
+                    chunk.push(e);
+                  else
+                    sh.worklist->push_next(e);
+                }
+              });
+          dev.record_block_work(ctx.block_id, local_examined);
+        },
+        {.idempotent = false, .work_stealing = eo.work_stealing});
+    const std::size_t before = sh.worklist->size();
+    sh.worklist->swap_buffers();
+    edges_removed.fetch_add(before - sh.worklist->size(), std::memory_order_relaxed);
+  };
+
+  // ---- The lockstep outer loop -------------------------------------------
+  while (labeled.load(std::memory_order_relaxed) < n) {
+    if (++result.metrics.outer_iterations > guard) {
+      result.error = {SccStatus::kIterationGuard,
+                      "sharded_scc: outer loop exceeded iteration guard"};
+      break;
+    }
+    if (watchdog.deadline_expired()) {
+      watchdog.mark_stalled();
+      ++result.metrics.watchdog_trips;
+      result.error = {SccStatus::kDeadlineExceeded,
+                      "sharded_scc: request deadline expired between iterations"};
+      break;
+    }
+
+    Timer phase_timer;
+    par(phase1);
+    result.metrics.phase1_seconds += phase_timer.seconds();
+
+    phase_timer.reset();
+    bool converged = true;
+    bool deadline = false;
+    std::uint64_t rounds = 0;
+    for (;;) {
+      if (++rounds > sweep_budget || watchdog.expired()) {
+        converged = false;
+        deadline = watchdog.deadline_expired();
+        break;
+      }
+      par(sweep);
+      ++result.metrics.propagation_rounds;
+      bool moved = false;
+      for (const Shard& sh : shards) moved |= sh.changed.load(std::memory_order_relaxed) != 0;
+      if (shards.size() > 1) {
+        // Global quiescence needs BOTH silences: no shard moved locally and
+        // the boundary exchange moved nothing. An exchange that raises any
+        // copy forces another sweep everywhere — a stale boundary read is
+        // monotone-sound, but only another sweep propagates the fresh value.
+        moved |= exchange();
+        ++result.metrics.exchange_rounds;
+      }
+      if (!moved) break;
+    }
+    result.metrics.phase2_seconds += phase_timer.seconds();
+    if (!converged) {
+      watchdog.mark_stalled();
+      ++result.metrics.watchdog_trips;
+      result.error =
+          deadline ? SccError{SccStatus::kDeadlineExceeded,
+                              "sharded_scc: request deadline expired mid-fixpoint"}
+                   : SccError{SccStatus::kStalled,
+                              "sharded_scc: lockstep phase-2 exceeded its sweep budget"};
+      break;
+    }
+
+    phase_timer.reset();
+    par(detect);
+    par(phase3);
+    result.metrics.phase3_seconds += phase_timer.seconds();
+
+    bool overflowed = false;
+    std::uint64_t worklist_total = 0;
+    for (Shard& sh : shards) {
+      overflowed = overflowed || sh.worklist->overflowed();
+      worklist_total += sh.worklist->size();
+    }
+    if (overflowed) {
+      std::uint64_t dropped = 0;
+      for (Shard& sh : shards) dropped += sh.worklist->dropped_edges();
+      result.metrics.edges_dropped += dropped;
+      result.error = {SccStatus::kWorklistOverflow,
+                      "sharded_scc: a shard worklist overflowed during phase 3 (" +
+                          std::to_string(dropped) + " edges dropped)"};
+      break;
+    }
+    if (watchdog.observe_iteration(labeled.load(std::memory_order_relaxed), worklist_total)) {
+      ++result.metrics.watchdog_trips;
+      result.error = {SccStatus::kStalled,
+                      "sharded_scc: no new labels and no worklist shrinkage for " +
+                          std::to_string(eo.watchdog.stall_rounds) + " iterations"};
+      break;
+    }
+  }
+
+  for (Shard& sh : shards) {
+    result.metrics.edges_processed += sh.edges_processed.load(std::memory_order_relaxed);
+    const std::uint64_t iters = sh.block_iterations.load(std::memory_order_relaxed);
+    result.metrics.block_iterations += iters;
+    pool.at(sh.device).stats().block_iterations += iters;
+  }
+  result.metrics.edges_removed = edges_removed.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    result.metrics.kernel_launches += pool.at(i).stats().kernel_launches - launches_before[i];
+
+  result.labels = std::move(labels);
+  // The fleet contract is always-complete labels (the labeled set at any
+  // break is a union of complete SCCs, so the residual solves independently).
+  if (result.error) serial_fallback_max(g, result);
+  std::vector<vid> dense(result.labels.begin(), result.labels.end());
+  result.num_components = graph::normalize_labels(dense);
+  return result;
+}
+
+}  // namespace
+
+std::vector<vid> shard_cuts(const Digraph& g, unsigned shards) {
+  const vid n = g.num_vertices();
+  const std::uint64_t m = g.num_edges();
+  const unsigned count = std::max(1u, shards);
+  std::vector<vid> cuts(count + 1, n);
+  cuts[0] = 0;
+  const std::span<const eid> offsets = g.offsets();
+  for (unsigned k = 1; k < count; ++k) {
+    if (m == 0) {
+      // No edges to balance: fall back to equal vertex ranges.
+      cuts[k] = static_cast<vid>(static_cast<std::uint64_t>(n) * k / count);
+    } else {
+      // The vertex owning the k-th equal-edge cut (merge-path math from
+      // device/edge_partition.hpp). owner_of is monotone in the edge index,
+      // so the cuts are non-decreasing.
+      const device::EdgeSpan span = device::equal_edge_span(k, count, m);
+      cuts[k] = static_cast<vid>(std::min<std::size_t>(device::owner_of(offsets, span.begin), n));
+    }
+  }
+  for (unsigned k = 1; k <= count; ++k) cuts[k] = std::max(cuts[k], cuts[k - 1]);
+  return cuts;
+}
+
+SccResult sharded_scc(const Digraph& g, DevicePool& pool, const ShardedOptions& opts) {
+  const unsigned num_shards = std::max(1u, opts.shards);
+
+  // The coordinator owns the outer control loop, so the solver-internal
+  // machinery that assumes a single device is forced off: hub_reorder
+  // (whole-graph permutation), min/max signatures (min side would need its
+  // own exchange), frontier gating (epoch clocks are per shard, and an
+  // exchange-raised value would have to re-stamp foreign epochs), and
+  // checkpointed resume (the ladder below recovers at run granularity).
+  EclOptions eo = opts.ecl;
+  eo.hub_reorder = false;
+  eo.min_max_signatures = false;
+  eo.frontier_gating = false;
+  eo.checkpoint.enabled = false;
+  eo.phase2_hook = nullptr;
+
+  const auto attempt = [&]() -> SccResult {
+    if (num_shards <= 1) {
+      // Degenerate fleet: whole graph on the first admitted device, same
+      // kernels, same certification ladder.
+      std::size_t index = 0;
+      for (std::size_t i = 0; i < pool.size(); ++i)
+        if (pool.allow(i)) {
+          index = i;
+          break;
+        }
+      SccResult r = scc::ecl_scc(g, pool.at(index), eo);
+      r.metrics.shards = 1;
+      return r;
+    }
+    return run_sharded_once(g, pool, num_shards, eo);
+  };
+
+  SccResult result = attempt();
+  if (!opts.certify) return result;
+
+  // Satellite fix: ONE reverse adjacency for the whole ladder — the
+  // stitched certificate and every recovery rung share it (previously each
+  // certification call rebuilt its own).
+  std::optional<Digraph> local_reverse;
+  const Digraph* reverse = opts.reverse_hint;
+  if (reverse == nullptr) {
+    local_reverse.emplace(g.reverse());
+    reverse = &*local_reverse;
+  }
+
+  if (certified(g, result, reverse)) return result;
+
+  for (unsigned attempt_index = 0; attempt_index < opts.fresh_reruns; ++attempt_index) {
+    SccResult rerun = attempt();
+    merge_recovery_metrics(rerun.metrics, result.metrics);
+    ++rerun.metrics.fresh_reruns;
+    if (certified(g, rerun, reverse)) return rerun;
+    result = std::move(rerun);
+  }
+
+  // Final rung: serial Tarjan, renamed to max-member IDs so even the
+  // fallback stays bit-identical to single-device ECL naming.
+  SccResult final = std::move(result);
+  const SccResult serial = scc::tarjan(g);
+  std::vector<vid> comp_max(serial.num_components, 0);
+  for (vid v = 0; v < g.num_vertices(); ++v)
+    comp_max[serial.labels[v]] = std::max(comp_max[serial.labels[v]], v);
+  final.labels.resize(g.num_vertices());
+  for (vid v = 0; v < g.num_vertices(); ++v) final.labels[v] = comp_max[serial.labels[v]];
+  final.num_components = serial.num_components;
+  final.metrics.serial_fallback = true;
+  final.metrics.fallback_vertices = g.num_vertices();
+  final.metrics.certified = false;
+  if (const SccError ladder_error = final.error; certified(g, final, reverse))
+    final.error = ladder_error;  // keep what was survived; labels are good
+  return final;
+}
+
+}  // namespace ecl::fleet

@@ -1,0 +1,89 @@
+#ifndef ECL_FLEET_SHARDED_SCC_HPP
+#define ECL_FLEET_SHARDED_SCC_HPP
+
+// ShardedScc: one giant graph's fixpoint spread across pool devices
+// (DESIGN.md §13) — the capacity half of the fleet story.
+//
+// The CSR is partitioned into K contiguous vertex ranges balanced by EDGE
+// count (the same merge-path cut math as device/edge_partition.hpp); shard
+// k owns every edge whose source falls in its range and keeps a FULL-SIZE
+// replica of the signature arrays. One coordinator drives the three phases
+// in LOCKSTEP across shards:
+//
+//   Phase 1   every shard re-initializes unlabeled signatures in its
+//             replica (identical values: self-IDs) —— join ——
+//   Phase 2   repeat: every shard runs one propagation sweep over its own
+//             edges on its own device —— join —— the coordinator max-reduces
+//             the replicas' signatures at the BOUNDARY vertices (targets of
+//             cross-shard edges) — until no shard moved locally AND the
+//             exchange moved nothing (global quiescence)
+//   Detect    every shard labels its OWNED vertices where vin == vout
+//   Phase 3   every shard filters its own worklist
+//
+// Correctness (the §13 argument in one paragraph): max-ID propagation is a
+// monotone join fixpoint, so the exchange's max-reduce commutes with every
+// in-kernel store and the shard order is irrelevant. Any maximizing path
+// crosses shard boundaries only at boundary vertices, where the exchange
+// forwards its value; at global quiescence every owner replica therefore
+// holds the exact single-device fixpoint for the vertices it labels, and
+// detection/edge-removal apply the same predicates to the same values —
+// so the labels are BIT-IDENTICAL to a single-device run, per iteration,
+// by induction. Lockstep matters: Phase 1's re-initialization is the one
+// non-monotone step, so replicas are never merged across different outer
+// iterations (a stale converged copy max-reduced into a freshly reset one
+// would leak the previous iteration's signatures).
+//
+// The stitched result is held to the PR-6 contract: the certifier runs on
+// it (against ONE shared reverse adjacency — see ShardedOptions::
+// reverse_hint), with a bounded recovery ladder (fresh sharded rerun →
+// serial Tarjan named by maximum member) behind it.
+
+#include "core/ecl_scc.hpp"
+#include "core/result.hpp"
+#include "fleet/device_pool.hpp"
+#include "graph/digraph.hpp"
+
+namespace ecl::fleet {
+
+using scc::Digraph;
+using scc::SccResult;
+
+struct ShardedOptions {
+  /// Shard count K. Shards are assigned to the pool's admitted devices
+  /// round-robin, so K may exceed the pool size (shards on one device run
+  /// sequentially within each lockstep step). K <= 1 runs single-device on
+  /// one pool device, with the same certification ladder.
+  unsigned shards = 2;
+  /// Kernel levers for the per-shard phases. hub_reorder, frontier_gating,
+  /// min_max_signatures, and the checkpoint machinery are forced off inside
+  /// the sharded engine (the coordinator owns the outer control loop; the
+  /// levers that remain are pure per-shard scheduling choices and preserve
+  /// bit-identical labels).
+  scc::EclOptions ecl;
+  /// Run the PR-6 certifier on the stitched labels and escalate through the
+  /// recovery ladder on failure.
+  bool certify = true;
+  /// Reverse of the input graph, if the caller already holds it (the
+  /// service's per-epoch cache). Null = built once here and shared by every
+  /// certification in the ladder — never rebuilt per shard or per rung.
+  const Digraph* reverse_hint = nullptr;
+  /// Recovery ladder rung 2: fresh sharded reruns attempted (each fully
+  /// certified) before falling back to serial Tarjan.
+  unsigned fresh_reruns = 1;
+};
+
+/// Runs the sharded fixpoint over the pool's devices. Always returns a
+/// complete labeling (max-member IDs, bit-identical to single-device
+/// ecl_scc); `error` carries what was survived when a ladder rung or the
+/// watchdog tripped. SccMetrics::shards / boundary_vertices /
+/// exchange_rounds report the fleet accounting.
+SccResult sharded_scc(const Digraph& g, DevicePool& pool, const ShardedOptions& opts = {});
+
+/// The edge-balanced contiguous vertex cuts used to partition `g` into K
+/// shards: returns K+1 offsets (cuts[0] = 0, cuts[K] = n). Exposed for the
+/// differential tests and the service's shard planner.
+std::vector<graph::vid> shard_cuts(const Digraph& g, unsigned shards);
+
+}  // namespace ecl::fleet
+
+#endif  // ECL_FLEET_SHARDED_SCC_HPP

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "core/registry.hpp"
 #include "core/verify.hpp"
+#include "fleet/sharded_scc.hpp"
 #include "support/timer.hpp"
 
 namespace ecl::service {
@@ -42,6 +44,19 @@ SccService::SccService(const Digraph& g, ServiceConfig config) : config_(std::mo
   HealthConfig health_config = config_.health;
   health_config.breaker = config_.breaker;
   health_ = std::make_unique<BackendHealthRegistry>(config_.backends, health_config);
+  if (config_.pool_devices > 0) {
+    // Fleet mode: one shared pool instead of a device per worker. The pool
+    // gets the same merged health tuning, so device quarantine behaves like
+    // backend quarantine.
+    fleet::DevicePoolConfig pool_config;
+    pool_config.devices = config_.pool_devices;
+    pool_config.profile = config_.device_profile;
+    pool_config.thread_budget = config_.pool_thread_budget;
+    pool_config.fault_plans = config_.pool_fault_plans;
+    pool_config.health = health_config;
+    pool_ = std::make_unique<fleet::DevicePool>(std::move(pool_config));
+    router_ = std::make_unique<fleet::GraphRouter>(*pool_);
+  }
   cached_snapshot_ = engine_->snapshot();  // epoch-0 answer for the stale tier
   workers_.reserve(config_.workers);
   for (unsigned i = 0; i < config_.workers; ++i)
@@ -134,38 +149,68 @@ RecoveryStats SccService::recovery_stats() const {
 }
 
 void SccService::worker_loop() {
-  // Each worker owns its own virtual device: Device::launch is not
+  // Legacy topology: each worker owns its own virtual device (launch is not
   // re-entrant across threads, and a per-worker device also gives every
-  // worker the same chaos plan independently.
-  device::Device dev(config_.device_profile, config_.device_workers);
+  // worker the same chaos plan independently). Pool mode replaces this with
+  // router-leased shared devices.
+  std::optional<device::Device> own;
+  if (!pool_) own.emplace(config_.device_profile, config_.device_workers);
   while (auto item = queue_->pop()) {
     Pending& pending = **item;
-    Response response = process(pending, dev);
+    Response response;
+    if (pool_) {
+      // Whole-request placement: the router picks the least-loaded healthy
+      // device, weighting label computes by graph size and point queries as
+      // unit work. The lease's RAII release keeps the load ledger honest
+      // even when processing throws.
+      const std::uint64_t estimate = pending.request.kind == RequestKind::kSccLabels
+                                         ? std::max<std::uint64_t>(1, engine_->num_vertices())
+                                         : 1;
+      fleet::GraphRouter::Lease lease = router_->place(estimate);
+      response = process(pending, pool_->at(lease.device_index()), lease.device_index());
+    } else {
+      response = process(pending, *own, kNoPoolDevice);
+    }
     pending.promise.set_value(std::move(response));
   }
+  if (!own) return;  // pool devices outlive workers; stats stay live
   // Fold this worker's device launch statistics (including the per-block
   // edge-work histogram, DESIGN.md §11) into the service-wide aggregate so
   // tools can report scheduling imbalance after shutdown.
   std::lock_guard lock(device_stats_mutex_);
-  const device::LaunchStats& s = dev.stats();
-  device_stats_.kernel_launches += s.kernel_launches;
-  device_stats_.blocks_executed += s.blocks_executed;
-  device_stats_.block_iterations += s.block_iterations;
-  device_stats_.spurious_replays += s.spurious_replays;
-  device_stats_.imbalance_weighted += s.imbalance_weighted;
-  device_stats_.imbalance_weight += s.imbalance_weight;
-  if (device_stats_.block_edge_work.size() < s.block_edge_work.size())
-    device_stats_.block_edge_work.resize(s.block_edge_work.size(), 0);
-  for (std::size_t b = 0; b < s.block_edge_work.size(); ++b)
-    device_stats_.block_edge_work[b] += s.block_edge_work[b];
+  const device::LaunchStats& s = own->stats();
+  fleet::merge_launch_stats(device_stats_, s);
 }
 
 device::LaunchStats SccService::device_stats() const {
-  std::lock_guard lock(device_stats_mutex_);
-  return device_stats_;
+  device::LaunchStats total;
+  {
+    std::lock_guard lock(device_stats_mutex_);
+    total = device_stats_;
+  }
+  if (pool_) {
+    // Each device's stats are read under its guard so an in-flight launch
+    // on another worker cannot race the snapshot.
+    for (std::size_t i = 0; i < pool_->size(); ++i) {
+      const auto guard = pool_->acquire(i);
+      fleet::merge_launch_stats(total, pool_->at(i).stats());
+    }
+  }
+  return total;
 }
 
-Response SccService::process(Pending& pending, device::Device& dev) {
+std::vector<std::pair<std::string, device::LaunchStats>> SccService::pool_device_stats() const {
+  std::vector<std::pair<std::string, device::LaunchStats>> per_device;
+  if (!pool_) return per_device;
+  per_device.reserve(pool_->size());
+  for (std::size_t i = 0; i < pool_->size(); ++i) {
+    const auto guard = pool_->acquire(i);
+    per_device.emplace_back(pool_->names()[i], pool_->at(i).stats());
+  }
+  return per_device;
+}
+
+Response SccService::process(Pending& pending, device::Device& dev, std::size_t pool_index) {
   Response response;
   response.served_by.queue_seconds =
       std::chrono::duration<double>(ServiceClock::now() - pending.enqueued_at).count();
@@ -181,7 +226,7 @@ Response SccService::process(Pending& pending, device::Device& dev) {
   Timer compute;
   try {
     switch (request.kind) {
-      case RequestKind::kSccLabels: serve_labels(pending, dev, response); break;
+      case RequestKind::kSccLabels: serve_labels(pending, dev, pool_index, response); break;
       case RequestKind::kCondensation: serve_condensation(response); break;
       case RequestKind::kReachabilityQuery: serve_reachability(pending, response); break;
       case RequestKind::kUpdateBatch: serve_update_batch(pending, response); break;
@@ -198,14 +243,19 @@ Response SccService::process(Pending& pending, device::Device& dev) {
   return response;
 }
 
-void SccService::serve_labels(Pending& pending, device::Device& dev, Response& response) {
+void SccService::serve_labels(Pending& pending, device::Device& dev, std::size_t pool_index,
+                              Response& response) {
   const Request& request = pending.request;
   ServedBy& sb = response.served_by;
 
   const bool overloaded = queue_->size() >= overload_threshold_;
   if (overloaded) stats_.overload_sheds.fetch_add(1, std::memory_order_relaxed);
 
-  if (!overloaded && try_fresh(pending, dev, response)) return;
+  // Capacity mode first: shards > 1 spreads the fixpoint across the whole
+  // pool. A failed sharded attempt falls through to the per-device backend
+  // chain, then the degradation ladder — the tiers compose.
+  if (!overloaded && pool_ && config_.shards > 1 && try_sharded(pending, response)) return;
+  if (!overloaded && try_fresh(pending, dev, pool_index, response)) return;
 
   const bool expired = request.has_deadline() && ServiceClock::now() >= request.deadline;
   if (!config_.enable_degradation) {
@@ -314,7 +364,8 @@ void SccService::serve_update_batch(Pending& pending, Response& response) {
   response.status = ServiceStatus::kOk;
 }
 
-bool SccService::try_fresh(Pending& pending, device::Device& dev, Response& response) {
+bool SccService::try_fresh(Pending& pending, device::Device& dev, std::size_t pool_index,
+                           Response& response) {
   const Request& request = pending.request;
   ServedBy& sb = response.served_by;
 
@@ -342,19 +393,28 @@ bool SccService::try_fresh(Pending& pending, device::Device& dev, Response& resp
       stats_.fresh_attempts.fetch_add(1, std::memory_order_relaxed);
 
       auto [graph, epoch] = current_graph();
+      const bool device_backed = scc::algorithm_uses_device(backend);
       scc::SccResult result;
-      if (request.has_deadline()) {
-        // Hedged slice of the remaining budget: a stalled backend must not
-        // starve the ladder's later tiers.
-        const double slice = remaining * config_.attempt_deadline_fraction;
-        result = scc::run_with_deadline(backend, *graph,
-                                        ServiceClock::now() + to_duration(slice), &dev);
-      } else {
-        try {
-          result = scc::run_algorithm_on(backend, *graph, dev);
-        } catch (const std::exception& e) {
-          result = scc::SccResult{};
-          result.error = {scc::SccStatus::kException, e.what()};
+      {
+        // Pool devices are shared across workers and launch is not
+        // re-entrant: hold the leased device's guard for the run. Backends
+        // that never touch the device (tarjan, ecl-omp) skip it.
+        std::unique_lock<std::mutex> device_guard;
+        if (pool_index != kNoPoolDevice && device_backed)
+          device_guard = pool_->acquire(pool_index);
+        if (request.has_deadline()) {
+          // Hedged slice of the remaining budget: a stalled backend must not
+          // starve the ladder's later tiers.
+          const double slice = remaining * config_.attempt_deadline_fraction;
+          result = scc::run_with_deadline(backend, *graph,
+                                          ServiceClock::now() + to_duration(slice), &dev);
+        } else {
+          try {
+            result = scc::run_algorithm_on(backend, *graph, dev);
+          } catch (const std::exception& e) {
+            result = scc::SccResult{};
+            result.error = {scc::SccStatus::kException, e.what()};
+          }
         }
       }
 
@@ -377,6 +437,12 @@ bool SccService::try_fresh(Pending& pending, device::Device& dev, Response& resp
       }
       if (config_.enable_breakers)
         health_->record(b, success ? FaultKind::kNone : fault);
+      // Pool mode scores the HARDWARE separately from the algorithm: a
+      // device-backed outcome feeds the leased device's health entry, so a
+      // flaky device is quarantined (and routed around) without tainting
+      // the backend's score on its healthy peers.
+      if (pool_index != kNoPoolDevice && device_backed)
+        pool_->record(pool_index, success ? FaultKind::kNone : fault);
       if (success) {
         sb.resumes += result.metrics.resumes;
         auto snap = snapshot_from_result(epoch, result);
@@ -401,6 +467,72 @@ bool SccService::try_fresh(Pending& pending, device::Device& dev, Response& resp
     if (!routed_any) return false;  // every breaker open: degrade immediately
   }
   return false;
+}
+
+bool SccService::try_sharded(Pending& pending, Response& response) {
+  const Request& request = pending.request;
+  ServedBy& sb = response.served_by;
+  auto [graph, epoch] = current_graph();
+
+  fleet::ShardedOptions sopts;
+  sopts.shards = config_.shards;
+  sopts.certify = config_.enable_certification;
+  if (request.has_deadline()) sopts.ecl.watchdog.deadline = request.deadline;
+  // Satellite fix: the stitched certificate (and every ladder rung behind
+  // it) shares the service's per-epoch reverse adjacency — the reverse is
+  // built once per graph epoch, never per shard or per certification.
+  std::shared_ptr<const Digraph> reverse;
+  if (config_.enable_certification) {
+    reverse = epoch_reverse(*graph, epoch);
+    sopts.reverse_hint = reverse.get();
+  }
+
+  ++sb.attempts;
+  stats_.fresh_attempts.fetch_add(1, std::memory_order_relaxed);
+
+  scc::SccResult result;
+  {
+    // The sharded coordinator launches on every pool device from its own
+    // threads: take the whole pool (fixed index order, so concurrent
+    // whole-graph leases cannot deadlock against it).
+    const auto guards = pool_->acquire_all();
+    result = fleet::sharded_scc(*graph, *pool_, sopts);
+  }
+
+  if (config_.enable_certification) {
+    stats_.certifications.fetch_add(1 + result.metrics.fresh_reruns,
+                                    std::memory_order_relaxed);
+    stats_.certify_micros.fetch_add(
+        static_cast<std::uint64_t>(result.metrics.certify_seconds * 1e6),
+        std::memory_order_relaxed);
+    sb.certify_seconds += result.metrics.certify_seconds;
+  }
+
+  // sharded_scc always returns complete labels, but the serving bar is the
+  // usual one: certified (or plainly ok when certification is off).
+  const bool servable =
+      config_.enable_certification ? result.metrics.certified : result.ok();
+  if (!servable) {
+    stats_.backend_failures.fetch_add(1, std::memory_order_relaxed);
+    if (config_.enable_certification) {
+      ++sb.certify_failures;
+      stats_.certification_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+    return false;
+  }
+
+  sb.certified = result.metrics.certified;
+  auto snap = snapshot_from_result(epoch, result);
+  store_cached_snapshot(snap);
+  response.labels = std::move(snap);
+  response.num_components = result.num_components;
+  sb.tier = Tier::kFresh;
+  sb.backend = "sharded";
+  sb.epoch = epoch;
+  const std::uint64_t current = engine_->epoch();
+  sb.staleness_epochs = current - std::min(current, epoch);
+  response.status = ServiceStatus::kOk;
+  return true;
 }
 
 bool SccService::certify_for_serving(const Digraph& g, std::uint64_t epoch,

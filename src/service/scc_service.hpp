@@ -53,6 +53,8 @@
 
 #include "device/device.hpp"
 #include "dynamic/dynamic_scc.hpp"
+#include "fleet/device_pool.hpp"
+#include "fleet/graph_router.hpp"
 #include "service/admission_queue.hpp"
 #include "service/backoff.hpp"
 #include "service/circuit_breaker.hpp"
@@ -99,6 +101,26 @@ struct ServiceConfig {
   /// Host threads per worker device (kept small: the service already runs
   /// `workers` concurrent requests).
   unsigned device_workers = 2;
+
+  // ---- Fleet mode (DESIGN.md §13) ----------------------------------------
+  /// Pooled devices shared by all workers (0 = legacy topology: each worker
+  /// owns a private device). In pool mode the GraphRouter leases the
+  /// least-loaded healthy device per request, and the pool's own health
+  /// registry quarantines misbehaving devices INDIVIDUALLY — the backend
+  /// registry above keeps scoring algorithms, the pool registry scores
+  /// hardware.
+  unsigned pool_devices = 0;
+  /// Aggregate host-thread budget across ALL pooled devices, divided evenly
+  /// per device with a floor of 1 (0 = hardware concurrency). This is the
+  /// cap that keeps an N-device pool from oversubscribing the host N-fold.
+  unsigned pool_thread_budget = 0;
+  /// Shard count for fresh kSccLabels computes in pool mode: > 1 routes the
+  /// fixpoint through fleet::sharded_scc across the pool's devices (capacity
+  /// mode); 1 keeps whole-graph placement (throughput mode).
+  unsigned shards = 1;
+  /// Per-device chaos plans for the pool, indexed by device.
+  std::vector<device::FaultPlan> pool_fault_plans;
+
   /// Engine knobs for the owned DynamicScc.
   dynamic::DynamicOptions dynamic;
 };
@@ -175,8 +197,19 @@ class SccService {
   /// per-block edge-work histogram and the weighted imbalance metric
   /// (DESIGN.md §11). Workers fold their device's stats in as they exit, so
   /// the full picture is available after shutdown(); mid-run it covers only
-  /// already-exited workers.
+  /// already-exited workers. In pool mode this is the pool-wide aggregate,
+  /// live at any time.
   device::LaunchStats device_stats() const;
+
+  /// Fleet observability: true when the service runs on a shared DevicePool.
+  bool pool_mode() const noexcept { return pool_ != nullptr; }
+  /// The pool / router (null outside pool mode; test and tool access).
+  fleet::DevicePool* device_pool() noexcept { return pool_.get(); }
+  fleet::GraphRouter* router() noexcept { return router_.get(); }
+  /// Per-device launch statistics (name, stats), index-aligned with the
+  /// pool; empty outside pool mode. Snapshot is taken under each device's
+  /// guard, so it is safe against in-flight launches.
+  std::vector<std::pair<std::string, device::LaunchStats>> pool_device_stats() const;
 
   /// The owned engine (test/tool access; the service stays in charge of
   /// writes — use update_batch requests to mutate).
@@ -213,15 +246,25 @@ class SccService {
     std::atomic<std::uint64_t> certify_micros{0};  ///< certifier wall-clock, microseconds
   };
 
+  /// Sentinel for "not a pool device" (legacy per-worker topology).
+  static constexpr std::size_t kNoPoolDevice = static_cast<std::size_t>(-1);
+
   void worker_loop();
-  Response process(Pending& pending, device::Device& dev);
-  void serve_labels(Pending& pending, device::Device& dev, Response& response);
+  Response process(Pending& pending, device::Device& dev, std::size_t pool_index);
+  void serve_labels(Pending& pending, device::Device& dev, std::size_t pool_index,
+                    Response& response);
   void serve_condensation(Response& response);
   void serve_reachability(Pending& pending, Response& response);
   void serve_update_batch(Pending& pending, Response& response);
   /// Fresh tier: backend chain with breakers + retry/backoff. True when a
-  /// fresh answer was produced into `response`.
-  bool try_fresh(Pending& pending, device::Device& dev, Response& response);
+  /// fresh answer was produced into `response`. `pool_index` names the
+  /// leased pool device (kNoPoolDevice outside pool mode) so device-backed
+  /// attempt outcomes also feed the pool's per-device health registry.
+  bool try_fresh(Pending& pending, device::Device& dev, std::size_t pool_index,
+                 Response& response);
+  /// Capacity-mode fresh tier: the sharded fixpoint across the whole pool
+  /// (config.shards > 1). Takes every device guard for the run's duration.
+  bool try_sharded(Pending& pending, Response& response);
   /// Stamps completed_at, enforces the deadline invariant, bumps counters.
   void finalize(const Request& request, Response& response);
 
@@ -246,6 +289,8 @@ class SccService {
   std::unique_ptr<dynamic::DynamicScc> engine_;
   std::unique_ptr<AdmissionQueue<std::unique_ptr<Pending>>> queue_;
   std::unique_ptr<BackendHealthRegistry> health_;  // entries parallel config_.backends
+  std::unique_ptr<fleet::DevicePool> pool_;        // pool mode only
+  std::unique_ptr<fleet::GraphRouter> router_;     // pool mode only
   std::vector<std::thread> workers_;
   std::size_t overload_threshold_ = 0;
 

@@ -1,0 +1,155 @@
+// DevicePool unit tests (ctest label: fleet): global thread-budget
+// division, per-device fault plans, per-device health quarantine, the
+// launch-stats fold, and the per-device exclusive-use guards.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "device/device.hpp"
+#include "device/fault.hpp"
+#include "fleet/device_pool.hpp"
+#include "service/health_registry.hpp"
+
+namespace ecl::test {
+namespace {
+
+using fleet::DevicePool;
+using fleet::DevicePoolConfig;
+using service::BackendHealth;
+using service::FaultKind;
+
+DevicePoolConfig pool_config(unsigned devices, unsigned budget) {
+  DevicePoolConfig cfg;
+  cfg.devices = devices;
+  cfg.profile = device::tiny_profile();
+  cfg.thread_budget = budget;
+  return cfg;
+}
+
+TEST(DevicePool, DividesThreadBudgetEvenlyAcrossDevices) {
+  DevicePool pool(pool_config(/*devices=*/4, /*budget=*/8));
+  EXPECT_EQ(pool.size(), 4u);
+  EXPECT_EQ(pool.workers_per_device(), 2u);
+}
+
+TEST(DevicePool, ThreadBudgetFloorsAtOneWorkerPerDevice) {
+  // Budget 1 across 4 devices must not starve any device: every device
+  // still gets one worker (the aggregate exceeds the budget, which is the
+  // documented floor behavior — a device with zero workers cannot launch).
+  DevicePool pool(pool_config(/*devices=*/4, /*budget=*/1));
+  EXPECT_EQ(pool.workers_per_device(), 1u);
+
+  DevicePool uneven(pool_config(/*devices=*/3, /*budget=*/7));
+  EXPECT_EQ(uneven.workers_per_device(), 2u);  // floor(7 / 3)
+}
+
+TEST(DevicePool, DeviceCountFloorsAtOne) {
+  DevicePool pool(pool_config(/*devices=*/0, /*budget=*/2));
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(DevicePool, NamesAreIndexAligned) {
+  DevicePool pool(pool_config(3, 3));
+  ASSERT_EQ(pool.names().size(), 3u);
+  EXPECT_EQ(pool.names()[0], "device-0");
+  EXPECT_EQ(pool.names()[1], "device-1");
+  EXPECT_EQ(pool.names()[2], "device-2");
+  EXPECT_EQ(pool.health().size(), 3u);
+}
+
+TEST(DevicePool, PerDeviceFaultPlansLandOnTheRightDevice) {
+  DevicePoolConfig cfg = pool_config(3, 3);
+  cfg.fault_plans.resize(2);
+  cfg.fault_plans[1] = device::FaultPlan::from_seed(0x715);
+  DevicePool pool(cfg);
+
+  // Device 1 carries the seeded plan; devices 0 and 2 (beyond the vector)
+  // inherit the profile's clean plan.
+  EXPECT_FALSE(pool.at(0).profile().fault_plan.any());
+  EXPECT_TRUE(pool.at(1).profile().fault_plan.any());
+  EXPECT_FALSE(pool.at(2).profile().fault_plan.any());
+}
+
+TEST(DevicePool, RepeatedFaultsQuarantineOnlyTheOffendingDevice) {
+  DevicePoolConfig cfg = pool_config(2, 2);
+  cfg.health.breaker.window = 4;
+  cfg.health.breaker.min_samples = 2;
+  cfg.health.breaker.failure_threshold = 0.5;
+  cfg.health.breaker.cooldown_seconds = 60.0;  // stays quarantined for the test
+  DevicePool pool(cfg);
+
+  EXPECT_TRUE(pool.allow(0));
+  EXPECT_TRUE(pool.allow(1));
+  for (int i = 0; i < 4; ++i) pool.record(0, FaultKind::kStall);
+  EXPECT_FALSE(pool.allow(0));  // quarantined
+  EXPECT_TRUE(pool.allow(1));   // peer untouched
+
+  const auto snap = pool.health().snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].health, BackendHealth::kQuarantined);
+  EXPECT_EQ(snap[1].health, BackendHealth::kHealthy);
+}
+
+TEST(DevicePool, AggregateStatsFoldsEveryDevice) {
+  DevicePool pool(pool_config(2, 2));
+  pool.at(0).stats().kernel_launches = 3;
+  pool.at(0).stats().blocks_executed = 30;
+  pool.at(1).stats().kernel_launches = 5;
+  pool.at(1).stats().block_iterations = 7;
+
+  const device::LaunchStats total = pool.aggregate_stats();
+  EXPECT_EQ(total.kernel_launches, 8u);
+  EXPECT_EQ(total.blocks_executed, 30u);
+  EXPECT_EQ(total.block_iterations, 7u);
+}
+
+TEST(DevicePool, MergeLaunchStatsWidensBlockHistogram) {
+  device::LaunchStats into;
+  into.block_edge_work = {1, 2};
+  device::LaunchStats from;
+  from.block_edge_work = {10, 10, 10};
+  from.kernel_launches = 1;
+  fleet::merge_launch_stats(into, from);
+  ASSERT_EQ(into.block_edge_work.size(), 3u);
+  EXPECT_EQ(into.block_edge_work[0], 11u);
+  EXPECT_EQ(into.block_edge_work[1], 12u);
+  EXPECT_EQ(into.block_edge_work[2], 10u);
+  EXPECT_EQ(into.kernel_launches, 1u);
+}
+
+TEST(DevicePool, AcquireGuardsAreExclusivePerDevice) {
+  DevicePool pool(pool_config(2, 2));
+  auto guard0 = pool.acquire(0);
+  ASSERT_TRUE(guard0.owns_lock());
+
+  // Device 1's guard is independent: acquirable while device 0 is held.
+  auto guard1 = pool.acquire(1);
+  EXPECT_TRUE(guard1.owns_lock());
+  guard1.unlock();
+
+  // A second user of device 0 blocks until the first releases.
+  std::atomic<bool> acquired{false};
+  std::thread contender([&] {
+    auto g = pool.acquire(0);
+    acquired.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  guard0.unlock();
+  contender.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(DevicePool, AcquireAllLocksEveryDevice) {
+  DevicePool pool(pool_config(3, 3));
+  auto guards = pool.acquire_all();
+  ASSERT_EQ(guards.size(), 3u);
+  for (const auto& g : guards) EXPECT_TRUE(g.owns_lock());
+}
+
+}  // namespace
+}  // namespace ecl::test

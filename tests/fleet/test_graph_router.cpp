@@ -1,0 +1,159 @@
+// GraphRouter unit tests (ctest label: fleet): least-loaded placement,
+// affinity stickiness and its slack-bounded override, quarantine routing,
+// and the RAII load accounting of Lease.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "device/device.hpp"
+#include "fleet/device_pool.hpp"
+#include "fleet/graph_router.hpp"
+#include "service/health_registry.hpp"
+
+namespace ecl::test {
+namespace {
+
+using fleet::DevicePool;
+using fleet::DevicePoolConfig;
+using fleet::GraphRouter;
+using service::FaultKind;
+
+DevicePool make_pool(unsigned devices) {
+  DevicePoolConfig cfg;
+  cfg.devices = devices;
+  cfg.profile = device::tiny_profile();
+  cfg.thread_budget = devices;
+  return DevicePool(cfg);
+}
+
+TEST(GraphRouter, PlacesOnLeastLoadedDevice) {
+  DevicePoolConfig cfg;
+  cfg.devices = 3;
+  cfg.profile = device::tiny_profile();
+  cfg.thread_budget = 3;
+  DevicePool pool(cfg);
+  GraphRouter router(pool);
+
+  // Three graphs with no affinity spread across the three idle devices.
+  auto a = router.place(100);
+  auto b = router.place(100);
+  auto c = router.place(100);
+  std::vector<bool> used(3, false);
+  used[a.device_index()] = used[b.device_index()] = used[c.device_index()] = true;
+  EXPECT_TRUE(used[0] && used[1] && used[2]);
+
+  // The fourth goes wherever load is lowest once one lease releases.
+  b.release();
+  auto d = router.place(50);
+  EXPECT_EQ(d.device_index(), b.device_index());
+}
+
+TEST(GraphRouter, LeaseReleaseReturnsLoad) {
+  auto pool = make_pool(2);
+  GraphRouter router(pool);
+  {
+    auto lease = router.place(500);
+    const auto load = router.load_snapshot();
+    EXPECT_EQ(load[lease.device_index()], 500u);
+  }
+  // Destructor released the lease.
+  const auto load = router.load_snapshot();
+  EXPECT_EQ(load[0] + load[1], 0u);
+}
+
+TEST(GraphRouter, LeaseReleaseIsIdempotentAndMoveSafe) {
+  auto pool = make_pool(2);
+  GraphRouter router(pool);
+  auto lease = router.place(100);
+  GraphRouter::Lease moved = std::move(lease);
+  EXPECT_FALSE(lease.valid());
+  EXPECT_TRUE(moved.valid());
+  moved.release();
+  moved.release();  // idempotent
+  const auto load = router.load_snapshot();
+  EXPECT_EQ(load[0] + load[1], 0u);
+}
+
+TEST(GraphRouter, AffinityKeepsRepeatTrafficOnOneDevice) {
+  auto pool = make_pool(4);
+  GraphRouter router(pool);
+
+  constexpr std::uint64_t kTenant = 42;
+  auto first = router.place(10, kTenant);
+  const std::size_t home = first.device_index();
+  first.release();
+
+  // On an idle fleet every repeat placement honors the affinity.
+  for (int i = 0; i < 8; ++i) {
+    auto lease = router.place(10, kTenant);
+    EXPECT_EQ(lease.device_index(), home);
+  }
+}
+
+TEST(GraphRouter, AffinityYieldsWhenHomeDeviceFallsBehind) {
+  auto pool = make_pool(2);
+  GraphRouter router(pool, /*affinity_slack=*/1.5);
+
+  auto first = router.place(10, /*affinity_key=*/7);
+  const std::size_t home = first.device_index();
+  first.release();
+
+  // Pile work far past the slack bound onto the home device (the affinity
+  // key steers the pile there while the fleet is otherwise idle) and HOLD
+  // the lease so the load stays in flight.
+  auto pile = router.place(10'000, /*affinity_key=*/7);
+  ASSERT_EQ(pile.device_index(), home);
+
+  auto lease = router.place(10, /*affinity_key=*/7);
+  EXPECT_NE(lease.device_index(), home)
+      << "affinity must yield once the sticky device exceeds the slack bound";
+}
+
+TEST(GraphRouter, SkipsQuarantinedDevices) {
+  DevicePoolConfig cfg;
+  cfg.devices = 2;
+  cfg.profile = device::tiny_profile();
+  cfg.thread_budget = 2;
+  cfg.health.breaker.window = 4;
+  cfg.health.breaker.min_samples = 2;
+  cfg.health.breaker.cooldown_seconds = 60.0;
+  DevicePool pool(cfg);
+  GraphRouter router(pool);
+
+  for (int i = 0; i < 4; ++i) pool.record(0, FaultKind::kCertification);
+  ASSERT_FALSE(pool.allow(0));
+
+  for (int i = 0; i < 6; ++i) {
+    auto lease = router.place(100);
+    EXPECT_EQ(lease.device_index(), 1u) << "placement must route around quarantine";
+  }
+}
+
+TEST(GraphRouter, ServesLeastLoadedWhenEveryDeviceIsQuarantined) {
+  DevicePoolConfig cfg;
+  cfg.devices = 2;
+  cfg.profile = device::tiny_profile();
+  cfg.thread_budget = 2;
+  cfg.health.breaker.window = 4;
+  cfg.health.breaker.min_samples = 2;
+  cfg.health.breaker.cooldown_seconds = 60.0;
+  DevicePool pool(cfg);
+  GraphRouter router(pool);
+
+  for (int i = 0; i < 4; ++i) {
+    pool.record(0, FaultKind::kStall);
+    pool.record(1, FaultKind::kStall);
+  }
+  ASSERT_FALSE(pool.allow(0));
+  ASSERT_FALSE(pool.allow(1));
+
+  // Serving somewhere beats serving nowhere: the lease is still valid.
+  auto lease = router.place(100);
+  EXPECT_TRUE(lease.valid());
+}
+
+}  // namespace
+}  // namespace ecl::test

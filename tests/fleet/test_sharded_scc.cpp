@@ -1,0 +1,250 @@
+// Sharded-SCC differential suite (ctest label: fleet).
+//
+// The §13 contract: the sharded engine's labels are BIT-IDENTICAL to a
+// single-device ecl_scc run — not merely the same partition — on every
+// graph family, for every shard count, because max-ID labels are a
+// function of the graph alone and the boundary exchange's max-reduce
+// commutes with every in-kernel store. The suite checks K in {2, 3, 8}
+// across the four differential families, fault-free AND with seeded chaos
+// aimed at exactly one shard's device, plus the shard_cuts partition
+// properties and the engine's edge cases (K = 1, K > pool size,
+// certification off, caller-supplied reverse).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/test_graphs.hpp"
+#include "core/ecl_scc.hpp"
+#include "core/tarjan.hpp"
+#include "device/device.hpp"
+#include "device/fault.hpp"
+#include "fleet/device_pool.hpp"
+#include "fleet/sharded_scc.hpp"
+
+namespace ecl::test {
+namespace {
+
+using device::FaultPlan;
+using fleet::DevicePool;
+using fleet::DevicePoolConfig;
+using fleet::ShardedOptions;
+using scc::SccResult;
+
+struct Family {
+  std::string name;
+  Digraph graph;
+};
+
+std::vector<Family> families() {
+  std::vector<Family> fs;
+  fs.push_back({"cycle_chain_12x6", graph::cycle_chain(12, 6)});
+  fs.push_back({"grid_dag_10x10", graph::grid_dag(10, 10)});
+  {
+    Rng rng(0x40710'01);
+    fs.push_back({"er_n150_m450", graph::random_digraph(150, 450, rng)});
+  }
+  {
+    Rng rng(0x40710'02);
+    graph::SccProfile profile;
+    profile.num_vertices = 200;
+    profile.giant_fraction = 0.4;
+    profile.size2_sccs = 10;
+    profile.mid_sccs = 3;
+    profile.dag_depth = 6;
+    fs.push_back({"powerlaw_giant", graph::scc_profile_graph(profile, rng)});
+  }
+  return fs;
+}
+
+DevicePoolConfig fleet_config(unsigned devices = 4) {
+  DevicePoolConfig cfg;
+  cfg.devices = devices;
+  cfg.profile = device::tiny_profile();  // zero launch overhead
+  cfg.thread_budget = devices;
+  return cfg;
+}
+
+SccResult single_device_reference(const Digraph& g) {
+  device::Device dev(device::tiny_profile(), /*workers=*/2);
+  return scc::ecl_scc(g, dev);
+}
+
+TEST(ShardedScc, LabelsBitIdenticalToSingleDeviceAcrossShardCounts) {
+  DevicePool pool(fleet_config());
+  for (const auto& family : families()) {
+    const SccResult reference = single_device_reference(family.graph);
+    ASSERT_TRUE(reference.ok()) << family.name;
+    const SccResult oracle = scc::tarjan(family.graph);
+    ASSERT_TRUE(scc::same_partition(reference.labels, oracle.labels)) << family.name;
+
+    for (unsigned k : {2u, 3u, 8u}) {
+      ShardedOptions opts;
+      opts.shards = k;
+      const SccResult sharded = fleet::sharded_scc(family.graph, pool, opts);
+      ASSERT_TRUE(sharded.ok()) << family.name << " K=" << k << ": "
+                                << sharded.error.message;
+      EXPECT_EQ(sharded.labels, reference.labels)
+          << family.name << ": K=" << k << " diverged from single-device labels";
+      EXPECT_EQ(sharded.num_components, reference.num_components) << family.name;
+      EXPECT_EQ(sharded.metrics.shards, k) << family.name;
+      EXPECT_TRUE(sharded.metrics.certified) << family.name << " K=" << k;
+    }
+  }
+}
+
+TEST(ShardedScc, BitIdenticalWithSeededChaosOnOneShardsDevice) {
+  // The chaos satellite: a recoverable fault plan (delayed visibility,
+  // spurious replays, ...) aimed at device 1 only. Shards are assigned
+  // round-robin, so with K >= 2 at least one shard lands on the faulty
+  // device while its peers stay clean — and the stitched labels must STILL
+  // be bit-identical, because every injected fault is either absorbed by
+  // the monotone store-max retry or caught by the certifier's ladder.
+  for (std::uint64_t seed : {0x51u, 0x52u, 0x53u}) {
+    DevicePoolConfig cfg = fleet_config();
+    cfg.fault_plans.resize(2);
+    cfg.fault_plans[1] = FaultPlan::from_seed(seed);
+    DevicePool pool(cfg);
+
+    for (const auto& family : families()) {
+      const SccResult reference = single_device_reference(family.graph);
+      for (unsigned k : {2u, 8u}) {
+        ShardedOptions opts;
+        opts.shards = k;
+        const SccResult sharded = fleet::sharded_scc(family.graph, pool, opts);
+        EXPECT_EQ(sharded.labels, reference.labels)
+            << family.name << ": K=" << k << " seed=" << seed
+            << " diverged under chaos on device-1";
+      }
+    }
+  }
+}
+
+TEST(ShardedScc, ShardCountMayExceedPoolSize) {
+  DevicePool pool(fleet_config(/*devices=*/2));
+  const Digraph g = graph::cycle_chain(12, 6);
+  const SccResult reference = single_device_reference(g);
+
+  ShardedOptions opts;
+  opts.shards = 8;  // 4 shards per device, sequential within each step
+  const SccResult sharded = fleet::sharded_scc(g, pool, opts);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded.labels, reference.labels);
+  EXPECT_EQ(sharded.metrics.shards, 8u);
+}
+
+TEST(ShardedScc, SingleShardRunsWholeGraphOnOneDevice) {
+  DevicePool pool(fleet_config());
+  const Digraph g = graph::grid_dag(10, 10);
+  const SccResult reference = single_device_reference(g);
+
+  ShardedOptions opts;
+  opts.shards = 1;
+  const SccResult sharded = fleet::sharded_scc(g, pool, opts);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded.labels, reference.labels);
+  EXPECT_EQ(sharded.metrics.shards, 1u);
+  EXPECT_EQ(sharded.metrics.boundary_vertices, 0u);
+}
+
+TEST(ShardedScc, FleetMetricsReportBoundaryAndExchangeWork) {
+  DevicePool pool(fleet_config());
+  Rng rng(0x40710'01);
+  const Digraph g = graph::random_digraph(150, 450, rng);
+
+  ShardedOptions opts;
+  opts.shards = 3;
+  const SccResult sharded = fleet::sharded_scc(g, pool, opts);
+  ASSERT_TRUE(sharded.ok());
+  // A dense random digraph cut three ways must have cross-shard edges and
+  // must have taken at least one exchange round to reach quiescence.
+  EXPECT_GT(sharded.metrics.boundary_vertices, 0u);
+  EXPECT_GT(sharded.metrics.exchange_rounds, 0u);
+  EXPECT_GT(sharded.metrics.edges_processed, 0u);
+}
+
+TEST(ShardedScc, CertificationOffStillMatchesReference) {
+  DevicePool pool(fleet_config());
+  const Digraph g = fig3_graph();
+  const SccResult reference = single_device_reference(g);
+
+  ShardedOptions opts;
+  opts.shards = 2;
+  opts.certify = false;
+  const SccResult sharded = fleet::sharded_scc(g, pool, opts);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded.labels, reference.labels);
+  EXPECT_FALSE(sharded.metrics.certified);
+}
+
+TEST(ShardedScc, CallerSuppliedReverseHintIsAccepted) {
+  DevicePool pool(fleet_config());
+  Rng rng(0x40710'01);
+  const Digraph g = graph::random_digraph(150, 450, rng);
+  const Digraph reverse = g.reverse();
+  const SccResult reference = single_device_reference(g);
+
+  ShardedOptions opts;
+  opts.shards = 3;
+  opts.reverse_hint = &reverse;
+  const SccResult sharded = fleet::sharded_scc(g, pool, opts);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded.labels, reference.labels);
+  EXPECT_TRUE(sharded.metrics.certified);
+}
+
+TEST(ShardedScc, EmptyGraph) {
+  DevicePool pool(fleet_config());
+  Digraph g(0, graph::EdgeList{});
+  ShardedOptions opts;
+  opts.shards = 4;
+  const SccResult sharded = fleet::sharded_scc(g, pool, opts);
+  EXPECT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded.num_components, 0u);
+}
+
+// ---- shard_cuts partition properties --------------------------------------
+
+TEST(ShardCuts, CutsAreMonotoneCompleteAndSized) {
+  for (const auto& family : families()) {
+    for (unsigned k : {1u, 2u, 3u, 8u}) {
+      const auto cuts = fleet::shard_cuts(family.graph, k);
+      ASSERT_EQ(cuts.size(), k + 1) << family.name;
+      EXPECT_EQ(cuts.front(), 0u) << family.name;
+      EXPECT_EQ(cuts.back(), family.graph.num_vertices()) << family.name;
+      for (std::size_t i = 1; i < cuts.size(); ++i)
+        EXPECT_LE(cuts[i - 1], cuts[i]) << family.name << " K=" << k;
+    }
+  }
+}
+
+TEST(ShardCuts, BalancesEdgesNotVertices) {
+  // A lopsided graph: vertex 0 carries almost all edges. Edge-balanced
+  // cuts must isolate the hub into a small vertex range rather than
+  // splitting vertices evenly.
+  graph::EdgeList e;
+  const unsigned n = 100;
+  for (unsigned v = 1; v < n; ++v) e.add(0, v);
+  e.add(1, 2);
+  e.add(2, 3);
+  Digraph g(n, e);
+
+  const auto cuts = fleet::shard_cuts(g, 2);
+  ASSERT_EQ(cuts.size(), 3u);
+  // Shard 0 owns the hub; an equal-vertex split would put the cut at 50,
+  // but nearly all edges sit below vertex 1, so the cut lands far left.
+  EXPECT_LT(cuts[1], n / 2);
+}
+
+TEST(ShardCuts, EdgelessGraphSplitsVerticesEvenly) {
+  Digraph g(10, graph::EdgeList{});
+  const auto cuts = fleet::shard_cuts(g, 2);
+  ASSERT_EQ(cuts.size(), 3u);
+  EXPECT_EQ(cuts[1], 5u);
+  EXPECT_EQ(cuts[2], 10u);
+}
+
+}  // namespace
+}  // namespace ecl::test

@@ -6,18 +6,29 @@
 //
 //   scc_serve [<graph-file>] [--requests N] [--rate RPS] [--deadline-ms D]
 //             [--staleness N] [--workers N] [--queue N] [--backends a,b,c]
-//             [--chaos SEED] [--no-breakers] [--no-degradation] [--seed S] [--stats]
+//             [--devices N] [--shards K] [--chaos SEED] [--no-breakers]
+//             [--no-degradation] [--seed S] [--stats]
 //
 // --chaos SEED installs the seeded composite FaultPlan (FaultPlan::
 // from_seed) on every worker's device, so the live backends misbehave the
 // same reproducible way the chaos test suite exercises — and the breaker /
 // certifier / quarantine machinery can be watched doing its job.
 //
+// --devices N runs the service in fleet mode (DESIGN.md §13): N pooled
+// devices shared by all workers behind the GraphRouter, with per-device
+// health/quarantine. --shards K (with --devices) routes fresh label
+// computes through the sharded cross-device fixpoint instead of
+// whole-graph placement. Under --chaos the seeded plan lands on every
+// pool device (same plan, independent injector state).
+//
 // --stats additionally prints the aggregated per-worker device launch
 // statistics after shutdown (launch counts, the work-weighted block
 // imbalance metric, a per-block edge-work histogram, DESIGN.md §11) plus
 // the self-healing counters: checkpoints, resumes, certifier activity, and
-// per-backend health/quarantine state (DESIGN.md §12).
+// per-backend health/quarantine state (DESIGN.md §12). In fleet mode it
+// also prints one row per pool device (launches, blocks, imbalance) and
+// the pool's per-device health, so placement skew and quarantines are
+// visible.
 
 #include <algorithm>
 #include <chrono>
@@ -101,6 +112,10 @@ int main(int argc, char** argv) {
       cfg.queue_capacity = std::strtoull(next("--queue"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--backends")) {
       cfg.backends = split_names(next("--backends"));
+    } else if (!std::strcmp(argv[i], "--devices")) {
+      cfg.pool_devices = static_cast<unsigned>(std::strtoul(next("--devices"), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--shards")) {
+      cfg.shards = static_cast<unsigned>(std::strtoul(next("--shards"), nullptr, 10));
     } else if (!std::strcmp(argv[i], "--chaos")) {
       chaos = true;
       chaos_seed = std::strtoull(next("--chaos"), nullptr, 10);
@@ -119,7 +134,8 @@ int main(int argc, char** argv) {
           stderr,
           "usage: %s [<graph-file>] [--requests N] [--rate RPS] [--deadline-ms D]\n"
           "          [--staleness N] [--workers N] [--queue N] [--backends a,b,c]\n"
-          "          [--chaos SEED] [--no-breakers] [--no-degradation] [--seed S] [--stats]\n",
+          "          [--devices N] [--shards K] [--chaos SEED] [--no-breakers]\n"
+          "          [--no-degradation] [--seed S] [--stats]\n",
           argv[0]);
       return 2;
     }
@@ -143,10 +159,14 @@ int main(int argc, char** argv) {
     profile.mid_sccs = 8;
     return graph::scc_profile_graph(profile, rng);
   }();
+  std::string fleet_banner;
+  if (cfg.pool_devices > 0)
+    fleet_banner = ", fleet [" + std::to_string(cfg.pool_devices) + " devices, " +
+                   std::to_string(std::max(1u, cfg.shards)) + " shards]";
   std::printf("serving %u vertices / %llu edges; %zu requests at %.0f rps, "
-              "deadline %.0fms%s\n",
+              "deadline %.0fms%s%s\n",
               g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
-              num_requests, rate, deadline_ms, chaos_banner.c_str());
+              num_requests, rate, deadline_ms, chaos_banner.c_str(), fleet_banner.c_str());
 
   SccService svc(g, cfg);
   struct InFlight {
@@ -268,6 +288,26 @@ int main(int argc, char** argv) {
       std::printf("%s\n", hist.render().c_str());
       if (ds.block_edge_work.size() > shown)
         std::printf("(%zu more blocks)\n", ds.block_edge_work.size() - shown);
+    }
+    if (svc.pool_mode()) {
+      // Fleet mode: one row per pool device, so placement skew (router) and
+      // per-shard load (sharded runs) are visible, plus each device's
+      // health/quarantine standing.
+      TextTable devices({"device", "launches", "blocks", "replays", "imbalance"});
+      for (const auto& [name, s] : svc.pool_device_stats()) {
+        char imbalance[32];
+        std::snprintf(imbalance, sizeof imbalance, "%.3f", s.block_imbalance());
+        devices.add_row({name, std::to_string(s.kernel_launches),
+                         std::to_string(s.blocks_executed),
+                         std::to_string(s.spurious_replays), imbalance});
+      }
+      std::printf("\n%s\n", devices.render().c_str());
+      for (const auto& h : svc.device_pool()->health().snapshot())
+        std::printf("pool health[%s] = %s (score %.2f/%zu; quarantined %llu, "
+                    "readmitted %llu)\n",
+                    h.name.c_str(), service::backend_health_name(h.health), h.score,
+                    h.samples, static_cast<unsigned long long>(h.quarantines),
+                    static_cast<unsigned long long>(h.readmissions));
     }
   }
   return 0;
