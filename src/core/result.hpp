@@ -104,6 +104,20 @@ struct SccMetrics {
   std::uint64_t shards = 0;
   std::uint64_t boundary_vertices = 0;
   std::uint64_t exchange_rounds = 0;
+
+  /// Fleet self-healing (DESIGN.md §14): device-ejection failover events
+  /// survived by the sharded coordinator (each restores the last
+  /// exchange-boundary checkpoint), shards re-homed onto surviving devices
+  /// across those events, straggler flags raised by the per-shard sweep
+  /// timer, and preemptive shard migrations those flags triggered.
+  std::uint64_t failovers = 0;
+  std::uint64_t shards_rehomed = 0;
+  std::uint64_t stragglers_flagged = 0;
+  std::uint64_t straggler_migrations = 0;
+  /// Set when the pool had NO admitted device and the run was served on a
+  /// quarantined one anyway — the same serving-somewhere-beats-nowhere
+  /// last resort the router applies, made visible instead of implicit.
+  bool pool_last_resort = false;
 };
 
 /// An SCC decomposition: labels[v] identifies v's component. Label values

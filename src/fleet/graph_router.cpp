@@ -64,6 +64,41 @@ GraphRouter::Lease GraphRouter::place(std::uint64_t estimated_work,
   return Lease(this, chosen, estimated_work);
 }
 
+GraphRouter::Lease GraphRouter::adopt(std::size_t device, std::uint64_t estimated_work) {
+  std::lock_guard lock(mutex_);
+  load_[device] += estimated_work;
+  return Lease(this, device, estimated_work);
+}
+
+GraphRouter::Lease GraphRouter::place_excluding(std::uint64_t estimated_work,
+                                                const std::vector<char>& excluded) {
+  const auto is_excluded = [&](std::size_t i) { return i < excluded.size() && excluded[i]; };
+  // As in place(): the quarantine gate mutates breaker state, so query it
+  // outside our lock — but never for excluded devices (admitting a probe to
+  // an ejected device would undo the ejection's point).
+  std::vector<char> allowed(pool_.size(), 0);
+  bool any_allowed = false;
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    allowed[i] = (!is_excluded(i) && pool_.allow(i)) ? 1 : 0;
+    any_allowed = any_allowed || allowed[i];
+  }
+
+  std::lock_guard lock(mutex_);
+  std::size_t chosen = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < load_.size(); ++i) {
+    if (is_excluded(i)) continue;
+    if (any_allowed && !allowed[i]) continue;
+    if (!found || load_[i] < load_[chosen]) {
+      chosen = i;
+      found = true;
+    }
+  }
+  if (!found) return Lease();
+  load_[chosen] += estimated_work;
+  return Lease(this, chosen, estimated_work);
+}
+
 std::vector<std::uint64_t> GraphRouter::load_snapshot() const {
   std::lock_guard lock(mutex_);
   return load_;

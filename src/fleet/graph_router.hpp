@@ -73,6 +73,21 @@ class GraphRouter {
   /// ordinate); kNoAffinity always takes the least-loaded device.
   Lease place(std::uint64_t estimated_work, std::uint64_t affinity_key = kNoAffinity);
 
+  /// Registers work the caller has already assigned to `device` (the
+  /// sharded coordinator's round-robin initial shard layout), so subsequent
+  /// least-loaded decisions see the true in-flight load. Same RAII lease as
+  /// place().
+  Lease adopt(std::size_t device, std::uint64_t estimated_work);
+
+  /// Least-loaded placement restricted to devices NOT marked in `excluded`
+  /// (indexed by device). Exclusion is HARD — it is the failover path's
+  /// ejection set, not the advisory quarantine gate: an excluded device is
+  /// never chosen even when every other device is quarantined, and the
+  /// returned Lease is invalid when every device is excluded. Among the
+  /// non-excluded devices the usual rules apply (admitted preferred,
+  /// least-loaded wins).
+  Lease place_excluding(std::uint64_t estimated_work, const std::vector<char>& excluded);
+
   /// Current in-flight work per device (test/stats visibility).
   std::vector<std::uint64_t> load_snapshot() const;
 

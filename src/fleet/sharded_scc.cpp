@@ -16,6 +16,7 @@
 #include "core/watchdog.hpp"
 #include "device/signature_store.hpp"
 #include "device/worklist.hpp"
+#include "fleet/graph_router.hpp"
 #include "graph/condensation.hpp"
 #include "graph/subgraph.hpp"
 #include "support/timer.hpp"
@@ -48,6 +49,28 @@ struct Shard {
   std::atomic<std::uint32_t> changed{0};
   std::atomic<std::uint64_t> edges_processed{0};
   std::atomic<std::uint64_t> block_iterations{0};
+  /// Wall-clock of this shard's last sweep launch, written by its device's
+  /// group thread and read by the coordinator strictly after the lockstep
+  /// join (straggler detection).
+  double sweep_seconds = 0.0;
+  unsigned straggler_streak = 0;  ///< consecutive over-budget sweeps
+};
+
+/// A coordinator-held snapshot at a consistent global cut (exchange barrier
+/// or Phase-1 join: every kernel joined, coordinator sole owner of the
+/// replicas). Signatures are the element-wise MAX across replicas — sound
+/// because every replica value is a monotone lower bound of the current
+/// outer iteration's fixpoint, and restoring all replicas to the merged
+/// state keeps propagation inside [init, fixpoint], converging to the same
+/// labels. Worklists travel per shard (Phase 3 mutates them, and the
+/// snapshot must restore the pre-trip filter state).
+struct FleetCheckpoint {
+  bool valid = false;
+  std::vector<vid> labels;
+  std::vector<std::uint32_t> vin, vout;
+  std::vector<std::vector<graph::Edge>> worklists;
+  std::uint64_t labeled = 0;
+  std::uint64_t edges_removed = 0;
 };
 
 /// Completes a partial labeling with Tarjan on the unlabeled residual,
@@ -106,23 +129,39 @@ void merge_recovery_metrics(SccMetrics& into, const SccMetrics& from) {
   into.certify_seconds += from.certify_seconds;
   into.fresh_reruns += from.fresh_reruns;
   into.exchange_rounds += from.exchange_rounds;
+  into.checkpoints_taken += from.checkpoints_taken;
+  into.resumes += from.resumes;
+  into.rounds_replayed += from.rounds_replayed;
+  into.recovery_seconds += from.recovery_seconds;
+  into.failovers += from.failovers;
+  into.shards_rehomed += from.shards_rehomed;
+  into.stragglers_flagged += from.stragglers_flagged;
+  into.straggler_migrations += from.straggler_migrations;
+  into.pool_last_resort = into.pool_last_resort || from.pool_last_resort;
 }
 
 /// One full lockstep sharded run (no certification — the ladder wraps it).
 SccResult run_sharded_once(const Digraph& g, DevicePool& pool, unsigned num_shards,
-                           const EclOptions& eo) {
+                           const ShardedOptions& opts, const EclOptions& eo) {
   const vid n = g.num_vertices();
   SccResult result;
   result.metrics.shards = num_shards;
   if (n == 0) return result;
 
   // Devices admitted by the pool's health registry; a fully-quarantined
-  // pool still serves (somewhere beats nowhere — the service chain's rule).
+  // pool still serves (somewhere beats nowhere — the service chain's rule),
+  // with the last-resort decision flagged rather than implicit.
   std::vector<std::size_t> admitted;
   for (std::size_t i = 0; i < pool.size(); ++i)
     if (pool.allow(i)) admitted.push_back(i);
-  if (admitted.empty())
+  if (admitted.empty()) {
+    result.metrics.pool_last_resort = true;
     for (std::size_t i = 0; i < pool.size(); ++i) admitted.push_back(i);
+  }
+  // When the registry's verdict was overridden above, the mid-run ejection
+  // poll must stand down too — ejecting the devices we just decided to
+  // serve on anyway would fail every run before its first sweep.
+  const bool last_resort = result.metrics.pool_last_resort;
 
   const std::vector<vid> cuts = shard_cuts(g, num_shards);
   const std::span<const eid> offsets = g.offsets();
@@ -162,10 +201,21 @@ SccResult run_sharded_once(const Digraph& g, DevicePool& pool, unsigned num_shar
   std::atomic<std::uint64_t> labeled{0};
   std::atomic<std::uint64_t> edges_removed{0};
 
+  // The coordinator routes re-homed shards through the same least-loaded
+  // policy whole-graph traffic uses; the initial round-robin layout is
+  // adopted into the router so its load accounting is true from the start.
+  GraphRouter router(pool);
+  std::vector<GraphRouter::Lease> leases(shards.size());
+  for (std::size_t s = 0; s < shards.size(); ++s)
+    leases[s] = router.adopt(shards[s].device,
+                             std::max<std::uint64_t>(1, shards[s].worklist->size()));
+
   // Shards grouped by device: a device is not re-entrant, so its shards run
   // sequentially inside each lockstep step, on one host thread per device.
+  // Rebuilt whenever failover or straggler migration moves a shard.
   std::vector<std::vector<std::size_t>> groups;
-  {
+  const auto rebuild_groups = [&] {
+    groups.clear();
     std::vector<std::size_t> slot(pool.size(), static_cast<std::size_t>(-1));
     for (std::size_t s = 0; s < shards.size(); ++s) {
       if (slot[shards[s].device] == static_cast<std::size_t>(-1)) {
@@ -174,7 +224,8 @@ SccResult run_sharded_once(const Digraph& g, DevicePool& pool, unsigned num_shar
       }
       groups[slot[shards[s].device]].push_back(s);
     }
-  }
+  };
+  rebuild_groups();
 
   // Runs fn(shard) for every shard, devices in parallel. The join is the
   // lockstep barrier: every cross-replica read below happens strictly
@@ -201,10 +252,13 @@ SccResult run_sharded_once(const Digraph& g, DevicePool& pool, unsigned num_shar
     return nullptr;
   };
 
-  scc::FixpointWatchdog watchdog(eo.watchdog, n);
+  // Re-emplaced on checkpoint restore: fresh stall counters, same absolute
+  // deadline (eo.watchdog.deadline is a wall-clock time point).
+  std::optional<scc::FixpointWatchdog> watchdog;
+  watchdog.emplace(eo.watchdog, n);
   const std::uint64_t guard =
       eo.max_outer_iterations ? eo.max_outer_iterations : static_cast<std::uint64_t>(n) + 2;
-  const std::uint64_t sweep_budget = watchdog.phase2_round_budget();
+  const std::uint64_t sweep_budget = watchdog->phase2_round_budget();
 
   std::vector<std::uint64_t> launches_before(pool.size());
   for (std::size_t i = 0; i < pool.size(); ++i)
@@ -236,7 +290,9 @@ SccResult run_sharded_once(const Digraph& g, DevicePool& pool, unsigned num_shar
     const auto edges = sh.worklist->edges();
     const std::uint64_t m = edges.size();
     sh.changed.store(0, std::memory_order_relaxed);
+    sh.sweep_seconds = 0.0;
     if (m == 0) return;
+    const Timer sweep_timer;
     device::Device& dev = pool.at(sh.device);
     device::FaultInjector* fault = fault_of(sh);
     dev.launch(
@@ -259,7 +315,7 @@ SccResult run_sharded_once(const Digraph& g, DevicePool& pool, unsigned num_shar
                   }
                 });
           } while (eo.async_phase2 && local_changed && local_iters < sweep_budget &&
-                   !watchdog.expired());
+                   !watchdog->expired());
           if (local_changed || (eo.async_phase2 && local_iters > 1))
             sh.changed.store(1, std::memory_order_relaxed);
           sh.block_iterations.fetch_add(local_iters, std::memory_order_relaxed);
@@ -267,6 +323,7 @@ SccResult run_sharded_once(const Digraph& g, DevicePool& pool, unsigned num_shar
           dev.record_block_work(ctx.block_id, local_assigned);
         },
         {.idempotent = true, .work_stealing = eo.work_stealing});
+    sh.sweep_seconds = sweep_timer.seconds();
   };
 
   // Cross-shard boundary exchange: a symmetric max-reduce over every
@@ -366,37 +423,229 @@ SccResult run_sharded_once(const Digraph& g, DevicePool& pool, unsigned num_shar
     edges_removed.fetch_add(before - sh.worklist->size(), std::memory_order_relaxed);
   };
 
+  // ---- Self-healing machinery (DESIGN.md §14) ------------------------------
+
+  FleetCheckpoint ckpt;
+  std::uint64_t rounds_since_ckpt = 0;  ///< sweeps discarded if restored now
+  std::vector<char> ejected(pool.size(), 0);
+  std::optional<Timer> recovery_timer;  ///< armed at the FIRST fault detection
+
+  const auto take_checkpoint = [&] {
+    if (!opts.checkpoint.enabled) return;
+    ckpt.labels = labels;
+    ckpt.labeled = labeled.load(std::memory_order_relaxed);
+    ckpt.edges_removed = edges_removed.load(std::memory_order_relaxed);
+    ckpt.vin.assign(n, 0);
+    ckpt.vout.assign(n, 0);
+    for (const Shard& sh : shards)
+      for (vid v = 0; v < n; ++v) {
+        ckpt.vin[v] = std::max(ckpt.vin[v], sh.sigs->vin(v).load(std::memory_order_relaxed));
+        ckpt.vout[v] = std::max(ckpt.vout[v], sh.sigs->vout(v).load(std::memory_order_relaxed));
+      }
+    ckpt.worklists.resize(shards.size());
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      const auto edges = shards[s].worklist->edges();
+      ckpt.worklists[s].assign(edges.begin(), edges.end());
+    }
+    ckpt.valid = true;
+    rounds_since_ckpt = 0;
+    ++result.metrics.checkpoints_taken;
+  };
+
+  const auto restore_checkpoint = [&] {
+    labels = ckpt.labels;
+    labeled.store(ckpt.labeled, std::memory_order_relaxed);
+    edges_removed.store(ckpt.edges_removed, std::memory_order_relaxed);
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      Shard& sh = shards[s];
+      for (vid v = 0; v < n; ++v) {
+        sh.sigs->vin(v).store(ckpt.vin[v], std::memory_order_relaxed);
+        sh.sigs->vout(v).store(ckpt.vout[v], std::memory_order_relaxed);
+      }
+      sh.worklist->reset(std::span<const graph::Edge>(ckpt.worklists[s]));
+      sh.changed.store(0, std::memory_order_relaxed);
+      sh.straggler_streak = 0;
+    }
+    result.metrics.rounds_replayed += rounds_since_ckpt;
+    rounds_since_ckpt = 0;
+    // Fresh stall counters, SAME absolute deadline (it travels inside
+    // eo.watchdog.deadline): re-emplacement is how atomics get reset.
+    watchdog.emplace(eo.watchdog, n);
+  };
+
+  const auto survivor_count = [&] {
+    std::size_t alive = 0;
+    for (std::size_t d = 0; d < pool.size(); ++d) alive += ejected[d] ? 0 : 1;
+    return alive;
+  };
+
+  // Re-homes every shard on an ejected device via the router's least-loaded
+  // policy; false when no non-ejected device is left to place on.
+  const auto rehome_orphans = [&]() -> bool {
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      Shard& sh = shards[s];
+      if (!ejected[sh.device]) continue;
+      leases[s].release();
+      GraphRouter::Lease next =
+          router.place_excluding(std::max<std::uint64_t>(1, sh.worklist->size()), ejected);
+      if (!next.valid()) return false;
+      sh.device = next.device_index();
+      leases[s] = std::move(next);
+      ++result.metrics.shards_rehomed;
+    }
+    rebuild_groups();
+    return true;
+  };
+
+  // Sweep-budget trip: blame the devices of the shards still reporting
+  // movement in the last completed sweep (under a stuck-store fault the
+  // faulty shard keeps reporting `changed` while its healthy peers quiesce,
+  // so the flags isolate the culprit), record the stall against them, and —
+  // within the failover bounds — re-home their shards, restore the last
+  // exchange-boundary checkpoint, and continue. False = escalate.
+  const auto try_failover = [&]() -> bool {
+    std::vector<std::size_t> blamed;
+    for (const Shard& sh : shards)
+      if (sh.changed.load(std::memory_order_relaxed) != 0 && !ejected[sh.device])
+        blamed.push_back(sh.device);
+    if (blamed.empty()) return false;
+    if (!recovery_timer) recovery_timer.emplace();
+    for (const std::size_t d : blamed) {
+      if (ejected[d]) continue;  // blamed twice within one trip (two shards)
+      ejected[d] = 1;
+      pool.record(d, service::FaultKind::kStall);
+    }
+    if (!ckpt.valid || survivor_count() < opts.min_devices ||
+        result.metrics.failovers >= opts.max_failovers)
+      return false;
+    ++result.metrics.failovers;
+    if (!rehome_orphans()) return false;
+    restore_checkpoint();
+    return true;
+  };
+
+  // Iteration-boundary poll: a device quarantined mid-run (straggler
+  // records, concurrent recorders) is ejected here. Its replica is deemed
+  // lost with it, so after re-homing the last checkpoint is restored — the
+  // boundary state itself is quiescent, but work done by a now-distrusted
+  // device since the snapshot is not worth standing on. Returns 0 = nothing
+  // happened, 1 = restored (skip Phase 1), -1 = escalate.
+  const auto poll_ejections = [&]() -> int {
+    if (last_resort) return 0;  // the registry's verdict is already overridden
+    bool any = false;
+    for (const Shard& sh : shards) {
+      if (ejected[sh.device]) continue;
+      if (!pool.allow(sh.device)) {
+        ejected[sh.device] = 1;
+        any = true;
+      }
+    }
+    if (!any) return 0;
+    if (!recovery_timer) recovery_timer.emplace();
+    if (survivor_count() < opts.min_devices ||
+        result.metrics.failovers >= opts.max_failovers)
+      return -1;
+    ++result.metrics.failovers;
+    if (!rehome_orphans()) return -1;
+    if (!ckpt.valid) return 0;  // nothing snapshotted yet: Phase 1 runs fresh
+    restore_checkpoint();
+    return 1;
+  };
+
+  // Straggler detection after each sweep join: a shard slower than the
+  // median-multiple budget (and the absolute noise floor) earns a flag;
+  // `patience` consecutive flags record a kStraggler fault and migrate the
+  // shard to the least-loaded surviving peer. Migration is graceful — the
+  // device is slow, not faulted, so its replica state is intact and no
+  // checkpoint restore is needed. The lower median keeps K = 2 sane (the
+  // upper median would be the straggler's own time).
+  const auto check_stragglers = [&] {
+    if (!opts.straggler.enabled || shards.size() < 2) return;
+    std::vector<double> sorted;
+    sorted.reserve(shards.size());
+    for (const Shard& sh : shards) sorted.push_back(sh.sweep_seconds);
+    const std::size_t mid = (sorted.size() - 1) / 2;
+    std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(mid),
+                     sorted.end());
+    const double median = sorted[mid];
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      Shard& sh = shards[s];
+      const bool slow = sh.sweep_seconds > opts.straggler.min_seconds &&
+                        sh.sweep_seconds > opts.straggler.median_multiple * median;
+      if (!slow) {
+        sh.straggler_streak = 0;
+        continue;
+      }
+      ++sh.straggler_streak;
+      ++result.metrics.stragglers_flagged;
+      if (sh.straggler_streak < opts.straggler.patience) continue;
+      sh.straggler_streak = 0;
+      pool.record(sh.device, service::FaultKind::kStraggler);
+      std::vector<char> avoid = ejected;
+      avoid[sh.device] = 1;
+      GraphRouter::Lease next =
+          router.place_excluding(std::max<std::uint64_t>(1, sh.worklist->size()), avoid);
+      if (!next.valid()) continue;  // nowhere to go: keep limping
+      leases[s].release();
+      sh.device = next.device_index();
+      leases[s] = std::move(next);
+      ++result.metrics.straggler_migrations;
+      rebuild_groups();
+    }
+  };
+
   // ---- The lockstep outer loop -------------------------------------------
+  bool skip_phase1 = false;  // set by a failover restore: straight to Phase 2
   while (labeled.load(std::memory_order_relaxed) < n) {
     if (++result.metrics.outer_iterations > guard) {
       result.error = {SccStatus::kIterationGuard,
                       "sharded_scc: outer loop exceeded iteration guard"};
       break;
     }
-    if (watchdog.deadline_expired()) {
-      watchdog.mark_stalled();
+    if (watchdog->deadline_expired()) {
+      watchdog->mark_stalled();
       ++result.metrics.watchdog_trips;
       result.error = {SccStatus::kDeadlineExceeded,
                       "sharded_scc: request deadline expired between iterations"};
       break;
     }
 
+    bool run_phase1 = !skip_phase1;
+    skip_phase1 = false;
+    if (run_phase1) {
+      const int polled = poll_ejections();
+      if (polled < 0) {
+        result.error = {SccStatus::kStalled,
+                        "sharded_scc: device ejection exhausted the failover budget (" +
+                            std::to_string(result.metrics.failovers) + " survived)"};
+        break;
+      }
+      if (polled == 1) run_phase1 = false;  // restored at a post-Phase-1 cut
+    }
+
     Timer phase_timer;
-    par(phase1);
-    result.metrics.phase1_seconds += phase_timer.seconds();
+    if (run_phase1) {
+      par(phase1);
+      result.metrics.phase1_seconds += phase_timer.seconds();
+      // Every checkpoint is taken at a post-Phase-1 cut of SOME iteration,
+      // so replay never crosses the one non-monotone step (the re-init).
+      take_checkpoint();
+    }
 
     phase_timer.reset();
     bool converged = true;
     bool deadline = false;
     std::uint64_t rounds = 0;
     for (;;) {
-      if (++rounds > sweep_budget || watchdog.expired()) {
+      if (++rounds > sweep_budget || watchdog->expired()) {
         converged = false;
-        deadline = watchdog.deadline_expired();
+        deadline = watchdog->deadline_expired();
         break;
       }
       par(sweep);
       ++result.metrics.propagation_rounds;
+      ++rounds_since_ckpt;
+      check_stragglers();
       bool moved = false;
       for (const Shard& sh : shards) moved |= sh.changed.load(std::memory_order_relaxed) != 0;
       if (shards.size() > 1) {
@@ -406,13 +655,22 @@ SccResult run_sharded_once(const Digraph& g, DevicePool& pool, unsigned num_shar
         // monotone-sound, but only another sweep propagates the fresh value.
         moved |= exchange();
         ++result.metrics.exchange_rounds;
+        // The exchange barrier is the coordinated checkpoint cut: all
+        // kernels joined, replicas owned by this thread alone.
+        if (moved && opts.checkpoint.enabled &&
+            rounds_since_ckpt >= std::max<std::uint64_t>(1, opts.checkpoint.sweep_interval))
+          take_checkpoint();
       }
       if (!moved) break;
     }
     result.metrics.phase2_seconds += phase_timer.seconds();
     if (!converged) {
-      watchdog.mark_stalled();
+      watchdog->mark_stalled();
       ++result.metrics.watchdog_trips;
+      if (!deadline && try_failover()) {
+        skip_phase1 = true;  // the restored cut is post-Phase-1
+        continue;
+      }
       result.error =
           deadline ? SccError{SccStatus::kDeadlineExceeded,
                               "sharded_scc: request deadline expired mid-fixpoint"}
@@ -441,7 +699,7 @@ SccResult run_sharded_once(const Digraph& g, DevicePool& pool, unsigned num_shar
                           std::to_string(dropped) + " edges dropped)"};
       break;
     }
-    if (watchdog.observe_iteration(labeled.load(std::memory_order_relaxed), worklist_total)) {
+    if (watchdog->observe_iteration(labeled.load(std::memory_order_relaxed), worklist_total)) {
       ++result.metrics.watchdog_trips;
       result.error = {SccStatus::kStalled,
                       "sharded_scc: no new labels and no worklist shrinkage for " +
@@ -449,6 +707,9 @@ SccResult run_sharded_once(const Digraph& g, DevicePool& pool, unsigned num_shar
       break;
     }
   }
+  // Recovery latency: first fault detection -> end of this run (the ladder
+  // adds its own rungs' time on top when the run still escalates).
+  if (recovery_timer) result.metrics.recovery_seconds = recovery_timer->seconds();
 
   for (Shard& sh : shards) {
     result.metrics.edges_processed += sh.edges_processed.load(std::memory_order_relaxed);
@@ -500,31 +761,45 @@ SccResult sharded_scc(const Digraph& g, DevicePool& pool, const ShardedOptions& 
   // The coordinator owns the outer control loop, so the solver-internal
   // machinery that assumes a single device is forced off: hub_reorder
   // (whole-graph permutation), min/max signatures (min side would need its
-  // own exchange), frontier gating (epoch clocks are per shard, and an
-  // exchange-raised value would have to re-stamp foreign epochs), and
-  // checkpointed resume (the ladder below recovers at run granularity).
+  // own exchange), and frontier gating (epoch clocks are per shard, and an
+  // exchange-raised value would have to re-stamp foreign epochs). The
+  // checkpoint config is NOT forced off any more: for K > 1 the coordinator
+  // runs its own exchange-barrier checkpoints (run_sharded_once), and for
+  // K <= 1 it is forwarded to the single-device engine's resume machinery.
   EclOptions eo = opts.ecl;
   eo.hub_reorder = false;
   eo.min_max_signatures = false;
   eo.frontier_gating = false;
-  eo.checkpoint.enabled = false;
   eo.phase2_hook = nullptr;
 
   const auto attempt = [&]() -> SccResult {
     if (num_shards <= 1) {
       // Degenerate fleet: whole graph on the first admitted device, same
-      // kernels, same certification ladder.
+      // kernels, same certification ladder. When NO device is admitted this
+      // serves on device 0 anyway — deliberately (serving somewhere beats
+      // serving nowhere, the router's last-resort rule) — and says so in
+      // the metrics rather than falling through silently.
       std::size_t index = 0;
+      bool any_admitted = false;
       for (std::size_t i = 0; i < pool.size(); ++i)
         if (pool.allow(i)) {
           index = i;
+          any_admitted = true;
           break;
         }
-      SccResult r = scc::ecl_scc(g, pool.at(index), eo);
+      EclOptions single = eo;
+      single.checkpoint = opts.checkpoint;
+      SccResult r = scc::ecl_scc(g, pool.at(index), single);
       r.metrics.shards = 1;
+      r.metrics.pool_last_resort = !any_admitted;
       return r;
     }
-    return run_sharded_once(g, pool, num_shards, eo);
+    // The coordinator checkpoints at exchange barriers instead of inside
+    // the per-shard kernels (a kernel-level resume would only rewind one
+    // replica and break lockstep).
+    EclOptions sharded_eo = eo;
+    sharded_eo.checkpoint.enabled = false;
+    return run_sharded_once(g, pool, num_shards, opts, sharded_eo);
   };
 
   SccResult result = attempt();

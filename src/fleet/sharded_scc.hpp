@@ -37,6 +37,25 @@
 // it (against ONE shared reverse adjacency — see ShardedOptions::
 // reverse_hint), with a bounded recovery ladder (fresh sharded rerun →
 // serial Tarjan named by maximum member) behind it.
+//
+// Self-healing (DESIGN.md §14): the exchange barrier doubles as a
+// consistent global cut — every kernel has joined and the coordinator is
+// the only thread touching the replicas — so the coordinator snapshots a
+// fleet checkpoint there (labels + the element-wise MAX of the replicas'
+// signatures + per-shard worklists; the max-merge is sound because every
+// replica value is a monotone lower bound of the iteration's fixpoint).
+// When a device faults mid-run (sweep-budget trip blamed on the shards
+// still reporting movement, or a health-registry ejection observed at an
+// iteration boundary), the coordinator ejects the device, records the
+// fault in the pool's health registry, re-homes the orphaned shards onto
+// surviving devices via the router's least-loaded policy, restores the
+// last checkpoint, and continues under the SAME absolute deadline — up to
+// max_failovers times and only while min_devices survive; past either
+// bound the error escalates to the certification ladder above. A per-shard
+// sweep timer additionally flags stragglers (sweeps beyond a
+// median-multiple budget), feeds them to the health registry, and can
+// migrate the shard preemptively — gracefully, with no checkpoint restore,
+// since a slow device's state is intact where a faulted one's is lost.
 
 #include "core/ecl_scc.hpp"
 #include "core/result.hpp"
@@ -70,6 +89,31 @@ struct ShardedOptions {
   /// Recovery ladder rung 2: fresh sharded reruns attempted (each fully
   /// certified) before falling back to serial Tarjan.
   unsigned fresh_reruns = 1;
+  /// Fleet checkpointing at exchange barriers. `sweep_interval` counts
+  /// EXCHANGES here (one per lockstep sweep round); a checkpoint is also
+  /// taken at every outer-iteration Phase-1 join, so replay never crosses
+  /// an outer iteration. `max_resumes` is unused at this level (the bound
+  /// on recoveries is max_failovers). For K <= 1 the config is forwarded
+  /// verbatim to the single-device engine's PR-6 resume machinery.
+  scc::CheckpointConfig checkpoint;
+  /// Live-failover bounds: at most this many device-ejection events are
+  /// survived per run, and a failover is only attempted while at least
+  /// min_devices devices remain un-ejected. Past either bound the error
+  /// escalates to the fresh-rerun / serial-Tarjan ladder.
+  unsigned max_failovers = 2;
+  unsigned min_devices = 1;
+  /// Straggler escalation: a shard whose sweep takes longer than
+  /// median_multiple x the (lower-)median shard sweep time AND longer than
+  /// min_seconds is flagged; `patience` consecutive flags record a
+  /// kStraggler fault against its device and migrate the shard to the
+  /// least-loaded surviving peer. min_seconds keeps launch-overhead noise
+  /// on tiny graphs from flagging anything by default.
+  struct StragglerPolicy {
+    bool enabled = true;
+    double median_multiple = 4.0;
+    double min_seconds = 1e-3;
+    unsigned patience = 2;
+  } straggler;
 };
 
 /// Runs the sharded fixpoint over the pool's devices. Always returns a

@@ -13,6 +13,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kDeadline: return "deadline";
     case FaultKind::kException: return "exception";
     case FaultKind::kOther: return "other";
+    case FaultKind::kStraggler: return "straggler";
   }
   return "unknown";
 }

@@ -48,8 +48,10 @@ enum class FaultKind : std::uint8_t {
   kDeadline,        ///< attempt deadline expired
   kException,       ///< backend threw
   kOther,           ///< remaining SccStatus codes (guard, verify, ...)
+  kStraggler,       ///< fleet coordinator: sweeps persistently slower than
+                    ///< the shard median (suspect hardware, not yet faulty)
 };
-inline constexpr std::size_t kNumFaultKinds = 7;
+inline constexpr std::size_t kNumFaultKinds = 8;
 
 const char* fault_kind_name(FaultKind kind);
 
@@ -70,6 +72,7 @@ struct HealthConfig {
       1.0,  // kDeadline
       1.0,  // kException
       1.0,  // kOther
+      0.5,  // kStraggler: slow is suspicious, not yet wrong or stuck
   };
   /// Every consecutive re-quarantine multiplies the backend's cool-down by
   /// this factor (a flapping backend earns longer time-outs), capped below.

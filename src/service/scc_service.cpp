@@ -145,6 +145,10 @@ RecoveryStats SccService::recovery_stats() const {
   r.quarantines = health_->quarantines();
   r.probations = health_->probations();
   r.readmissions = health_->readmissions();
+  r.failovers = stats_.failovers.load(std::memory_order_relaxed);
+  r.shards_rehomed = stats_.shards_rehomed.load(std::memory_order_relaxed);
+  r.stragglers_flagged = stats_.stragglers_flagged.load(std::memory_order_relaxed);
+  r.straggler_migrations = stats_.straggler_migrations.load(std::memory_order_relaxed);
   return r;
 }
 
@@ -498,6 +502,23 @@ bool SccService::try_sharded(Pending& pending, Response& response) {
     const auto guards = pool_->acquire_all();
     result = fleet::sharded_scc(*graph, *pool_, sopts);
   }
+
+  // Fleet self-healing accounting (DESIGN.md §14) — recorded whether or not
+  // the run ends up servable: a failover that was survived but still lost
+  // the ladder is operationally interesting.
+  stats_.checkpoints_taken.fetch_add(result.metrics.checkpoints_taken,
+                                     std::memory_order_relaxed);
+  stats_.resumes.fetch_add(result.metrics.resumes, std::memory_order_relaxed);
+  stats_.rounds_replayed.fetch_add(result.metrics.rounds_replayed, std::memory_order_relaxed);
+  stats_.failovers.fetch_add(result.metrics.failovers, std::memory_order_relaxed);
+  stats_.shards_rehomed.fetch_add(result.metrics.shards_rehomed, std::memory_order_relaxed);
+  stats_.stragglers_flagged.fetch_add(result.metrics.stragglers_flagged,
+                                      std::memory_order_relaxed);
+  stats_.straggler_migrations.fetch_add(result.metrics.straggler_migrations,
+                                        std::memory_order_relaxed);
+  sb.resumes += result.metrics.resumes;
+  sb.failovers += result.metrics.failovers;
+  sb.stragglers += result.metrics.stragglers_flagged;
 
   if (config_.enable_certification) {
     stats_.certifications.fetch_add(1 + result.metrics.fresh_reruns,

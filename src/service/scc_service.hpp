@@ -155,6 +155,11 @@ struct RecoveryStats {
   std::uint64_t quarantines = 0;             ///< backends quarantined
   std::uint64_t probations = 0;              ///< quarantine -> probation transitions
   std::uint64_t readmissions = 0;            ///< probation -> healthy transitions
+  // Fleet self-healing (DESIGN.md §14), from sharded runs.
+  std::uint64_t failovers = 0;               ///< device ejections survived by failover
+  std::uint64_t shards_rehomed = 0;          ///< shards migrated off ejected devices
+  std::uint64_t stragglers_flagged = 0;      ///< over-budget shard sweeps observed
+  std::uint64_t straggler_migrations = 0;    ///< shards preemptively migrated off slow devices
 };
 
 class SccService {
@@ -244,6 +249,10 @@ class SccService {
     std::atomic<std::uint64_t> certifications{0};
     std::atomic<std::uint64_t> certification_failures{0};
     std::atomic<std::uint64_t> certify_micros{0};  ///< certifier wall-clock, microseconds
+    std::atomic<std::uint64_t> failovers{0};
+    std::atomic<std::uint64_t> shards_rehomed{0};
+    std::atomic<std::uint64_t> stragglers_flagged{0};
+    std::atomic<std::uint64_t> straggler_migrations{0};
   };
 
   /// Sentinel for "not a pool device" (legacy per-worker topology).

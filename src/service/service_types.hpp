@@ -101,6 +101,12 @@ struct ServedBy {
   double certify_seconds = 0.0;
   std::uint64_t resumes = 0;           ///< checkpoint replays inside the producing run
   std::uint64_t certify_failures = 0;  ///< attempts rejected by the certifier for this request
+
+  // Fleet self-healing provenance (DESIGN.md §14): live shard failovers the
+  // producing sharded run survived and stragglers it flagged — nonzero only
+  // on backend == "sharded" answers.
+  std::uint64_t failovers = 0;
+  std::uint64_t stragglers = 0;
 };
 
 /// One service response. Payload fields are populated according to the

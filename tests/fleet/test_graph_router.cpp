@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -153,6 +154,72 @@ TEST(GraphRouter, ServesLeastLoadedWhenEveryDeviceIsQuarantined) {
   // Serving somewhere beats serving nowhere: the lease is still valid.
   auto lease = router.place(100);
   EXPECT_TRUE(lease.valid());
+}
+
+TEST(GraphRouter, LeaseReleasedWhenSolveThrows) {
+  // The RAII contract under exceptions: a lease held across a throwing
+  // solve must return its load on unwind, and the affinity entry written at
+  // placement must survive — repeat traffic still lands on the home device.
+  auto pool = make_pool(2);
+  GraphRouter router(pool);
+
+  constexpr std::uint64_t kTenant = 7;
+  std::size_t home = 0;
+  try {
+    auto lease = router.place(100, kTenant);
+    home = lease.device_index();
+    throw std::runtime_error("solver exploded mid-lease");
+  } catch (const std::runtime_error&) {
+  }
+
+  const auto load = router.load_snapshot();
+  EXPECT_EQ(load[0] + load[1], 0u) << "unwind must release the in-flight load";
+  auto again = router.place(10, kTenant);
+  EXPECT_EQ(again.device_index(), home) << "affinity must survive the unwind";
+}
+
+TEST(GraphRouter, AdoptRegistersExistingPlacementLoad) {
+  auto pool = make_pool(2);
+  GraphRouter router(pool);
+
+  // The sharded coordinator assigned device 0 itself; adopt() makes the
+  // router's least-loaded view agree, so the next placement avoids it.
+  auto adopted = router.adopt(0, 1'000);
+  EXPECT_EQ(router.load_snapshot()[0], 1'000u);
+  auto lease = router.place(10);
+  EXPECT_EQ(lease.device_index(), 1u);
+
+  adopted.release();
+  EXPECT_EQ(router.load_snapshot()[0], 0u);
+}
+
+TEST(GraphRouter, PlaceExcludingIsHardEvenUnderTotalQuarantine) {
+  DevicePoolConfig cfg;
+  cfg.devices = 3;
+  cfg.profile = device::tiny_profile();
+  cfg.thread_budget = 3;
+  cfg.health.breaker.window = 4;
+  cfg.health.breaker.min_samples = 2;
+  cfg.health.breaker.cooldown_seconds = 60.0;
+  DevicePool pool(cfg);
+  GraphRouter router(pool);
+
+  // Ejected devices are never chosen, even when every surviving device is
+  // quarantined (unlike place()'s advisory last-resort rule).
+  for (int i = 0; i < 4; ++i) pool.record(1, FaultKind::kStall);
+  ASSERT_FALSE(pool.allow(1));
+
+  std::vector<char> ejected = {1, 0, 0};
+  for (int i = 0; i < 4; ++i) {
+    auto lease = router.place_excluding(100, ejected);
+    ASSERT_TRUE(lease.valid());
+    EXPECT_NE(lease.device_index(), 0u);
+  }
+
+  // All devices excluded: the lease is invalid, not a silent fallback.
+  std::vector<char> all = {1, 1, 1};
+  auto none = router.place_excluding(100, all);
+  EXPECT_FALSE(none.valid());
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include "device/fault.hpp"
 #include "fleet/device_pool.hpp"
 #include "fleet/sharded_scc.hpp"
+#include "service/health_registry.hpp"
 
 namespace ecl::test {
 namespace {
@@ -205,6 +206,170 @@ TEST(ShardedScc, EmptyGraph) {
   EXPECT_EQ(sharded.num_components, 0u);
 }
 
+// ---- Self-healing (DESIGN.md §14) -----------------------------------------
+
+// A plan that stalls the fixpoint outright: every monotonic store deferred,
+// forever. The afflicted shard keeps reporting movement while its healthy
+// peers quiesce, so the sweep-budget trip blames exactly that device.
+FaultPlan stall_plan() {
+  FaultPlan p;
+  p.seed = 0xFA170;
+  p.delayed_visibility = true;
+  p.store_defer_probability = 1.0;
+  return p;
+}
+
+TEST(ShardedScc, FailoverRecoversFromPersistentlyFaultyDevice) {
+  for (const auto& family : families()) {
+    const SccResult reference = single_device_reference(family.graph);
+
+    DevicePoolConfig cfg = fleet_config();
+    cfg.fault_plans.resize(2);
+    cfg.fault_plans[1] = stall_plan();
+    DevicePool pool(cfg);
+
+    ShardedOptions opts;
+    opts.shards = 4;
+    opts.checkpoint.sweep_interval = 2;
+    opts.ecl.watchdog.max_phase2_rounds = 64;  // trip fast; fault-free needs far fewer
+    const SccResult sharded = fleet::sharded_scc(family.graph, pool, opts);
+
+    ASSERT_TRUE(sharded.ok()) << family.name << ": " << sharded.error.message;
+    EXPECT_EQ(sharded.labels, reference.labels)
+        << family.name << ": labels diverged through failover";
+    EXPECT_TRUE(sharded.metrics.certified) << family.name;
+    EXPECT_GE(sharded.metrics.failovers, 1u) << family.name;
+    EXPECT_GE(sharded.metrics.shards_rehomed, 1u) << family.name;
+    EXPECT_GE(sharded.metrics.checkpoints_taken, 1u) << family.name;
+    EXPECT_FALSE(sharded.metrics.serial_fallback)
+        << family.name << ": failover should recover in-run, not via the ladder";
+    EXPECT_GT(sharded.metrics.recovery_seconds, 0.0) << family.name;
+  }
+}
+
+TEST(ShardedScc, FailoverExhaustionEscalatesToLadder) {
+  // max_failovers = 0: the budget trip cannot be survived in-run, so the
+  // run escalates to the certification ladder — and the ladder must still
+  // deliver the reference labels (a fresh rerun draws a different launch
+  // phase on the injector, but the plan here stalls EVERY launch, so the
+  // ladder lands on serial Tarjan renamed to max-member IDs).
+  DevicePoolConfig cfg = fleet_config();
+  cfg.fault_plans.resize(2);
+  cfg.fault_plans[1] = stall_plan();
+  DevicePool pool(cfg);
+
+  const Digraph g = graph::cycle_chain(12, 6);
+  const SccResult reference = single_device_reference(g);
+
+  ShardedOptions opts;
+  opts.shards = 4;
+  opts.max_failovers = 0;
+  opts.ecl.watchdog.max_phase2_rounds = 64;
+  const SccResult sharded = fleet::sharded_scc(g, pool, opts);
+
+  EXPECT_EQ(sharded.metrics.failovers, 0u);
+  EXPECT_EQ(sharded.labels, reference.labels)
+      << "the ladder must still deliver reference labels when failover is off";
+}
+
+TEST(ShardedScc, StragglerIsFlaggedAndMigrated) {
+  // Device 1 only suffers scheduling jitter: correct results, pathological
+  // sweep latency. The straggler monitor must flag it against the healthy
+  // median and migrate its shard preemptively — no checkpoint restore, no
+  // failover, same labels.
+  DevicePoolConfig cfg = fleet_config();
+  cfg.fault_plans.resize(2);
+  cfg.fault_plans[1].seed = 0x51099;
+  cfg.fault_plans[1].scheduling_jitter = true;
+  cfg.fault_plans[1].max_jitter_us = 3000.0;
+  DevicePool pool(cfg);
+
+  Rng rng(0x40710'01);
+  const Digraph g = graph::random_digraph(150, 450, rng);
+  const SccResult reference = single_device_reference(g);
+
+  ShardedOptions opts;
+  opts.shards = 4;
+  opts.straggler.min_seconds = 1e-6;  // the families are tiny; drop the noise floor
+  opts.straggler.median_multiple = 3.0;
+  opts.straggler.patience = 1;
+  const SccResult sharded = fleet::sharded_scc(g, pool, opts);
+
+  ASSERT_TRUE(sharded.ok()) << sharded.error.message;
+  EXPECT_EQ(sharded.labels, reference.labels);
+  EXPECT_GE(sharded.metrics.stragglers_flagged, 1u);
+  EXPECT_GE(sharded.metrics.straggler_migrations, 1u);
+  EXPECT_EQ(sharded.metrics.failovers, 0u) << "migration is graceful, not a failover";
+}
+
+TEST(ShardedScc, CheckpointCadenceFollowsConfig) {
+  DevicePool pool(fleet_config());
+  Rng rng(0x40710'01);
+  const Digraph g = graph::random_digraph(150, 450, rng);
+
+  // Every Phase-1 join checkpoints; sweep_interval = 1 adds one per moving
+  // exchange on top.
+  ShardedOptions opts;
+  opts.shards = 3;
+  opts.checkpoint.sweep_interval = 1;
+  const SccResult frequent = fleet::sharded_scc(g, pool, opts);
+  ASSERT_TRUE(frequent.ok());
+  EXPECT_GE(frequent.metrics.checkpoints_taken,
+            frequent.metrics.outer_iterations);
+
+  opts.checkpoint.enabled = false;
+  const SccResult off = fleet::sharded_scc(g, pool, opts);
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(off.metrics.checkpoints_taken, 0u);
+  EXPECT_EQ(off.labels, frequent.labels);
+}
+
+TEST(ShardedScc, NoAdmittedDeviceServesAnywayAndSaysSo) {
+  // Satellite regression: with every pool device quarantined, the K <= 1
+  // path serves on device 0 by DECISION, not by fall-through — the result
+  // is still certified and the metrics carry the last-resort flag.
+  DevicePoolConfig cfg = fleet_config(2);
+  cfg.health.breaker.window = 4;
+  cfg.health.breaker.min_samples = 2;
+  cfg.health.breaker.cooldown_seconds = 60.0;
+  DevicePool pool(cfg);
+  for (int i = 0; i < 4; ++i) {
+    pool.record(0, service::FaultKind::kCertification);
+    pool.record(1, service::FaultKind::kCertification);
+  }
+  ASSERT_FALSE(pool.allow(0));
+  ASSERT_FALSE(pool.allow(1));
+
+  const Digraph g = graph::grid_dag(10, 10);
+  const SccResult reference = single_device_reference(g);
+
+  ShardedOptions opts;
+  opts.shards = 1;
+  const SccResult sharded = fleet::sharded_scc(g, pool, opts);
+  ASSERT_TRUE(sharded.ok()) << sharded.error.message;
+  EXPECT_EQ(sharded.labels, reference.labels);
+  EXPECT_TRUE(sharded.metrics.pool_last_resort);
+
+  // The multi-shard coordinator applies the same rule.
+  opts.shards = 2;
+  const SccResult multi = fleet::sharded_scc(g, pool, opts);
+  ASSERT_TRUE(multi.ok()) << multi.error.message;
+  EXPECT_EQ(multi.labels, reference.labels);
+  EXPECT_TRUE(multi.metrics.pool_last_resort);
+}
+
+TEST(ShardedScc, AdmittedPoolDoesNotFlagLastResort) {
+  DevicePool pool(fleet_config());
+  const Digraph g = graph::grid_dag(10, 10);
+  for (unsigned k : {1u, 2u}) {
+    ShardedOptions opts;
+    opts.shards = k;
+    const SccResult sharded = fleet::sharded_scc(g, pool, opts);
+    ASSERT_TRUE(sharded.ok());
+    EXPECT_FALSE(sharded.metrics.pool_last_resort) << "K=" << k;
+  }
+}
+
 // ---- shard_cuts partition properties --------------------------------------
 
 TEST(ShardCuts, CutsAreMonotoneCompleteAndSized) {
@@ -244,6 +409,63 @@ TEST(ShardCuts, EdgelessGraphSplitsVerticesEvenly) {
   ASSERT_EQ(cuts.size(), 3u);
   EXPECT_EQ(cuts[1], 5u);
   EXPECT_EQ(cuts[2], 10u);
+}
+
+TEST(ShardCuts, MoreShardsThanVerticesYieldsEmptyTailShards) {
+  // K > n: valid non-decreasing cuts, the surplus shards own empty ranges,
+  // and the engine still matches the reference on them.
+  graph::EdgeList e;
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(2, 0);
+  Digraph g(3, e);
+  const auto cuts = fleet::shard_cuts(g, 8);
+  ASSERT_EQ(cuts.size(), 9u);
+  EXPECT_EQ(cuts.front(), 0u);
+  EXPECT_EQ(cuts.back(), 3u);
+  for (std::size_t i = 1; i < cuts.size(); ++i) EXPECT_LE(cuts[i - 1], cuts[i]);
+
+  DevicePool pool(fleet_config());
+  ShardedOptions opts;
+  opts.shards = 8;
+  const SccResult sharded = fleet::sharded_scc(g, pool, opts);
+  ASSERT_TRUE(sharded.ok()) << sharded.error.message;
+  EXPECT_EQ(sharded.labels, single_device_reference(g).labels);
+  EXPECT_EQ(sharded.num_components, 1u);
+}
+
+TEST(ShardCuts, MoreShardsThanVerticesOnEdgelessGraph) {
+  Digraph g(3, graph::EdgeList{});
+  const auto cuts = fleet::shard_cuts(g, 8);
+  ASSERT_EQ(cuts.size(), 9u);
+  EXPECT_EQ(cuts.front(), 0u);
+  EXPECT_EQ(cuts.back(), 3u);
+  for (std::size_t i = 1; i < cuts.size(); ++i) EXPECT_LE(cuts[i - 1], cuts[i]);
+
+  DevicePool pool(fleet_config());
+  ShardedOptions opts;
+  opts.shards = 8;
+  const SccResult sharded = fleet::sharded_scc(g, pool, opts);
+  ASSERT_TRUE(sharded.ok()) << sharded.error.message;
+  EXPECT_EQ(sharded.num_components, 3u);
+}
+
+TEST(ShardCuts, SingleVertexShardsMatchReference) {
+  // K = n: every shard owns exactly one vertex, every edge is a boundary
+  // edge, and the fixpoint is pure exchange traffic — the hardest stitching
+  // case, still bit-identical.
+  const Digraph g = fig3_graph();
+  const unsigned n = g.num_vertices();
+  const auto cuts = fleet::shard_cuts(g, n);
+  ASSERT_EQ(cuts.size(), static_cast<std::size_t>(n) + 1);
+  EXPECT_EQ(cuts.back(), n);
+
+  DevicePool pool(fleet_config());
+  ShardedOptions opts;
+  opts.shards = n;
+  const SccResult sharded = fleet::sharded_scc(g, pool, opts);
+  ASSERT_TRUE(sharded.ok()) << sharded.error.message;
+  EXPECT_EQ(sharded.labels, single_device_reference(g).labels);
 }
 
 }  // namespace

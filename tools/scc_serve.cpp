@@ -18,8 +18,10 @@
 // devices shared by all workers behind the GraphRouter, with per-device
 // health/quarantine. --shards K (with --devices) routes fresh label
 // computes through the sharded cross-device fixpoint instead of
-// whole-graph placement. Under --chaos the seeded plan lands on every
-// pool device (same plan, independent injector state).
+// whole-graph placement. Under --chaos each pool device draws its own
+// plan from a per-device seed (golden-ratio stride off the run seed;
+// device 0 matches the single-device plan), so faults land asymmetrically
+// and exercise the §14 failover path.
 //
 // --stats additionally prints the aggregated per-worker device launch
 // statistics after shutdown (launch counts, the work-weighted block
@@ -148,6 +150,16 @@ int main(int argc, char** argv) {
     // seed picks which fault axes are armed and how hard.
     cfg.device_profile.fault_plan = device::FaultPlan::from_seed(chaos_seed);
     chaos_banner = ", chaos [" + cfg.device_profile.fault_plan.describe() + "]";
+    if (cfg.pool_devices > 0) {
+      // Fleet mode: every pool device draws its OWN plan, derived from the
+      // run seed by golden-ratio stride so faults land asymmetrically (the
+      // interesting failover case) yet reproducibly. Device 0's plan equals
+      // the single-device plan for the same seed.
+      cfg.pool_fault_plans.clear();
+      for (unsigned i = 0; i < cfg.pool_devices; ++i)
+        cfg.pool_fault_plans.push_back(
+            device::FaultPlan::from_seed(chaos_seed + 0x9e3779b97f4a7c15ull * i));
+    }
   }
 
   Rng rng(seed);
@@ -261,6 +273,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(rec.quarantines),
               static_cast<unsigned long long>(rec.probations),
               static_cast<unsigned long long>(rec.readmissions));
+  if (show_device_stats)
+    std::printf("fleet recovery: %llu failovers, %llu shards re-homed; "
+                "stragglers %llu flagged, %llu migrated\n",
+                static_cast<unsigned long long>(rec.failovers),
+                static_cast<unsigned long long>(rec.shards_rehomed),
+                static_cast<unsigned long long>(rec.stragglers_flagged),
+                static_cast<unsigned long long>(rec.straggler_migrations));
   svc.shutdown();
 
   if (show_device_stats) {
