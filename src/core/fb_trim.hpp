@@ -27,6 +27,30 @@ struct FbOptions {
   /// longer serializes its whole adjacency into one block. Off = classic
   /// block-cyclic distribution over frontier VERTICES.
   bool edge_balanced = true;
+
+  // --- High-diameter levers (DESIGN.md §15). These are FB-Trim's analogues
+  // of the EclOptions §15 levers (fb_trim takes FbOptions, not EclOptions);
+  // ecl_highdiameter_levers_off()'s counterpart here is turning both off. --
+  /// Per-color pivot SETS instead of a single pivot: up to max_pivots
+  /// pivots per color, drawn by seeded degree-weighted sampling without
+  /// replacement, so one forward/backward sweep amortizes its BFS levels
+  /// across k pivots. Vertices are claimed min-pivot-index-wins by a
+  /// label-correcting tag CAS; a round then detects up to k SCCs per color
+  /// (the index-0 pivot's SCC is always among them, preserving the
+  /// progress guarantee). Off = the classic max-vertex-ID single pivot.
+  bool multi_pivot = true;
+  unsigned max_pivots = 4;  ///< clamped to 64 (tag encoding budget)
+  /// Seed for the degree-weighted pivot sampling; fixed so every run of the
+  /// same graph draws the same pivot sets.
+  std::uint64_t pivot_seed = 0x5cc5eedULL;
+  /// Trim-1 fused with the chain chaser (§15): a worker that trims v
+  /// immediately probes v's neighbors and keeps trimming the trivial SCCs
+  /// its removal exposed — bounded by trim_chain_cap per seed — instead of
+  /// paying one mark/apply kernel pair per trim generation. Exactly-once is
+  /// enforced by claiming each vertex with an atomic active-flag CAS.
+  bool trim_chase = true;
+  unsigned trim_chain_cap = 64;
+
   std::uint64_t max_rounds = 0;  ///< 0 = |V| + 2 safety guard
 };
 

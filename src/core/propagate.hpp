@@ -19,11 +19,15 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
 
 #include "core/ecl_scc.hpp"
 #include "device/atomics.hpp"
 #include "device/edge_partition.hpp"
 #include "device/fault.hpp"
+#include "device/hash_bag.hpp"
 #include "device/signature_store.hpp"
 #include "graph/digraph.hpp"
 
@@ -58,6 +62,12 @@ struct SigView {
   /// Delayed-visibility / lost-update fault hook; null unless the device
   /// injects it for the current launch.
   device::FaultInjector* fault = nullptr;
+  /// Sparse-frontier mover bag (DESIGN.md §15); when set, every store that
+  /// moves a signature registers the owning vertex, so the NEXT round can
+  /// visit only edges incident to this round's movers. Dedup-on-insert
+  /// makes repeated movements of one vertex (e.g. along a chased chain)
+  /// cost one frontier entry.
+  device::HashBag* bag = nullptr;
 };
 
 /// Signature store dispatch: the paper's atomic-free monotonic store or a
@@ -83,8 +93,11 @@ inline bool store_max(const SigView& st, device::AtomicU32& slot, vid owner,
   else
     moved = opts.use_atomic_max ? device::atomic_fetch_max(slot, value)
                                 : device::racy_store_max(slot, value);
-  if (moved && opts.frontier_gating)
-    st.sigs.epoch(owner).store(round, std::memory_order_relaxed);
+  if (moved) {
+    if (opts.frontier_gating)
+      st.sigs.epoch(owner).store(round, std::memory_order_relaxed);
+    if (st.bag) st.bag->insert(owner);
+  }
   return moved;
 }
 
@@ -98,8 +111,11 @@ inline bool store_min(const SigView& st, device::AtomicU32& slot, vid owner,
   else
     moved = opts.use_atomic_max ? device::atomic_fetch_min(slot, value)
                                 : device::racy_store_min(slot, value);
-  if (moved && opts.frontier_gating)
-    st.sigs.epoch(owner).store(round, std::memory_order_relaxed);
+  if (moved) {
+    if (opts.frontier_gating)
+      st.sigs.epoch(owner).store(round, std::memory_order_relaxed);
+    if (st.bag) st.bag->insert(owner);
+  }
   return moved;
 }
 
@@ -169,6 +185,138 @@ inline bool propagate_edge_min(const SigView& st, graph::Edge e, const EclOption
     any |= store_min(st, st.sigs.min_in(v), v, iu, opts, round);
   }
   return any;
+}
+
+// ---------------------------------------------------------------------------
+// Vertical granularity control: chain chasing (DESIGN.md §15).
+//
+// On a path-like region of the SCC-DAG (meshes: degree ≈ 2–3), max-ID
+// propagation advances ONE link per round — a signature must land at a grid
+// barrier before the next edge's sweep can read it. A worker that just moved
+// a vertex with exactly one worklist successor can instead walk that
+// single-successor chain locally, applying the same per-edge update rule
+// link by link, collapsing up to chain_cap rounds into one.
+//
+// Soundness: every step applies propagate_edge on an edge of the CURRENT
+// worklist — the same monotone stores, lift writes, fault semantics, and
+// epoch/bag stamping a round-scheduled visit would perform. The fixpoint is
+// a function of the edge set alone, so executing some updates early (within
+// a round) cannot change it; and because chains never leave the worklist,
+// no Phase-3-removed edge is ever traversed.
+// ---------------------------------------------------------------------------
+
+/// Degree-one successor/predecessor index over an edge worklist. succ[u] is
+/// the worklist successor of u if u has exactly one, else a sentinel;
+/// likewise pred[v]. Rebuilt whenever the worklist changes (each outer
+/// iteration; O(m) with no atomics — build on the control thread or shard
+/// runner between launches).
+struct ChainIndex {
+  /// No worklist edge touches the vertex in this direction.
+  static constexpr vid kNone = graph::kInvalidVid;
+  /// More than one edge does — chase must stop.
+  static constexpr vid kMany = graph::kInvalidVid - 1;
+
+  std::vector<vid> succ, pred;
+  /// Vertices with exactly one worklist successor or predecessor — the only
+  /// places a chase can take a step. Zero on dense graphs: callers then skip
+  /// the per-edge chase lookups entirely.
+  std::uint64_t links = 0;
+  /// Per-vertex round stamps deduplicating chases within one round: once a
+  /// chase has pushed through a link this round, later movers on the same
+  /// chain stop at the first already-walked vertex instead of re-walking the
+  /// whole tail (which is O(chain²) per round on path-heavy meshes). Skipped
+  /// links just propagate next round — the fixpoint, and hence the labels,
+  /// are unchanged. Rounds are monotone for the lifetime of a solve, so a
+  /// zero-fill at allocation is the only reset ever needed. Separate
+  /// forward/backward stamps: the two walks carry different signature mass
+  /// through a vertex, so one must not suppress the other.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> fwd_stamp, bwd_stamp;
+  std::size_t stamp_size = 0;
+
+  bool empty() const noexcept { return succ.empty(); }
+  bool useful() const noexcept { return links != 0; }
+
+  void build(std::size_t n, std::span<const graph::Edge> edges) {
+    succ.assign(n, kNone);
+    pred.assign(n, kNone);
+    if (stamp_size != n) {
+      fwd_stamp.reset(new std::atomic<std::uint32_t>[n]());
+      bwd_stamp.reset(new std::atomic<std::uint32_t>[n]());
+      stamp_size = n;
+    }
+    links = 0;
+    for (const graph::Edge& e : edges) {
+      succ[e.src] = (succ[e.src] == kNone) ? e.dst : kMany;
+      pred[e.dst] = (pred[e.dst] == kNone) ? e.src : kMany;
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (succ[v] < kMany) ++links;
+      if (pred[v] < kMany) ++links;
+    }
+  }
+};
+
+/// Result of one chase: links that moved a signature, and the chase length.
+struct ChaseResult {
+  std::uint32_t steps = 0;    ///< links traversed (moved or not)
+  std::uint32_t moved = 0;    ///< links whose update moved a signature
+};
+
+/// Chases the single-successor chain forward from e.dst and the
+/// single-predecessor chain backward from e.src, applying the full per-edge
+/// update at each link, until a link stops moving signatures, the chain
+/// branches (kMany), dead-ends (kNone), revisits its start (cycle), another
+/// chase already walked the link this round (round stamps; pass round == 0
+/// to disable, e.g. in the sharded engine's per-shard sweeps), or the
+/// combined budget `opts.chain_cap` is spent. Call after propagate_edge(e)
+/// reported movement. Thread-safe: only monotone stores touch shared state,
+/// and a stamp race at worst duplicates a walk it meant to skip.
+inline ChaseResult chase_chain(const SigView& st, const ChainIndex& chain, graph::Edge e,
+                               const EclOptions& opts, std::uint32_t round) noexcept {
+  ChaseResult r;
+  std::uint32_t budget = opts.chain_cap;
+
+  // Forward: e.dst just absorbed new signature mass; push it down the chain.
+  vid u = e.dst;
+  const vid fwd_start = u;
+  while (budget != 0) {
+    const vid w = chain.succ[u];
+    if (w >= ChainIndex::kMany) break;  // kMany or kNone
+    if (round != 0) {
+      if (chain.fwd_stamp[w].load(std::memory_order_relaxed) == round) break;
+      chain.fwd_stamp[w].store(round, std::memory_order_relaxed);
+    }
+    --budget;
+    ++r.steps;
+    bool any = propagate_edge(st, {u, w}, opts, round);
+    if (opts.min_max_signatures) any |= propagate_edge_min(st, {u, w}, opts, round);
+    if (!any) break;
+    ++r.moved;
+    u = w;
+    if (u == fwd_start) break;  // pure cycle: one lap saturates it
+  }
+
+  // Backward: e.src's in-signature may now pull its lone predecessor's
+  // ancestors forward; walk the predecessor chain re-applying the rule.
+  vid v = e.src;
+  const vid bwd_start = v;
+  while (budget != 0) {
+    const vid w = chain.pred[v];
+    if (w >= ChainIndex::kMany) break;
+    if (round != 0) {
+      if (chain.bwd_stamp[w].load(std::memory_order_relaxed) == round) break;
+      chain.bwd_stamp[w].store(round, std::memory_order_relaxed);
+    }
+    --budget;
+    ++r.steps;
+    bool any = propagate_edge(st, {w, v}, opts, round);
+    if (opts.min_max_signatures) any |= propagate_edge_min(st, {w, v}, opts, round);
+    if (!any) break;
+    ++r.moved;
+    v = w;
+    if (v == bwd_start) break;
+  }
+  return r;
 }
 
 }  // namespace ecl::scc::detail

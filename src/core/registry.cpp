@@ -56,6 +56,10 @@ const std::vector<std::pair<std::string, SccAlgorithm>>& table() {
       // partner of the default (reordered, edge-balanced) configuration.
       {"ecl-hotpath",
        [](const Digraph& g) { return ecl_scc(g, shared_device(), ecl_loadbalance_levers_off()); }},
+      // The PR-5 all-on configuration (§10 + §11 on, §15 high-diameter
+      // levers off): the baseline bench_highdiameter measures against.
+      {"ecl-loadbalance",
+       [](const Digraph& g) { return ecl_scc(g, shared_device(), ecl_highdiameter_levers_off()); }},
       {"gpu-scc-a100", [](const Digraph& g) { return fb_trim(g, shared_device()); }},
       {"gpu-scc-titanv", [](const Digraph& g) { return fb_trim(g, titanv_device()); }},
       {"ispan", [](const Digraph& g) { return ispan(g); }},
@@ -81,6 +85,10 @@ const std::vector<std::pair<std::string, DeviceAlgorithm>>& device_table() {
       {"ecl-hotpath",
        [](const Digraph& g, device::Device& dev) {
          return ecl_scc(g, dev, ecl_loadbalance_levers_off());
+       }},
+      {"ecl-loadbalance",
+       [](const Digraph& g, device::Device& dev) {
+         return ecl_scc(g, dev, ecl_highdiameter_levers_off());
        }},
       {"gpu-scc-a100", [](const Digraph& g, device::Device& dev) { return fb_trim(g, dev); }},
       {"gpu-scc-titanv", [](const Digraph& g, device::Device& dev) { return fb_trim(g, dev); }},

@@ -14,6 +14,7 @@
 #include "core/tarjan.hpp"
 #include "core/verify.hpp"
 #include "core/watchdog.hpp"
+#include "device/atomics.hpp"
 #include "device/signature_store.hpp"
 #include "device/worklist.hpp"
 #include "fleet/graph_router.hpp"
@@ -46,9 +47,20 @@ struct Shard {
   std::size_t device = 0;  ///< pool device index
   std::unique_ptr<EdgeWorklist> worklist;
   std::unique_ptr<SignatureStore> sigs;
+  /// Degree-one chain index over THIS shard's worklist (DESIGN.md §15).
+  /// Foreign vertices have no owned out-edge, so their succ slot is kNone
+  /// and a chase stops at the shard boundary — the boundary exchange, not
+  /// the chaser, moves values across shards. Rebuilt lazily (chain_dirty)
+  /// whenever the worklist changes: initially, after Phase-3 compaction,
+  /// and after a checkpoint restore.
+  scc::detail::ChainIndex chain;
+  bool chain_dirty = true;
   std::atomic<std::uint32_t> changed{0};
   std::atomic<std::uint64_t> edges_processed{0};
   std::atomic<std::uint64_t> block_iterations{0};
+  std::atomic<std::uint64_t> chains_collapsed{0};
+  std::atomic<std::uint64_t> chain_steps{0};
+  std::atomic<std::uint64_t> max_chain_len{0};
   /// Wall-clock of this shard's last sweep launch, written by its device's
   /// group thread and read by the coordinator strictly after the lockstep
   /// join (straggler detection).
@@ -295,6 +307,14 @@ SccResult run_sharded_once(const Digraph& g, DevicePool& pool, unsigned num_shar
     const Timer sweep_timer;
     device::Device& dev = pool.at(sh.device);
     device::FaultInjector* fault = fault_of(sh);
+    // Chain index over the shard's own worklist (callers of sweep are
+    // barrier-separated from the points that set chain_dirty, so the lazy
+    // rebuild is race-free even when shards sweep concurrently).
+    if (eo.chain_chasing && sh.chain_dirty) {
+      sh.chain.build(n, edges);
+      sh.chain_dirty = false;
+    }
+    const bool chasing = eo.chain_chasing && sh.chain.useful();
     dev.launch(
         scc::detail::grid_size(dev, m, eo.persistent_threads),
         [&](const BlockContext& ctx) {
@@ -302,6 +322,9 @@ SccResult run_sharded_once(const Digraph& g, DevicePool& pool, unsigned num_shar
           std::uint64_t local_processed = 0;
           std::uint64_t local_assigned = 0;
           std::uint64_t local_iters = 0;
+          std::uint64_t local_chains = 0;
+          std::uint64_t local_steps = 0;
+          std::uint64_t local_longest = 0;
           bool local_changed;
           do {
             local_changed = false;
@@ -311,7 +334,18 @@ SccResult run_sharded_once(const Digraph& g, DevicePool& pool, unsigned num_shar
                   if (local_iters == 1) local_assigned += hi - lo;
                   for (std::uint64_t i = lo; i < hi; ++i) {
                     ++local_processed;
-                    local_changed |= scc::detail::propagate_edge(view, edges[i], eo, 0);
+                    const bool moved = scc::detail::propagate_edge(view, edges[i], eo, 0);
+                    if (moved && chasing) {
+                      const scc::detail::ChaseResult cr =
+                          scc::detail::chase_chain(view, sh.chain, edges[i], eo, 0);
+                      if (cr.moved != 0) {
+                        ++local_chains;
+                        local_steps += cr.moved;
+                        local_longest = std::max<std::uint64_t>(local_longest, cr.moved);
+                      }
+                      local_processed += cr.steps;
+                    }
+                    local_changed |= moved;
                   }
                 });
           } while (eo.async_phase2 && local_changed && local_iters < sweep_budget &&
@@ -320,6 +354,11 @@ SccResult run_sharded_once(const Digraph& g, DevicePool& pool, unsigned num_shar
             sh.changed.store(1, std::memory_order_relaxed);
           sh.block_iterations.fetch_add(local_iters, std::memory_order_relaxed);
           sh.edges_processed.fetch_add(local_processed, std::memory_order_relaxed);
+          if (local_chains != 0) {
+            sh.chains_collapsed.fetch_add(local_chains, std::memory_order_relaxed);
+            sh.chain_steps.fetch_add(local_steps, std::memory_order_relaxed);
+            device::atomic_fetch_max_u64(sh.max_chain_len, local_longest);
+          }
           dev.record_block_work(ctx.block_id, local_assigned);
         },
         {.idempotent = true, .work_stealing = eo.work_stealing});
@@ -420,6 +459,7 @@ SccResult run_sharded_once(const Digraph& g, DevicePool& pool, unsigned num_shar
         {.idempotent = false, .work_stealing = eo.work_stealing});
     const std::size_t before = sh.worklist->size();
     sh.worklist->swap_buffers();
+    sh.chain_dirty = true;  // worklist changed: next sweep rebuilds the chains
     edges_removed.fetch_add(before - sh.worklist->size(), std::memory_order_relaxed);
   };
 
@@ -463,6 +503,7 @@ SccResult run_sharded_once(const Digraph& g, DevicePool& pool, unsigned num_shar
         sh.sigs->vout(v).store(ckpt.vout[v], std::memory_order_relaxed);
       }
       sh.worklist->reset(std::span<const graph::Edge>(ckpt.worklists[s]));
+      sh.chain_dirty = true;  // restored worklist: chains must be rebuilt
       sh.changed.store(0, std::memory_order_relaxed);
       sh.straggler_streak = 0;
     }
@@ -716,6 +757,12 @@ SccResult run_sharded_once(const Digraph& g, DevicePool& pool, unsigned num_shar
     const std::uint64_t iters = sh.block_iterations.load(std::memory_order_relaxed);
     result.metrics.block_iterations += iters;
     pool.at(sh.device).stats().block_iterations += iters;
+    const std::uint64_t sh_chains = sh.chains_collapsed.load(std::memory_order_relaxed);
+    result.metrics.chains_collapsed += sh_chains;
+    result.metrics.chain_steps += sh.chain_steps.load(std::memory_order_relaxed);
+    result.metrics.max_chain_len = std::max(
+        result.metrics.max_chain_len, sh.max_chain_len.load(std::memory_order_relaxed));
+    pool.at(sh.device).stats().chains_collapsed += sh_chains;
   }
   result.metrics.edges_removed = edges_removed.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < pool.size(); ++i)
@@ -771,6 +818,12 @@ SccResult sharded_scc(const Digraph& g, DevicePool& pool, const ShardedOptions& 
   eo.min_max_signatures = false;
   eo.frontier_gating = false;
   eo.phase2_hook = nullptr;
+  // The hash-bag sparse frontier assumes one device observes every movement;
+  // a shard's bag cannot see exchange-raised boundary values, so the lever
+  // is forced off. Chain chasing stays ON: each shard's index covers only
+  // its owned edges, so chases are confined to the shard and the usual
+  // boundary exchange remains the sole cross-shard channel.
+  eo.hashbag_frontier = false;
 
   const auto attempt = [&]() -> SccResult {
     if (num_shards <= 1) {

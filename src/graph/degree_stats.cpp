@@ -6,7 +6,7 @@
 
 namespace ecl::graph {
 
-DegreeStats compute_degree_stats(const Digraph& g) {
+DegreeStats compute_out_degree_stats(const Digraph& g) {
   DegreeStats s;
   const vid n = g.num_vertices();
   if (n == 0) return s;
@@ -26,12 +26,17 @@ DegreeStats compute_degree_stats(const Digraph& g) {
     if (s.log2_histogram.size() <= bucket) s.log2_histogram.resize(bucket + 1, 0);
     ++s.log2_histogram[bucket];
   }
-  for (eid d : g.in_degrees()) s.max_in = std::max(s.max_in, d);
 
   s.avg = sum / static_cast<double>(n);
   const double variance = std::max(0.0, sum_sq / static_cast<double>(n) - s.avg * s.avg);
   s.stddev_out = std::sqrt(variance);
   s.hub_ratio = s.avg > 0 ? static_cast<double>(s.max_out) / s.avg : 0.0;
+  return s;
+}
+
+DegreeStats compute_degree_stats(const Digraph& g) {
+  DegreeStats s = compute_out_degree_stats(g);
+  for (eid d : g.in_degrees()) s.max_in = std::max(s.max_in, d);
   return s;
 }
 

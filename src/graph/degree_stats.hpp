@@ -28,6 +28,14 @@ struct DegreeStats {
 
 DegreeStats compute_degree_stats(const Digraph& g);
 
+/// Out-degree-only variant: identical to `compute_degree_stats` except
+/// `max_in` stays 0. Out-degrees are CSR offset differences, so this is a
+/// single sequential O(n) pass with no per-edge work — cheap enough to run
+/// as a per-solve pre-scan (the solver's hub_reorder gate), where the full
+/// version's in-degree pass (O(m) random-access increments plus an O(n)
+/// allocation) costs a measurable fraction of a small graph's solve time.
+DegreeStats compute_out_degree_stats(const Digraph& g);
+
 /// Heuristic classifier used by examples/diagnostics: true when the degree
 /// distribution looks heavy-tailed (hub_ratio above `threshold`).
 bool looks_power_law(const DegreeStats& stats, double threshold = 8.0);

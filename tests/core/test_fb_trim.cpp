@@ -89,5 +89,64 @@ TEST(FbTrim, WorksOnTinyDevice) {
   EXPECT_TRUE(scc::same_partition(scc::fb_trim(g, dev, {}).labels, oracle.labels));
 }
 
+TEST(FbTrim, MatchesTarjanWithAllHighdiameterCombinations) {
+  // The §15 FbOptions levers (multi-pivot sets, trim chasing) may rename
+  // components but never repartition them — on every structured family,
+  // for every lever pair, across trim settings.
+  Rng rng(32);
+  std::vector<NamedGraph> graphs = structured_graphs();
+  graphs.push_back({"er", graph::random_digraph(200, 600, rng)});
+
+  for (int bits = 0; bits < 4; ++bits) {
+    FbOptions opts;
+    opts.multi_pivot = bits & 1;
+    opts.trim_chase = bits & 2;
+    for (const auto& g : graphs) {
+      const auto oracle = scc::tarjan(g.graph);
+      const auto r = scc::fb_trim(g.graph, opts);
+      ASSERT_TRUE(scc::same_partition(r.labels, oracle.labels))
+          << g.name << " hd=" << bits;
+    }
+  }
+}
+
+TEST(FbTrim, MaxPivotsClampAndSeedDeterminism) {
+  Rng rng(33);
+  const auto g = graph::random_digraph(300, 900, rng);
+  const auto oracle = scc::tarjan(g);
+  // Degenerate and extreme pivot-set sizes all stay correct; max_pivots is
+  // clamped to the 64-value tag budget internally.
+  for (unsigned k : {1u, 2u, 64u, 200u}) {
+    FbOptions opts;
+    opts.max_pivots = k;
+    const auto r = scc::fb_trim(g, opts);
+    ASSERT_TRUE(scc::same_partition(r.labels, oracle.labels)) << "k=" << k;
+  }
+  // Same seed -> same pivot draws -> identical labels (not just partition).
+  FbOptions a, b;
+  EXPECT_EQ(scc::fb_trim(g, a).labels, scc::fb_trim(g, b).labels);
+  // A different seed stays a correct partition.
+  FbOptions other;
+  other.pivot_seed = 0xdeadbeefULL;
+  EXPECT_TRUE(scc::same_partition(scc::fb_trim(g, other).labels, oracle.labels));
+}
+
+TEST(FbTrim, TrimChaseCollapsesDagWithFewerLaunches) {
+  // On a deep DAG the chaser should consume trim generations inside one
+  // apply kernel instead of one mark/apply pair per generation.
+  FbOptions chase;  // defaults: trim_chase on
+  FbOptions no_chase;
+  no_chase.trim_chase = false;
+  const auto path = graph::path_graph(128);
+  const auto with = scc::fb_trim(path, chase);
+  const auto without = scc::fb_trim(path, no_chase);
+  EXPECT_EQ(with.num_components, 128u);
+  EXPECT_EQ(without.num_components, 128u);
+  EXPECT_GT(with.metrics.chains_collapsed, 0u);
+  EXPECT_EQ(without.metrics.chains_collapsed, 0u);
+  // Fewer trim generations -> fewer mark/apply kernel pairs.
+  EXPECT_LT(with.metrics.kernel_launches, without.metrics.kernel_launches);
+}
+
 }  // namespace
 }  // namespace ecl::test

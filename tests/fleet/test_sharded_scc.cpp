@@ -468,5 +468,58 @@ TEST(ShardCuts, SingleVertexShardsMatchReference) {
   EXPECT_EQ(sharded.labels, single_device_reference(g).labels);
 }
 
+TEST(ShardedScc, HighdiameterLeversPreserveLabelsAcrossShardCounts) {
+  // §15 levers in the fleet: chain chasing runs per shard (chases stop at
+  // shard boundaries), the hash-bag frontier is forced off internally —
+  // passing it on must be harmless. Either way the stitched labels stay
+  // bit-identical to the single-device reference.
+  DevicePool pool(fleet_config());
+  for (const auto& family : families()) {
+    const SccResult reference = single_device_reference(family.graph);
+    ASSERT_TRUE(reference.ok()) << family.name;
+    for (const bool chasing : {false, true}) {
+      for (unsigned k : {2u, 3u, 8u}) {
+        ShardedOptions opts;
+        opts.shards = k;
+        opts.ecl.chain_chasing = chasing;
+        opts.ecl.hashbag_frontier = true;  // coordinator must force this off
+        const SccResult sharded = fleet::sharded_scc(family.graph, pool, opts);
+        ASSERT_TRUE(sharded.ok())
+            << family.name << " K=" << k << " chasing=" << chasing;
+        EXPECT_EQ(sharded.labels, reference.labels)
+            << family.name << ": K=" << k << " chasing=" << chasing
+            << " diverged from single-device labels";
+        if (!chasing) EXPECT_EQ(sharded.metrics.chains_collapsed, 0u) << family.name;
+      }
+    }
+  }
+}
+
+TEST(ShardedScc, ChainChasingBitIdenticalUnderSeededChaos) {
+  // The §15 lever joins the chaos differential: a recoverable fault plan on
+  // device 1 with chasing on must still stitch to the reference labels
+  // (chases re-apply the same monotone rule; faulted stores retry or are
+  // caught by the certifier ladder).
+  for (std::uint64_t seed : {0x51u, 0x52u, 0x53u, 0x54u}) {
+    DevicePoolConfig cfg = fleet_config();
+    cfg.fault_plans.resize(2);
+    cfg.fault_plans[1] = FaultPlan::from_seed(seed);
+    DevicePool pool(cfg);
+
+    for (const auto& family : families()) {
+      const SccResult reference = single_device_reference(family.graph);
+      for (unsigned k : {2u, 8u}) {
+        ShardedOptions opts;
+        opts.shards = k;
+        opts.ecl.chain_chasing = true;
+        const SccResult sharded = fleet::sharded_scc(family.graph, pool, opts);
+        EXPECT_EQ(sharded.labels, reference.labels)
+            << family.name << ": K=" << k << " seed=" << seed
+            << " diverged under chaos with chain chasing on";
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ecl::test
